@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the analysis engines: simulator
+//! throughput, graph construction, graph evaluation (one idealization),
+//! full power-set icost computation, and profiler reconstruction. The
+//! paper reports ~2x simulation slowdown for graph construction and
+//! emphasizes that graph evaluation replaces 2^n re-simulations; these
+//! benches quantify both on this implementation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use icost::{icost, GraphOracle};
+use icost_bench::workload;
+use shotgun::{collect_samples, reconstruct, SamplerConfig};
+use uarch_graph::DepGraph;
+use uarch_sim::{Idealization, Simulator};
+use uarch_trace::{EventClass, EventSet, MachineConfig};
+
+const N: usize = 20_000;
+
+fn bench_engines(c: &mut Criterion) {
+    let cfg = MachineConfig::table6();
+    let w = workload("gcc", N, 1);
+    let sim = Simulator::new(&cfg);
+    let result = sim.run_warmed(&w.trace, Idealization::none(), &w.warm_data, &w.warm_code);
+    let graph = DepGraph::build(&w.trace, &result, &cfg);
+    let samples = collect_samples(&w.trace, &result, &SamplerConfig::default());
+
+    c.bench_function("simulate_20k_insts", |b| {
+        b.iter(|| sim.run(&w.trace, Idealization::none()).cycles)
+    });
+    c.bench_function("build_graph_20k_insts", |b| {
+        b.iter(|| DepGraph::build(&w.trace, &result, &cfg).len())
+    });
+    c.bench_function("evaluate_graph_one_idealization", |b| {
+        b.iter(|| graph.evaluate(EventSet::single(EventClass::Dmiss)))
+    });
+    c.bench_function("icost_full_powerset_4_classes", |b| {
+        let set = EventSet::from([
+            EventClass::Dl1,
+            EventClass::Win,
+            EventClass::Bmisp,
+            EventClass::Dmiss,
+        ]);
+        b.iter_batched(
+            || GraphOracle::new(&graph),
+            |mut oracle| icost(&mut oracle, set),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("reconstruct_fragment", |b| {
+        let sig = &samples.signatures[0];
+        b.iter(|| reconstruct(sig, &samples.details, &w.program, &cfg).map(|f| f.graph.len()))
+    });
+    c.bench_function("critical_path_walk", |b| {
+        b.iter(|| graph.critical_path(EventSet::EMPTY).total)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engines
+}
+criterion_main!(benches);

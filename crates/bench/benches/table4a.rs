@@ -1,0 +1,91 @@
+//! Table 4a: CPI-contribution breakdown with a four-cycle level-one data
+//! cache, focusing on interactions with `dl1`, across all twelve
+//! benchmarks (paper Section 4.1).
+
+use icost_bench::paper::TABLE4A;
+use icost_bench::{bench_insts, print_header, print_row, workload, workload_breakdown, Shape};
+use uarch_trace::{EventClass, MachineConfig};
+
+fn main() {
+    let n = bench_insts();
+    let cfg = MachineConfig::table6().with_dl1_latency(4);
+    let headers = [
+        "dl1", "win", "bw", "bmisp", "dmiss", "shalu", "lgalu", "imiss", "dl1+win", "dl1+bw",
+        "dl1+bm", "dl1+dm", "dl1+sa", "dl1+lg", "dl1+im", "Other",
+    ];
+    println!("Table 4a — breakdown (%) with 4-cycle L1 data cache, {n} insts/benchmark\n");
+    print_header(&headers);
+
+    let mut shape = Shape::new();
+    let mut rows: Vec<(&str, Vec<f64>)> = Vec::new();
+    for col in &TABLE4A {
+        let w = workload(col.name, n, icost_bench::DEFAULT_SEED);
+        let b = workload_breakdown(&w, &cfg, EventClass::Dl1);
+        let g = |l: &str| b.percent(l).unwrap_or(f64::NAN);
+        let ours = vec![
+            g("dl1"),
+            g("win"),
+            g("bw"),
+            g("bmisp"),
+            g("dmiss"),
+            g("shalu"),
+            g("lgalu"),
+            g("imiss"),
+            g("dl1+win"),
+            g("dl1+bw"),
+            g("dl1+bmisp"),
+            g("dl1+dmiss"),
+            g("dl1+shalu"),
+            g("dl1+lgalu"),
+            g("dl1+imiss"),
+            g("Other"),
+        ];
+        let mut paper: Vec<f64> = col.base.to_vec();
+        paper.extend_from_slice(&col.dl1_pairs);
+        let shown: f64 = paper.iter().sum();
+        paper.push(100.0 - shown);
+        print_row(col.name, &ours, &paper, &headers);
+
+        // Per-benchmark qualitative claims from Section 4.1.
+        shape.check(
+            &format!("{}: dl1+win interaction is serial (negative)", col.name),
+            ours[8] < 0.5,
+        );
+        shape.check(
+            &format!("{}: dl1+bw interaction is parallel (positive)", col.name),
+            ours[9] > -0.5,
+        );
+        rows.push((col.name, ours));
+    }
+    println!();
+
+    let get = |name: &str, idx: usize| {
+        rows.iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v[idx])
+            .unwrap_or(f64::NAN)
+    };
+    // Column indices: 0 dl1, 1 win, 4 dmiss, 6 lgalu, 7 imiss, 8 dl1+win.
+    shape.check("mcf is dmiss-dominated (dmiss > 50%)", get("mcf", 4) > 50.0);
+    shape.check(
+        "vortex has the largest serial dl1+win of the suite",
+        rows.iter().all(|(_, v)| v[8] >= get("vortex", 8)),
+    );
+    shape.check(
+        "vortex is window-dominated (win is its largest base category)",
+        (0..8).all(|c| c == 1 || get("vortex", 1) > get("vortex", c)),
+    );
+    shape.check(
+        "bzip/perl are mispredict-heavy (bmisp > 30%)",
+        get("bzip", 3) > 30.0 && get("perl", 3) > 30.0,
+    );
+    shape.check(
+        "eon has the largest lgalu cost (FP-heavy)",
+        rows.iter().all(|(_, v)| v[6] <= get("eon", 6)),
+    );
+    shape.check(
+        "eon/perl show instruction-cache cost, bzip/mcf do not",
+        get("eon", 7) > 2.0 && get("perl", 7) > 2.0 && get("bzip", 7) < 2.0 && get("mcf", 7) < 2.0,
+    );
+    std::process::exit(i32::from(!shape.finish("Table 4a")));
+}

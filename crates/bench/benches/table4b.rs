@@ -1,0 +1,90 @@
+//! Table 4b: breakdown with a two-cycle issue-wakeup loop, focusing on
+//! interactions with `shalu` (paper Section 4.2, "the issue-wakeup
+//! loop").
+
+use icost_bench::paper::TABLE4B;
+use icost_bench::{bench_insts, print_header, print_row, workload, workload_breakdown, Shape};
+use uarch_trace::{EventClass, MachineConfig};
+
+fn main() {
+    let n = bench_insts();
+    let cfg = MachineConfig::table6().with_issue_wakeup(2);
+    let headers = [
+        "shalu", "win", "bw", "bmisp", "dmiss", "dl1", "imiss", "lgalu", "sa+win", "sa+bw",
+        "sa+bm", "sa+dm", "sa+dl1", "sa+im", "sa+lg", "Other",
+    ];
+    println!("Table 4b — breakdown (%) with 2-cycle issue-wakeup loop, {n} insts/benchmark\n");
+    print_header(&headers);
+
+    let mut shape = Shape::new();
+    let mut rows: Vec<(&str, Vec<f64>)> = Vec::new();
+    for col in &TABLE4B {
+        let w = workload(col.name, n, icost_bench::DEFAULT_SEED);
+        let b = workload_breakdown(&w, &cfg, EventClass::ShortAlu);
+        let g = |l: &str| b.percent(l).unwrap_or(f64::NAN);
+        let ours = vec![
+            g("shalu"),
+            g("win"),
+            g("bw"),
+            g("bmisp"),
+            g("dmiss"),
+            g("dl1"),
+            g("imiss"),
+            g("lgalu"),
+            g("shalu+win"),
+            g("shalu+bw"),
+            g("shalu+bmisp"),
+            g("shalu+dmiss"),
+            g("shalu+dl1"),
+            g("shalu+imiss"),
+            g("shalu+lgalu"),
+            g("Other"),
+        ];
+        let mut paper: Vec<f64> = col.base.to_vec();
+        paper.extend_from_slice(&col.shalu_pairs);
+        let shown: f64 = paper.iter().sum();
+        paper.push(100.0 - shown);
+        print_row(col.name, &ours, &paper, &headers);
+
+        rows.push((col.name, ours));
+    }
+    println!();
+
+    let get = |name: &str, idx: usize| {
+        rows.iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v[idx])
+            .unwrap_or(f64::NAN)
+    };
+    shape.check(
+        "wakeup=2 raises shalu cost well above mcf's (compute-bound vs memory-bound)",
+        get("gzip", 0) > get("mcf", 0) && get("gap", 0) > get("mcf", 0),
+    );
+    shape.check(
+        "the chain-bound benchmark (gzip) shows a strong serial shalu+win interaction",
+        get("gzip", 8) < -2.0,
+    );
+    shape.check(
+        "every benchmark where shalu matters (>5%) interacts serially with the window",
+        rows.iter().all(|(_, v)| v[0] <= 5.0 || v[8] < 0.5),
+    );
+    shape.check(
+        "mcf remains dmiss-dominated under a slow wakeup loop",
+        (0..8).all(|c| c == 4 || get("mcf", 4) > get("mcf", c)),
+    );
+
+    // Cross-configuration claim (the reason Table 4b exists): doubling the
+    // issue-wakeup loop raises the cost of short-ALU operations.
+    let base_cfg = MachineConfig::table6();
+    for name in ["gap", "gcc", "gzip", "parser"] {
+        let w = workload(name, n, icost_bench::DEFAULT_SEED);
+        let b1 = workload_breakdown(&w, &base_cfg, EventClass::ShortAlu);
+        let s1 = b1.percent("shalu").unwrap_or(0.0);
+        let s2 = get(name, 0);
+        shape.check(
+            &format!("{name}: shalu cost rises when wakeup goes 1 -> 2 ({s1:.1}% -> {s2:.1}%)"),
+            s2 > s1,
+        );
+    }
+    std::process::exit(i32::from(!shape.finish("Table 4b")));
+}

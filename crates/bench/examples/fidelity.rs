@@ -1,0 +1,23 @@
+use icost_bench::workload;
+use uarch_graph::DepGraph;
+use uarch_sim::{Idealization, Simulator};
+use uarch_trace::{EventClass, EventSet, MachineConfig};
+
+fn main() {
+    let cfg = MachineConfig::table6().with_dl1_latency(4);
+    for name in ["gcc", "parser", "twolf", "vortex"] {
+        let w = workload(name, 60_000, 2003);
+        let sim = Simulator::new(&cfg);
+        let base = sim.run_warmed(&w.trace, Idealization::none(), &w.warm_data, &w.warm_code);
+        let g = DepGraph::build(&w.trace, &base, &cfg);
+        let gbase = g.evaluate(EventSet::EMPTY);
+        print!("{name:<8} sim={} graph={} ({:+.1}%)", base.cycles, gbase,
+            100.0*(gbase as f64/base.cycles as f64 - 1.0));
+        for c in [EventClass::Win, EventClass::Bmisp, EventClass::Bw] {
+            let s = sim.cycles_warmed(&w.trace, Idealization::from(c), &w.warm_data, &w.warm_code);
+            let ge = g.evaluate(EventSet::single(c));
+            print!("  {}[sim={} graph={}]", c.name(), s, ge);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,169 @@
+//! The paper's published numbers, for side-by-side comparison in
+//! benchmark output and EXPERIMENTS.md. Values are percent of execution
+//! time (Table 4a, MICRO-36 2003).
+
+/// One benchmark column of Table 4a.
+#[derive(Debug, Clone, Copy)]
+pub struct Table4aColumn {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Singleton costs: dl1, win, bw, bmisp, dmiss, shalu, lgalu, imiss.
+    pub base: [f64; 8],
+    /// Interactions with dl1: win, bw, bmisp, dmiss, shalu, lgalu, imiss.
+    pub dl1_pairs: [f64; 7],
+}
+
+/// Table 4a as published (four-cycle L1 data cache).
+pub const TABLE4A: [Table4aColumn; 12] = [
+    Table4aColumn {
+        name: "bzip",
+        base: [22.2, 16.4, 4.4, 41.0, 23.8, 9.9, 0.3, 0.0],
+        dl1_pairs: [-5.2, 5.6, -10.8, -0.7, -4.1, -0.3, 0.0],
+    },
+    Table4aColumn {
+        name: "crafty",
+        base: [24.2, 15.1, 8.0, 28.6, 7.1, 11.4, 0.9, 0.7],
+        dl1_pairs: [-10.5, 9.9, -5.4, -1.2, -4.3, 0.1, 0.0],
+    },
+    Table4aColumn {
+        name: "eon",
+        base: [18.2, 15.7, 7.7, 15.8, 0.7, 5.4, 11.8, 7.8],
+        dl1_pairs: [-6.8, 8.1, -4.9, -0.4, -1.0, -0.3, 0.8],
+    },
+    Table4aColumn {
+        name: "gap",
+        base: [13.5, 41.0, 2.8, 12.3, 23.5, 13.8, 5.6, 0.7],
+        dl1_pairs: [-6.0, 2.8, -2.9, -0.4, -0.2, 0.1, 0.1],
+    },
+    Table4aColumn {
+        name: "gcc",
+        base: [18.3, 13.6, 8.2, 26.3, 26.3, 5.1, 0.4, 2.2],
+        dl1_pairs: [-4.2, 10.0, -7.0, -1.4, -1.6, -0.3, 0.3],
+    },
+    Table4aColumn {
+        name: "gzip",
+        base: [30.5, 23.0, 5.7, 25.8, 7.7, 20.4, 0.7, 0.1],
+        dl1_pairs: [-15.3, 6.0, -3.4, -0.4, -8.2, -0.4, 0.0],
+    },
+    Table4aColumn {
+        name: "mcf",
+        base: [7.7, 4.2, 0.5, 26.9, 81.0, 1.4, 0.0, 0.0],
+        dl1_pairs: [-0.2, 0.3, -2.4, -0.5, -0.1, 0.0, 0.0],
+    },
+    Table4aColumn {
+        name: "parser",
+        base: [19.0, 17.3, 2.9, 16.5, 32.9, 19.7, 0.1, 0.1],
+        dl1_pairs: [-6.1, 4.9, -2.8, -1.4, -3.6, -0.0, 0.0],
+    },
+    Table4aColumn {
+        name: "perl",
+        base: [31.6, 4.4, 8.6, 38.0, 1.4, 7.3, 0.8, 5.2],
+        dl1_pairs: [-4.3, 9.6, -7.6, -0.2, -1.4, -0.7, 1.0],
+    },
+    Table4aColumn {
+        name: "twolf",
+        base: [19.4, 25.1, 3.9, 24.1, 34.4, 7.8, 4.2, 0.0],
+        dl1_pairs: [-4.1, 1.5, -6.5, -1.3, -0.3, 0.0, 0.0],
+    },
+    Table4aColumn {
+        name: "vortex",
+        base: [28.8, 47.1, 5.3, 1.9, 21.8, 4.9, 1.6, 2.8],
+        dl1_pairs: [-27.6, 17.6, -0.2, -1.8, -4.0, -1.3, 0.4],
+    },
+    Table4aColumn {
+        name: "vpr",
+        base: [19.7, 23.2, 5.8, 24.9, 33.7, 7.6, 3.6, 0.0],
+        dl1_pairs: [-5.7, 1.8, -4.6, -2.5, -1.3, -0.3, 0.0],
+    },
+];
+
+/// The Figure 3 headline numbers: speedup (%) from growing the window
+/// 64→128 at L1 latency 1 vs 4 (Section 4.3 quotes 6% vs 9%).
+pub const FIG3_SPEEDUP_64_TO_128: (f64, f64) = (6.0, 9.0);
+
+/// Section 4.2: gap's window speedup at issue-wakeup 1 vs 2 (12% vs 18%).
+pub const WAKEUP_SPEEDUP_64_TO_128: (f64, f64) = (12.0, 18.0);
+
+/// One benchmark column of Table 4b (two-cycle issue-wakeup loop).
+/// Base order: shalu, win, bw, bmisp, dmiss, dl1, imiss, lgalu.
+/// Pair order (with shalu): win, bw, bmisp, dmiss, dl1, imiss, lgalu.
+#[derive(Debug, Clone, Copy)]
+pub struct Table4bColumn {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Singleton costs in the order listed above.
+    pub base: [f64; 8],
+    /// Interactions with shalu in the order listed above.
+    pub shalu_pairs: [f64; 7],
+}
+
+/// Table 4b as published.
+pub const TABLE4B: [Table4bColumn; 5] = [
+    Table4bColumn {
+        name: "gap",
+        base: [37.0, 46.5, 1.6, 8.0, 17.4, 4.9, 0.4, 4.8],
+        shalu_pairs: [-26.8, 9.0, 1.0, 2.0, 0.4, 0.1, -1.6],
+    },
+    Table4bColumn {
+        name: "gcc",
+        base: [13.1, 12.5, 7.1, 26.3, 26.8, 10.9, 2.0, 0.5],
+        shalu_pairs: [-2.2, 9.9, -5.7, 0.1, -2.4, 0.1, -0.4],
+    },
+    Table4bColumn {
+        name: "gzip",
+        base: [39.2, 13.0, 4.4, 24.0, 8.6, 17.0, 0.1, 0.6],
+        shalu_pairs: [-9.1, 8.3, -5.4, -1.2, -7.8, 0.0, -0.5],
+    },
+    Table4bColumn {
+        name: "mcf",
+        base: [3.3, 4.0, 0.4, 27.4, 82.1, 4.5, 0.0, 0.0],
+        shalu_pairs: [0.1, 0.7, -2.3, 0.4, -0.2, 0.0, 0.0],
+    },
+    Table4bColumn {
+        name: "parser",
+        base: [38.2, 18.3, 2.4, 13.7, 28.8, 9.2, 0.0, 0.1],
+        shalu_pairs: [-12.9, 6.3, -1.2, -0.0, -3.2, 0.0, -0.0],
+    },
+];
+
+/// One benchmark column of Table 4c (15-cycle branch-misprediction loop).
+/// Base order: bmisp, dl1, win, bw, dmiss, shalu, lgalu, imiss.
+/// Pair order (with bmisp): dl1, win, bw, dmiss, shalu, lgalu, imiss.
+#[derive(Debug, Clone, Copy)]
+pub struct Table4cColumn {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Singleton costs in the order listed above.
+    pub base: [f64; 8],
+    /// Interactions with bmisp in the order listed above.
+    pub bmisp_pairs: [f64; 7],
+}
+
+/// Table 4c as published.
+pub const TABLE4C: [Table4cColumn; 5] = [
+    Table4cColumn {
+        name: "gap",
+        base: [11.7, 6.8, 38.7, 3.8, 26.4, 14.2, 6.0, 0.8],
+        bmisp_pairs: [-1.7, 2.1, -1.2, 0.3, 0.4, 0.3, -0.2],
+    },
+    Table4cColumn {
+        name: "gcc",
+        base: [25.5, 10.4, 11.8, 12.8, 29.5, 5.0, 0.3, 2.5],
+        bmisp_pairs: [-4.7, 9.6, -1.2, -1.3, -3.0, 0.0, -0.4],
+    },
+    Table4cColumn {
+        name: "gzip",
+        base: [27.8, 19.1, 9.3, 8.0, 10.8, 21.3, 0.8, 0.1],
+        bmisp_pairs: [-2.4, 12.4, -2.6, -0.2, -3.7, 0.3, -0.0],
+    },
+    Table4cColumn {
+        name: "mcf",
+        base: [26.7, 4.5, 4.2, 0.5, 84.0, 1.5, 0.0, 0.0],
+        bmisp_pairs: [-1.5, 5.3, -0.2, -16.4, -1.1, -0.0, -0.0],
+    },
+    Table4cColumn {
+        name: "parser",
+        base: [16.8, 10.6, 14.7, 4.0, 37.3, 20.4, 0.1, 0.1],
+        bmisp_pairs: [-1.8, 14.2, -1.3, -4.6, -0.7, 0.0, -0.0],
+    },
+];

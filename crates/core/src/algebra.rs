@@ -1,0 +1,240 @@
+//! The interaction-cost algebra (paper Section 2.2).
+
+use crate::oracle::CostOracle;
+use uarch_trace::EventSet;
+
+/// Qualitative kind of an interaction (paper Section 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interaction {
+    /// `icost ≈ 0`: the events are independent — optimize each in
+    /// isolation.
+    Independent,
+    /// `icost > 0`: the events overlap in parallel — extra speedup exists
+    /// only when both are optimized together.
+    Parallel,
+    /// `icost < 0`: the events are in series with each other but in
+    /// parallel with something else — fully optimizing both is not
+    /// worthwhile.
+    Serial,
+}
+
+impl Interaction {
+    /// Classify an interaction cost with an absolute `tolerance` in
+    /// cycles (values within `±tolerance` count as independent).
+    pub fn classify(icost: i64, tolerance: i64) -> Interaction {
+        if icost > tolerance {
+            Interaction::Parallel
+        } else if icost < -tolerance {
+            Interaction::Serial
+        } else {
+            Interaction::Independent
+        }
+    }
+}
+
+impl std::fmt::Display for Interaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Interaction::Independent => "independent",
+            Interaction::Parallel => "parallel",
+            Interaction::Serial => "serial",
+        })
+    }
+}
+
+/// The interaction cost of the classes in `set`, treating each member
+/// class as one unit:
+/// `icost(U) = Σ_{V⊆U} (−1)^{|U∖V|} cost(V)` (the closed form of the
+/// paper's recursive definition; `2^{|U|} − 1` oracle calls).
+///
+/// For `|U| = 1` this is simply `cost(U)`; for pairs it is the familiar
+/// `cost(ab) − cost(a) − cost(b)`.
+pub fn icost(oracle: &mut dyn CostOracle, set: EventSet) -> i64 {
+    let k = set.len() as u32;
+    set.subsets()
+        .map(|v| {
+            let sign = if (k - v.len() as u32).is_multiple_of(2) { 1 } else { -1 };
+            sign * oracle.cost(v)
+        })
+        .sum()
+}
+
+/// The interaction cost of arbitrary *sets* of events (paper Section 2.2:
+/// "the interaction cost of two sets of events S1 and S2 is defined
+/// similarly"): each element of `units` is treated as one aggregate unit.
+///
+/// # Panics
+/// Panics if more than 16 units are supplied (2^16 oracle calls is the
+/// sanity limit) or if units overlap (an event class cannot belong to two
+/// units being interacted).
+pub fn icost_of_sets(oracle: &mut dyn CostOracle, units: &[EventSet]) -> i64 {
+    let k = units.len();
+    assert!(k <= 16, "too many interaction units: {k}");
+    for (i, a) in units.iter().enumerate() {
+        for b in &units[i + 1..] {
+            assert!(
+                a.intersection(*b).is_empty(),
+                "interaction units must be disjoint: {a} vs {b}"
+            );
+        }
+    }
+    let mut total = 0i64;
+    for mask in 0u32..(1 << k) {
+        let mut union = EventSet::EMPTY;
+        for (j, u) in units.iter().enumerate() {
+            if mask & (1 << j) != 0 {
+                union = union.union(*u);
+            }
+        }
+        let sign = if (k as u32 - mask.count_ones()).is_multiple_of(2) {
+            1
+        } else {
+            -1
+        };
+        total += sign * oracle.cost(union);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use uarch_trace::EventClass;
+
+    /// A scripted oracle for algebra tests: costs given per set, zero
+    /// elsewhere.
+    struct Scripted {
+        costs: HashMap<EventSet, i64>,
+        base: u64,
+    }
+
+    impl CostOracle for Scripted {
+        fn cost(&mut self, set: EventSet) -> i64 {
+            *self.costs.get(&set).unwrap_or(&0)
+        }
+        fn baseline(&mut self) -> u64 {
+            self.base
+        }
+    }
+
+    fn set(classes: &[EventClass]) -> EventSet {
+        classes.iter().copied().collect()
+    }
+
+    #[test]
+    fn pair_matches_definition() {
+        // cost(a)=0, cost(b)=0, cost(ab)=100: two parallel cache misses.
+        let a = set(&[EventClass::Dmiss]);
+        let b = set(&[EventClass::Bmisp]);
+        let mut o = Scripted {
+            costs: [(a, 0), (b, 0), (a.union(b), 100)].into_iter().collect(),
+            base: 1000,
+        };
+        assert_eq!(icost(&mut o, a.union(b)), 100);
+        assert_eq!(Interaction::classify(100, 1), Interaction::Parallel);
+    }
+
+    #[test]
+    fn serial_interaction_is_negative() {
+        // Two serial misses under 100 cycles of parallel ALU work:
+        // cost(a)=cost(b)=100, cost(ab)=100 ⇒ icost = −100.
+        let a = set(&[EventClass::Dmiss]);
+        let b = set(&[EventClass::Dl1]);
+        let mut o = Scripted {
+            costs: [(a, 100), (b, 100), (a.union(b), 100)]
+                .into_iter()
+                .collect(),
+            base: 1000,
+        };
+        assert_eq!(icost(&mut o, a.union(b)), -100);
+        assert_eq!(Interaction::classify(-100, 1), Interaction::Serial);
+    }
+
+    #[test]
+    fn singleton_icost_is_cost() {
+        let a = set(&[EventClass::Win]);
+        let mut o = Scripted {
+            costs: [(a, 42)].into_iter().collect(),
+            base: 100,
+        };
+        assert_eq!(icost(&mut o, a), 42);
+    }
+
+    #[test]
+    fn triple_recursion_matches_closed_form() {
+        // Hand-check the recursive definition for |U| = 3.
+        let a = EventSet::single(EventClass::Dl1);
+        let b = EventSet::single(EventClass::Win);
+        let c = EventSet::single(EventClass::Bw);
+        let costs: HashMap<EventSet, i64> = [
+            (a, 10),
+            (b, 20),
+            (c, 30),
+            (a.union(b), 40),
+            (a.union(c), 50),
+            (b.union(c), 60),
+            (a.union(b).union(c), 100),
+        ]
+        .into_iter()
+        .collect();
+        let mut o = Scripted { costs, base: 1000 };
+        // Recursive: icost(abc) = cost(abc) − Σ icost(proper subsets).
+        // icost(ab)=40−10−20=10; icost(ac)=50−10−30=10; icost(bc)=60−20−30=10.
+        // icost(abc) = 100 − (10+20+30) − (10+10+10) = 10.
+        assert_eq!(icost(&mut o, a.union(b).union(c)), 10);
+    }
+
+    #[test]
+    fn total_time_identity() {
+        // Sum of icosts over the power set of all categories equals
+        // cost(ALL) — the paper's "total execution time equals the sum of
+        // icosts for the powerset of U" (modulo the never-idealized
+        // residue, which is cost(∅)-anchored).
+        let a = EventSet::single(EventClass::Dl1);
+        let b = EventSet::single(EventClass::Win);
+        let costs: HashMap<EventSet, i64> =
+            [(a, 7), (b, 11), (a.union(b), 25)].into_iter().collect();
+        let mut o = Scripted { costs, base: 100 };
+        let sum: i64 = a
+            .union(b)
+            .subsets()
+            .filter(|s| !s.is_empty())
+            .map(|s| icost(&mut o, s))
+            .sum();
+        assert_eq!(sum, 25);
+    }
+
+    #[test]
+    fn icost_of_sets_aggregates_units() {
+        // Unit A = {dmiss, dl1} vs unit B = {bmisp}.
+        let a = set(&[EventClass::Dmiss, EventClass::Dl1]);
+        let b = set(&[EventClass::Bmisp]);
+        let mut o = Scripted {
+            costs: [(a, 50), (b, 30), (a.union(b), 60)].into_iter().collect(),
+            base: 1000,
+        };
+        assert_eq!(icost_of_sets(&mut o, &[a, b]), 60 - 50 - 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_units_rejected() {
+        let a = set(&[EventClass::Dmiss, EventClass::Dl1]);
+        let b = set(&[EventClass::Dl1]);
+        let mut o = Scripted {
+            costs: HashMap::new(),
+            base: 1,
+        };
+        let _ = icost_of_sets(&mut o, &[a, b]);
+    }
+
+    #[test]
+    fn classify_tolerance_band() {
+        assert_eq!(Interaction::classify(0, 5), Interaction::Independent);
+        assert_eq!(Interaction::classify(5, 5), Interaction::Independent);
+        assert_eq!(Interaction::classify(6, 5), Interaction::Parallel);
+        assert_eq!(Interaction::classify(-6, 5), Interaction::Serial);
+        assert_eq!(Interaction::Parallel.to_string(), "parallel");
+    }
+}

@@ -1,0 +1,327 @@
+//! Parallelism-aware performance breakdowns (paper Section 2.3, Table 4).
+//!
+//! Traditional CPI breakdowns blame each cycle on exactly one cause, which
+//! is impossible in an out-of-order processor. The paper's breakdowns add
+//! an explicit *interaction category* for overlaps among base categories,
+//! so that all execution time is accounted for.
+
+use crate::algebra::{icost, Interaction};
+use crate::oracle::CostOracle;
+use uarch_trace::{EventClass, EventSet};
+
+/// What a breakdown row represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowKind {
+    /// A base category's individual cost.
+    Base(EventClass),
+    /// An interaction cost of a set of base categories.
+    InteractionRow(EventSet),
+    /// The remainder: everything not shown explicitly (can be negative).
+    Other,
+    /// The 100% total line.
+    Total,
+}
+
+/// One row of a breakdown table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakdownRow {
+    /// Paper-style label (`dl1`, `dl1+win`, `Other`, `Total`).
+    pub label: String,
+    /// What the row is.
+    pub kind: RowKind,
+    /// Percent of baseline execution time (negative for serial
+    /// interactions).
+    pub percent: f64,
+}
+
+impl BreakdownRow {
+    /// Qualitative classification of an interaction row (`None` for base
+    /// rows and totals). Interactions within ±0.5% of execution time are
+    /// reported as independent.
+    pub fn interaction(&self) -> Option<Interaction> {
+        match self.kind {
+            RowKind::InteractionRow(_) => Some(if self.percent > 0.5 {
+                Interaction::Parallel
+            } else if self.percent < -0.5 {
+                Interaction::Serial
+            } else {
+                Interaction::Independent
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// A parallelism-aware breakdown of one execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breakdown {
+    /// Rows in presentation order.
+    pub rows: Vec<BreakdownRow>,
+    /// Baseline execution time in cycles.
+    pub total_cycles: u64,
+}
+
+impl Breakdown {
+    /// The paper's Table 4 layout: individual costs of every base
+    /// category, then the pairwise interaction of `focus` with every other
+    /// category, then `Other` (the unshown remainder) and `Total` (100%).
+    ///
+    /// `focus` is the pipeline loop under study: `dl1` in Table 4a,
+    /// `shalu` in Table 4b, `bmisp` in Table 4c.
+    pub fn with_focus(
+        oracle: &mut dyn CostOracle,
+        base: &[EventClass],
+        focus: EventClass,
+    ) -> Breakdown {
+        let mut rows = Vec::new();
+        let mut shown = 0.0;
+        for &c in base {
+            let pct = oracle.cost_percent(EventSet::single(c));
+            shown += pct;
+            rows.push(BreakdownRow {
+                label: c.name().to_string(),
+                kind: RowKind::Base(c),
+                percent: pct,
+            });
+        }
+        let base_total = oracle.baseline();
+        for &c in base {
+            if c == focus {
+                continue;
+            }
+            let pair = EventSet::from([focus, c]);
+            let ic = icost(oracle, pair);
+            let pct = percent_of(ic, base_total);
+            shown += pct;
+            rows.push(BreakdownRow {
+                label: format!("{}+{}", focus.name(), c.name()),
+                kind: RowKind::InteractionRow(pair),
+                percent: pct,
+            });
+        }
+        rows.push(BreakdownRow {
+            label: "Other".to_string(),
+            kind: RowKind::Other,
+            percent: 100.0 - shown,
+        });
+        rows.push(BreakdownRow {
+            label: "Total".to_string(),
+            kind: RowKind::Total,
+            percent: 100.0,
+        });
+        Breakdown {
+            rows,
+            total_cycles: base_total,
+        }
+    }
+
+    /// A complete power-set breakdown over a small category set (the
+    /// Figure 1 presentation): one row per non-empty subset, whose
+    /// percentages — plus an `Other` row for cycles outside all shown
+    /// categories — sum exactly to 100%.
+    ///
+    /// # Panics
+    /// Panics if more than 6 categories are given (64 rows / 63 oracle
+    /// sets is the readability and cost limit).
+    pub fn full(oracle: &mut dyn CostOracle, base: &[EventClass]) -> Breakdown {
+        assert!(base.len() <= 6, "full breakdowns limited to 6 categories");
+        let all: EventSet = base.iter().copied().collect();
+        let base_total = oracle.baseline();
+        let mut rows = Vec::new();
+        let mut shown = 0.0;
+        let mut subsets: Vec<EventSet> = all.subsets().filter(|s| !s.is_empty()).collect();
+        subsets.sort_by_key(|s| (s.len(), *s));
+        for s in subsets {
+            let ic = icost(oracle, s);
+            let pct = percent_of(ic, base_total);
+            shown += pct;
+            rows.push(BreakdownRow {
+                label: s.to_string(),
+                kind: RowKind::InteractionRow(s),
+                percent: pct,
+            });
+        }
+        rows.push(BreakdownRow {
+            label: "Other".to_string(),
+            kind: RowKind::Other,
+            percent: 100.0 - shown,
+        });
+        rows.push(BreakdownRow {
+            label: "Total".to_string(),
+            kind: RowKind::Total,
+            percent: 100.0,
+        });
+        Breakdown {
+            rows,
+            total_cycles: base_total,
+        }
+    }
+
+    /// Look up a row's percentage by its label (e.g. `"dl1+win"`).
+    pub fn percent(&self, label: &str) -> Option<f64> {
+        self.rows.iter().find(|r| r.label == label).map(|r| r.percent)
+    }
+
+    /// Render as an aligned text table (one benchmark column).
+    pub fn to_table(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<16} {:>8}\n", "Category", title));
+        for r in &self.rows {
+            out.push_str(&format!("{:<16} {:>8.1}\n", r.label, r.percent));
+        }
+        out
+    }
+}
+
+fn percent_of(cycles: i64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * cycles as f64 / total as f64
+    }
+}
+
+/// Render several per-benchmark breakdowns side by side (the multi-column
+/// Table 4 presentation). All breakdowns must share the same row labels.
+///
+/// # Panics
+/// Panics if the breakdowns do not share identical row structure.
+pub fn table(columns: &[(String, Breakdown)]) -> String {
+    let Some((_, first)) = columns.first() else {
+        return String::new();
+    };
+    let mut out = String::new();
+    out.push_str(&format!("{:<16}", "Category"));
+    for (name, b) in columns {
+        assert_eq!(
+            b.rows.len(),
+            first.rows.len(),
+            "breakdowns must share row structure"
+        );
+        out.push_str(&format!(" {:>8}", name));
+    }
+    out.push('\n');
+    for (i, row) in first.rows.iter().enumerate() {
+        out.push_str(&format!("{:<16}", row.label));
+        for (_, b) in columns {
+            assert_eq!(b.rows[i].label, row.label, "row label mismatch");
+            out.push_str(&format!(" {:>8.1}", b.rows[i].percent));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GraphOracle;
+    use uarch_graph::DepGraph;
+    use uarch_sim::{Idealization, Simulator};
+    use uarch_trace::{MachineConfig, Reg, Trace, TraceBuilder};
+
+    fn kernel() -> Trace {
+        let mut b = TraceBuilder::new();
+        let r1 = Reg::int(1);
+        for k in 0..60u64 {
+            b.load(r1, 0x10_0000 + (k % 20) * 4096);
+            b.alu(Reg::int(2), &[r1]);
+            b.alu(Reg::int(3), &[Reg::int(2)]);
+        }
+        b.finish()
+    }
+
+    fn oracle_parts() -> (Trace, MachineConfig) {
+        (kernel(), MachineConfig::table6())
+    }
+
+    #[test]
+    fn focus_breakdown_has_expected_rows() {
+        let (t, cfg) = oracle_parts();
+        let res = Simulator::new(&cfg).run(&t, Idealization::none());
+        let g = DepGraph::build(&t, &res, &cfg);
+        let mut o = GraphOracle::new(&g);
+        let b = Breakdown::with_focus(&mut o, &EventClass::ALL, EventClass::Dl1);
+        // 8 base rows + 7 interactions + Other + Total.
+        assert_eq!(b.rows.len(), 17);
+        assert_eq!(b.rows.last().expect("rows").percent, 100.0);
+        assert!(b.percent("dl1").is_some());
+        assert!(b.percent("dl1+win").is_some());
+        assert!(b.percent("Other").is_some());
+        assert!(b.percent("nonexistent").is_none());
+    }
+
+    #[test]
+    fn full_breakdown_sums_to_hundred() {
+        let (t, cfg) = oracle_parts();
+        let res = Simulator::new(&cfg).run(&t, Idealization::none());
+        let g = DepGraph::build(&t, &res, &cfg);
+        let mut o = GraphOracle::new(&g);
+        let b = Breakdown::full(
+            &mut o,
+            &[EventClass::Dmiss, EventClass::Dl1, EventClass::ShortAlu],
+        );
+        // 7 subset rows + Other + Total.
+        assert_eq!(b.rows.len(), 9);
+        let sum: f64 = b.rows[..b.rows.len() - 1].iter().map(|r| r.percent).sum();
+        assert!((sum - 100.0).abs() < 1e-6, "sum {sum}");
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 6")]
+    fn full_breakdown_rejects_large_sets() {
+        let (t, cfg) = oracle_parts();
+        let res = Simulator::new(&cfg).run(&t, Idealization::none());
+        let g = DepGraph::build(&t, &res, &cfg);
+        let mut o = GraphOracle::new(&g);
+        let _ = Breakdown::full(&mut o, &EventClass::ALL[..7]);
+    }
+
+    #[test]
+    fn side_by_side_table_renders() {
+        let (t, cfg) = oracle_parts();
+        let res = Simulator::new(&cfg).run(&t, Idealization::none());
+        let g = DepGraph::build(&t, &res, &cfg);
+        let mut o = GraphOracle::new(&g);
+        let b1 = Breakdown::with_focus(&mut o, &EventClass::ALL, EventClass::Dl1);
+        let b2 = b1.clone();
+        let s = table(&[("k1".into(), b1), ("k2".into(), b2)]);
+        assert!(s.contains("dl1+win"));
+        assert!(s.contains("k2"));
+        assert!(table(&[]).is_empty());
+    }
+
+    #[test]
+    fn interaction_classification_on_rows() {
+        let row = BreakdownRow {
+            label: "x+y".into(),
+            kind: RowKind::InteractionRow(EventSet::from([
+                EventClass::Dl1,
+                EventClass::Win,
+            ])),
+            percent: -5.0,
+        };
+        assert_eq!(row.interaction(), Some(Interaction::Serial));
+        let base = BreakdownRow {
+            label: "x".into(),
+            kind: RowKind::Base(EventClass::Dl1),
+            percent: 10.0,
+        };
+        assert_eq!(base.interaction(), None);
+    }
+
+    #[test]
+    fn to_table_formats() {
+        let b = Breakdown {
+            rows: vec![BreakdownRow {
+                label: "dl1".into(),
+                kind: RowKind::Base(EventClass::Dl1),
+                percent: 12.345,
+            }],
+            total_cycles: 1000,
+        };
+        let s = b.to_table("bench");
+        assert!(s.contains("12.3"));
+        assert!(s.contains("bench"));
+    }
+}

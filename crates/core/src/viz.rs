@@ -1,0 +1,117 @@
+//! Text visualization of breakdowns (paper Figure 1b).
+//!
+//! Figure 1b plots a stacked bar where positive interaction costs extend
+//! the bar above 100% and serial (negative) interactions plot below the
+//! axis. In a terminal we render the same information as a signed
+//! horizontal bar chart.
+
+use crate::breakdown::Breakdown;
+
+/// Render a breakdown as a signed horizontal bar chart. `width` is the
+/// number of character cells corresponding to the largest magnitude row.
+///
+/// Positive rows extend right of the axis (`|`), negative rows left —
+/// mirroring Figure 1b's above/below-axis convention.
+pub fn render_bar_chart(breakdown: &Breakdown, width: usize) -> String {
+    let width = width.max(1);
+    let rows: Vec<_> = breakdown
+        .rows
+        .iter()
+        .filter(|r| r.label != "Total")
+        .collect();
+    let max_mag = rows
+        .iter()
+        .map(|r| r.percent.abs())
+        .fold(1e-9_f64, f64::max);
+    let mut out = String::new();
+    let neg_field = width;
+    for r in &rows {
+        let cells = ((r.percent.abs() / max_mag) * width as f64).round() as usize;
+        let bar: String = std::iter::repeat_n('█', cells.min(width)).collect();
+        if r.percent >= 0.0 {
+            out.push_str(&format!(
+                "{:<16}{:>nw$}|{:<w$} {:+6.1}%\n",
+                r.label,
+                "",
+                bar,
+                r.percent,
+                nw = neg_field,
+                w = width,
+            ));
+        } else {
+            out.push_str(&format!(
+                "{:<16}{:>nw$}|{:<w$} {:+6.1}%\n",
+                r.label,
+                bar,
+                "",
+                r.percent,
+                nw = neg_field,
+                w = width,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakdown::{BreakdownRow, RowKind};
+    use uarch_trace::{EventClass, EventSet};
+
+    fn sample() -> Breakdown {
+        Breakdown {
+            rows: vec![
+                BreakdownRow {
+                    label: "dmiss".into(),
+                    kind: RowKind::Base(EventClass::Dmiss),
+                    percent: 40.0,
+                },
+                BreakdownRow {
+                    label: "dl1+win".into(),
+                    kind: RowKind::InteractionRow(EventSet::from([
+                        EventClass::Dl1,
+                        EventClass::Win,
+                    ])),
+                    percent: -10.0,
+                },
+                BreakdownRow {
+                    label: "Total".into(),
+                    kind: RowKind::Total,
+                    percent: 100.0,
+                },
+            ],
+            total_cycles: 1234,
+        }
+    }
+
+    #[test]
+    fn renders_positive_and_negative_bars() {
+        let s = render_bar_chart(&sample(), 20);
+        assert!(s.contains("dmiss"));
+        assert!(s.contains("+40.0%"));
+        assert!(s.contains("-10.0%"));
+        // Total row excluded from the chart.
+        assert!(!s.contains("Total"));
+        // Negative bar sits left of the axis: the bar chars precede '|'.
+        let neg_line = s.lines().find(|l| l.contains("dl1+win")).expect("row");
+        let axis = neg_line.find('|').expect("axis");
+        let bar = neg_line.find('█').expect("bar");
+        assert!(bar < axis, "negative bar must be left of axis: {neg_line}");
+    }
+
+    #[test]
+    fn positive_bar_right_of_axis() {
+        let s = render_bar_chart(&sample(), 10);
+        let pos_line = s.lines().find(|l| l.contains("dmiss")).expect("row");
+        let axis = pos_line.find('|').expect("axis");
+        let bar = pos_line.find('█').expect("bar");
+        assert!(bar > axis, "positive bar must be right of axis: {pos_line}");
+    }
+
+    #[test]
+    fn zero_width_clamped() {
+        let s = render_bar_chart(&sample(), 0);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,390 @@
+//! Critical-path attribution and slack analysis.
+//!
+//! These are the companion analyses from the same research line (Fields et
+//! al., ISCA 2001/2002; Tune et al., PACT 2002) that the paper builds on:
+//! *which* edges form the critical path, and how much slack each
+//! instruction has before it would join it.
+
+use std::collections::BTreeMap;
+
+use crate::model::{DepGraph, EdgeKind};
+use uarch_trace::{EventClass, EventSet};
+
+/// Aggregated critical-path composition: cycles and edge counts per edge
+/// class, from one backward walk of the binding constraints.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CritPathSummary {
+    /// Cycles of critical-path length attributed to each edge class.
+    pub cycles: BTreeMap<EdgeKind, u64>,
+    /// Number of critical edges of each class.
+    pub counts: BTreeMap<EdgeKind, u64>,
+    /// Total critical-path length (the final commit time).
+    pub total: u64,
+}
+
+impl CritPathSummary {
+    /// Fraction of the critical path attributed to `kind` (0..=1).
+    pub fn fraction(&self, kind: EdgeKind) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            *self.cycles.get(&kind).unwrap_or(&0) as f64 / self.total as f64
+        }
+    }
+}
+
+/// Per-instruction slack: how many cycles the instruction's execution
+/// (`EP` edge) could be delayed without growing the critical path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SlackReport {
+    /// Slack of each instruction's completion, in cycles.
+    pub slack: Vec<u64>,
+}
+
+impl SlackReport {
+    /// Instructions with zero slack (on the critical path).
+    pub fn critical_count(&self) -> usize {
+        self.slack.iter().filter(|s| **s == 0).count()
+    }
+}
+
+/// Which node of which instruction, used while backtracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Node {
+    D(usize),
+    R(usize),
+    E(usize),
+    P(usize),
+    C(usize),
+}
+
+impl DepGraph {
+    /// Walk the baseline critical path backwards from the last commit,
+    /// attributing each cycle to the binding edge class.
+    ///
+    /// Ties are broken in Table 3 order (program-order edges before data
+    /// edges), matching the "last-arriving edge" convention of the prior
+    /// criticality work.
+    pub fn critical_path(&self, ideal: EventSet) -> CritPathSummary {
+        let times = self.node_times(ideal);
+        let mut summary = CritPathSummary::default();
+        let n = self.insts.len();
+        if n == 0 {
+            return summary;
+        }
+        summary.total = times[n - 1].c;
+
+        let keep_imiss = !ideal.contains(EventClass::Imiss);
+        let keep_bw = !ideal.contains(EventClass::Bw);
+        let keep_win = !ideal.contains(EventClass::Win);
+        let keep_bmisp = !ideal.contains(EventClass::Bmisp);
+        let keep_dl1 = !ideal.contains(EventClass::Dl1);
+        let keep_dmiss = !ideal.contains(EventClass::Dmiss);
+        let keep_shalu = !ideal.contains(EventClass::ShortAlu);
+        let keep_lgalu = !ideal.contains(EventClass::LongAlu);
+        let p = self.params;
+
+        let mut node = Node::C(n - 1);
+        // Each step moves strictly backwards in (instruction, node) order,
+        // so the walk terminates.
+        loop {
+            let next = match node {
+                Node::C(i) => {
+                    let c = times[i].c;
+                    // CC in-order commit.
+                    if i > 0 && times[i - 1].c == c {
+                        record(&mut summary, EdgeKind::CC, 0);
+                        Some(Node::C(i - 1))
+                    } else if keep_bw
+                        && i >= p.commit_width
+                        && times[i - p.commit_width].c + 1 == c
+                    {
+                        record(&mut summary, EdgeKind::CBW, 1);
+                        Some(Node::C(i - p.commit_width))
+                    } else {
+                        record(&mut summary, EdgeKind::PC, p.complete_to_commit);
+                        Some(Node::P(i))
+                    }
+                }
+                Node::P(i) => {
+                    let gi = &self.insts[i];
+                    let pt = times[i].p;
+                    if keep_dmiss {
+                        if let Some(pp) = gi.pp_producer {
+                            if times[pp as usize].p == pt {
+                                record(&mut summary, EdgeKind::PP, 0);
+                                node = Node::P(pp as usize);
+                                continue;
+                            }
+                        }
+                    }
+                    let ep = gi.ep_base
+                        + if keep_dl1 { gi.ep_dl1 } else { 0 }
+                        + if keep_dmiss { gi.ep_dmiss } else { 0 }
+                        + if keep_shalu { gi.ep_shalu } else { 0 }
+                        + if keep_lgalu { gi.ep_lgalu } else { 0 };
+                    record(&mut summary, EdgeKind::EP, ep);
+                    Some(Node::E(i))
+                }
+                Node::E(i) => {
+                    let re = if keep_bw { self.insts[i].re_latency } else { 0 };
+                    record(&mut summary, EdgeKind::RE, re);
+                    Some(Node::R(i))
+                }
+                Node::R(i) => {
+                    let r = times[i].r;
+                    let mut chosen = None;
+                    for pe in self.insts[i].producers.iter().flatten() {
+                        let bubble = match pe.bubble_class {
+                            Some(EventClass::ShortAlu) if !keep_shalu => 0,
+                            Some(EventClass::LongAlu) if !keep_lgalu => 0,
+                            _ => pe.bubble,
+                        };
+                        if times[pe.producer as usize].p + bubble == r {
+                            chosen = Some((pe.producer as usize, bubble));
+                        }
+                    }
+                    if let Some((j, bubble)) = chosen {
+                        record(&mut summary, EdgeKind::PR, bubble);
+                        Some(Node::P(j))
+                    } else {
+                        record(&mut summary, EdgeKind::DR, p.dispatch_to_ready);
+                        Some(Node::D(i))
+                    }
+                }
+                Node::D(i) => {
+                    let d = times[i].d;
+                    if i == 0 {
+                        // Anchor: pipeline-fill cycles plus any leading
+                        // I-miss latency.
+                        let dd0 = if keep_imiss { self.insts[0].dd_latency } else { 0 };
+                        record(&mut summary, EdgeKind::DD, dd0);
+                        None
+                    } else if keep_bmisp && self.insts[i - 1].mispredicted && {
+                        let dd = if keep_imiss { self.insts[i].dd_latency } else { 0 };
+                        times[i - 1].p + p.misp_loop + dd == d
+                    } {
+                        let dd = if keep_imiss { self.insts[i].dd_latency } else { 0 };
+                        record(&mut summary, EdgeKind::PD, p.misp_loop + dd);
+                        Some(Node::P(i - 1))
+                    } else if keep_win && i >= p.rob_size && times[i - p.rob_size].c == d {
+                        record(&mut summary, EdgeKind::CD, 0);
+                        Some(Node::C(i - p.rob_size))
+                    } else if keep_bw && i >= p.fetch_width && times[i - p.fetch_width].d + 1 == d
+                    {
+                        record(&mut summary, EdgeKind::FBW, 1);
+                        Some(Node::D(i - p.fetch_width))
+                    } else {
+                        let dd = if keep_imiss { self.insts[i].dd_latency } else { 0 };
+                        record(&mut summary, EdgeKind::DD, dd);
+                        Some(Node::D(i - 1))
+                    }
+                }
+            };
+            match next {
+                Some(nxt) => node = nxt,
+                None => break,
+            }
+        }
+        summary
+    }
+
+    /// Global slack of each instruction's completion under the baseline
+    /// graph: a backward (latest-time) pass over all edges.
+    pub fn slack(&self) -> SlackReport {
+        let times = self.node_times(EventSet::EMPTY);
+        let n = self.insts.len();
+        if n == 0 {
+            return SlackReport::default();
+        }
+        let horizon = times[n - 1].c;
+        const INF: u64 = u64::MAX / 4;
+        // Latest times per node kind.
+        let mut late_d = vec![INF; n];
+        let mut late_r = vec![INF; n];
+        let mut late_e = vec![INF; n];
+        let mut late_p = vec![INF; n];
+        let mut late_c = vec![INF; n];
+        late_c[n - 1] = horizon;
+        let p = self.params;
+
+        for i in (0..n).rev() {
+            // C node: outgoing CC, CBW, CD edges (handled when processing
+            // their targets, which are later instructions) — by the time we
+            // get here, late_c[i] is final.
+            let lc = late_c[i];
+            // PC edge.
+            late_p[i] = late_p[i].min(lc.saturating_sub(p.complete_to_commit));
+            if i > 0 {
+                late_c[i - 1] = late_c[i - 1].min(lc); // CC
+            }
+            if i >= p.commit_width {
+                late_c[i - p.commit_width] = late_c[i - p.commit_width].min(lc - 1);
+                // CBW
+            }
+            if i >= p.rob_size {
+                // CD edge: C_{i-w} -> D_i.
+                late_c[i - p.rob_size] = late_c[i - p.rob_size].min(late_d[i]);
+            }
+
+            // P node.
+            let lp = late_p[i];
+            let gi = &self.insts[i];
+            late_e[i] = late_e[i].min(lp.saturating_sub(gi.ep_total()));
+            if let Some(pp) = gi.pp_producer {
+                late_p[pp as usize] = late_p[pp as usize].min(lp);
+            }
+            // PD edge out of P_i handled at target D_{i+1} below.
+
+            // E node.
+            late_r[i] = late_r[i].min(late_e[i].saturating_sub(gi.re_latency));
+
+            // R node: PR edges back to producers.
+            let lr = late_r[i];
+            for pe in gi.producers.iter().flatten() {
+                let j = pe.producer as usize;
+                late_p[j] = late_p[j].min(lr.saturating_sub(pe.bubble));
+            }
+            late_d[i] = late_d[i].min(lr.saturating_sub(p.dispatch_to_ready));
+
+            // D node: DD/FBW/PD edges back.
+            let ld = late_d[i];
+            if i > 0 {
+                late_d[i - 1] = late_d[i - 1].min(ld.saturating_sub(gi.dd_latency));
+                if self.insts[i - 1].mispredicted {
+                    late_p[i - 1] =
+                        late_p[i - 1].min(ld.saturating_sub(p.misp_loop + gi.dd_latency));
+                }
+            }
+            if i >= p.fetch_width {
+                late_d[i - p.fetch_width] = late_d[i - p.fetch_width].min(ld - 1);
+            }
+        }
+
+        let slack = (0..n)
+            .map(|i| late_p[i].saturating_sub(times[i].p).min(horizon))
+            .collect();
+        SlackReport { slack }
+    }
+}
+
+fn record(summary: &mut CritPathSummary, kind: EdgeKind, cycles: u64) {
+    *summary.cycles.entry(kind).or_insert(0) += cycles;
+    *summary.counts.entry(kind).or_insert(0) += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GraphInst, GraphParams, ProducerEdge};
+    use uarch_trace::MachineConfig;
+
+    fn params() -> GraphParams {
+        GraphParams::from(&MachineConfig::table6())
+    }
+
+    fn chain(n: u32, lat: u64) -> DepGraph {
+        let mut insts = vec![GraphInst {
+            ep_shalu: lat,
+            ..GraphInst::default()
+        }];
+        for i in 1..n {
+            insts.push(GraphInst {
+                ep_shalu: lat,
+                producers: [
+                    Some(ProducerEdge {
+                        producer: i - 1,
+                        bubble: 0,
+                        bubble_class: None,
+                    }),
+                    None,
+                ],
+                ..GraphInst::default()
+            });
+        }
+        DepGraph::from_parts(insts, params())
+    }
+
+    #[test]
+    fn chain_critical_path_is_mostly_ep_and_pr() {
+        let g = chain(50, 1);
+        let s = g.critical_path(EventSet::EMPTY);
+        assert_eq!(s.total, g.evaluate(EventSet::EMPTY));
+        // 50 EP edges of 1 cycle each dominate.
+        assert_eq!(s.cycles[&EdgeKind::EP], 50);
+        assert!(s.counts[&EdgeKind::PR] >= 49);
+        assert!(s.fraction(EdgeKind::EP) > 0.5);
+    }
+
+    #[test]
+    fn attributed_cycles_sum_to_total() {
+        let mut insts = vec![GraphInst {
+            ep_dl1: 2,
+            ep_dmiss: 110,
+            ..GraphInst::default()
+        }];
+        insts.push(GraphInst {
+            ep_shalu: 1,
+            producers: [
+                Some(ProducerEdge {
+                    producer: 0,
+                    bubble: 0,
+                    bubble_class: None,
+                }),
+                None,
+            ],
+            ..GraphInst::default()
+        });
+        let g = DepGraph::from_parts(insts, params());
+        let s = g.critical_path(EventSet::EMPTY);
+        let attributed: u64 = s.cycles.values().sum();
+        // Total = anchor (front-end depth) + attributed edge latencies.
+        assert_eq!(attributed + g.params().front_end_depth, s.total);
+    }
+
+    #[test]
+    fn slack_zero_on_critical_chain() {
+        let g = chain(20, 1);
+        let s = g.slack();
+        // Every link of a pure dependence chain is critical... except
+        // where commit bandwidth overtakes; at least the majority must
+        // have zero slack.
+        assert!(s.critical_count() >= 15, "{:?}", s.slack);
+    }
+
+    #[test]
+    fn parallel_short_chain_has_slack() {
+        // A 200-cycle miss in parallel with one 1-cycle ALU op: the ALU op
+        // has large slack.
+        let insts = vec![
+            GraphInst {
+                ep_dmiss: 200,
+                ..GraphInst::default()
+            },
+            GraphInst {
+                ep_shalu: 1,
+                ..GraphInst::default()
+            },
+        ];
+        let g = DepGraph::from_parts(insts, params());
+        let s = g.slack();
+        assert_eq!(s.slack[0], 0);
+        assert!(s.slack[1] >= 190, "{:?}", s.slack);
+    }
+
+    #[test]
+    fn critical_path_respects_idealization() {
+        let g = chain(50, 1);
+        let s = g.critical_path(EventSet::single(EventClass::ShortAlu));
+        assert_eq!(s.cycles.get(&EdgeKind::EP).copied().unwrap_or(0), 0);
+        assert_eq!(s.total, g.evaluate(EventSet::single(EventClass::ShortAlu)));
+    }
+
+    #[test]
+    fn empty_graph_summary() {
+        let g = DepGraph::from_parts(vec![], params());
+        let s = g.critical_path(EventSet::EMPTY);
+        assert_eq!(s.total, 0);
+        assert_eq!(g.slack().slack.len(), 0);
+    }
+}

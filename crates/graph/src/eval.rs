@@ -1,0 +1,286 @@
+//! Longest-path evaluation of the dependence graph under idealizations.
+//!
+//! Idealizing an event set `S` (paper Table 1 ↔ edge transforms):
+//!
+//! * `imiss` — `DD` latencies → 0
+//! * `bw`    — `FBW`/`CBW` edges dropped, `RE` latencies → 0
+//! * `win`   — `CD` edges dropped
+//! * `bmisp` — `PD` edges dropped
+//! * `dl1`   — the L1-lookup component of `EP` → 0
+//! * `dmiss` — the miss component of `EP` → 0 and `PP` edges dropped
+//! * `shalu` — short-ALU `EP` components and wakeup bubbles → 0
+//! * `lgalu` — long-ALU `EP` components and wakeup bubbles → 0
+//!
+//! Because every edge points forward in (instruction, node) order, one
+//! forward relaxation computes all node times, and the critical-path
+//! length is the last commit time.
+
+use crate::model::DepGraph;
+use uarch_trace::{EventClass, EventSet};
+
+/// Computed times of one instruction's five nodes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeTimes {
+    /// Dispatch.
+    pub d: u64,
+    /// Ready.
+    pub r: u64,
+    /// Execute.
+    pub e: u64,
+    /// Complete.
+    pub p: u64,
+    /// Commit.
+    pub c: u64,
+}
+
+impl DepGraph {
+    /// Critical-path length (last commit time) with the event set `ideal`
+    /// idealized. `EventSet::EMPTY` gives the baseline length.
+    pub fn evaluate(&self, ideal: EventSet) -> u64 {
+        self.node_times(ideal).last().map_or(0, |t| t.c)
+    }
+
+    /// Full node-time reconstruction under `ideal` (one forward pass).
+    pub fn node_times(&self, ideal: EventSet) -> Vec<NodeTimes> {
+        let p = &self.params;
+        let n = self.insts.len();
+        let mut times: Vec<NodeTimes> = Vec::with_capacity(n);
+
+        let keep_imiss = !ideal.contains(EventClass::Imiss);
+        let keep_bw = !ideal.contains(EventClass::Bw);
+        let keep_win = !ideal.contains(EventClass::Win);
+        let keep_bmisp = !ideal.contains(EventClass::Bmisp);
+        let keep_dl1 = !ideal.contains(EventClass::Dl1);
+        let keep_dmiss = !ideal.contains(EventClass::Dmiss);
+        let keep_shalu = !ideal.contains(EventClass::ShortAlu);
+        let keep_lgalu = !ideal.contains(EventClass::LongAlu);
+
+        for i in 0..n {
+            let gi = &self.insts[i];
+
+            // D node: in-order dispatch (DD), fetch bandwidth (FBW),
+            // window (CD), misprediction recovery (PD).
+            let dd_lat = if keep_imiss { gi.dd_latency } else { 0 };
+            let mut d = if i == 0 {
+                p.front_end_depth
+            } else {
+                times[i - 1].d
+            } + dd_lat;
+            if keep_bw && i >= p.fetch_width {
+                d = d.max(times[i - p.fetch_width].d + 1);
+            }
+            if keep_win && i >= p.rob_size {
+                d = d.max(times[i - p.rob_size].c);
+            }
+            if keep_bmisp && i > 0 && self.insts[i - 1].mispredicted {
+                // The recovery refetch path runs *through* any I-cache
+                // miss of the first correct-path instruction, so the DD
+                // latency rides on the PD edge as well.
+                d = d.max(times[i - 1].p + p.misp_loop + dd_lat);
+            }
+
+            // R node: DR pipeline constant plus PR data dependences.
+            let mut r = d + p.dispatch_to_ready;
+            for pe in gi.producers.iter().flatten() {
+                let bubble = match pe.bubble_class {
+                    Some(EventClass::ShortAlu) if !keep_shalu => 0,
+                    Some(EventClass::LongAlu) if !keep_lgalu => 0,
+                    _ => pe.bubble,
+                };
+                r = r.max(times[pe.producer as usize].p + bubble);
+            }
+
+            // E node: RE contention.
+            let e = r + if keep_bw { gi.re_latency } else { 0 };
+
+            // P node: EP execution latency (decomposed) plus PP sharing.
+            let ep = gi.ep_base
+                + if keep_dl1 { gi.ep_dl1 } else { 0 }
+                + if keep_dmiss { gi.ep_dmiss } else { 0 }
+                + if keep_shalu { gi.ep_shalu } else { 0 }
+                + if keep_lgalu { gi.ep_lgalu } else { 0 };
+            let mut pt = e + ep;
+            if keep_dmiss {
+                if let Some(pp) = gi.pp_producer {
+                    pt = pt.max(times[pp as usize].p);
+                }
+            }
+
+            // C node: PC pipeline constant, in-order commit (CC), commit
+            // bandwidth (CBW).
+            let mut c = pt + p.complete_to_commit;
+            if i > 0 {
+                c = c.max(times[i - 1].c);
+            }
+            if keep_bw && i >= p.commit_width {
+                c = c.max(times[i - p.commit_width].c + 1);
+            }
+
+            times.push(NodeTimes { d, r, e, p: pt, c });
+        }
+        times
+    }
+
+    /// The cost of idealizing `set`: baseline critical-path length minus
+    /// the idealized length (paper Section 2.1, computed per Section 3 on
+    /// the graph).
+    pub fn cost(&self, set: EventSet) -> i64 {
+        self.evaluate(EventSet::EMPTY) as i64 - self.evaluate(set) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GraphInst, GraphParams, ProducerEdge};
+    use uarch_trace::MachineConfig;
+
+    fn params() -> GraphParams {
+        GraphParams::from(&MachineConfig::table6())
+    }
+
+    fn simple_inst(ep_shalu: u64) -> GraphInst {
+        GraphInst {
+            ep_shalu,
+            ..GraphInst::default()
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_zero() {
+        let g = DepGraph::from_parts(vec![], params());
+        assert_eq!(g.evaluate(EventSet::EMPTY), 0);
+    }
+
+    #[test]
+    fn chain_length_matches_hand_computation() {
+        // Three dependent 1-cycle ALU ops.
+        let mut insts = vec![simple_inst(1)];
+        for i in 1..3u32 {
+            let mut gi = simple_inst(1);
+            gi.producers[0] = Some(ProducerEdge {
+                producer: i - 1,
+                bubble: 0,
+                bubble_class: None,
+            });
+            insts.push(gi);
+        }
+        let g = DepGraph::from_parts(insts, params());
+        let p = params();
+        let t = g.node_times(EventSet::EMPTY);
+        // D all equal (fits one fetch group), R0 = D + d2r, chain adds 1
+        // per link.
+        assert_eq!(t[0].d, p.front_end_depth);
+        assert_eq!(t[0].p, p.front_end_depth + p.dispatch_to_ready + 1);
+        assert_eq!(t[2].p, t[0].p + 2);
+        assert_eq!(
+            g.evaluate(EventSet::EMPTY),
+            t[2].p + p.complete_to_commit
+        );
+    }
+
+    #[test]
+    fn shalu_idealization_collapses_chain() {
+        let mut insts = vec![simple_inst(1)];
+        for i in 1..20u32 {
+            let mut gi = simple_inst(1);
+            gi.producers[0] = Some(ProducerEdge {
+                producer: i - 1,
+                bubble: 0,
+                bubble_class: None,
+            });
+            insts.push(gi);
+        }
+        let g = DepGraph::from_parts(insts, params());
+        let cost = g.cost(EventSet::single(EventClass::ShortAlu));
+        // 20 cycles of chain latency disappear, modulo bandwidth floors.
+        assert!(cost >= 10, "cost {cost}");
+    }
+
+    #[test]
+    fn window_edge_binds_only_beyond_rob() {
+        // rob_size + 10 independent instructions, the first very slow.
+        let p = params();
+        let n = p.rob_size + 10;
+        let mut insts = Vec::new();
+        let mut first = simple_inst(0);
+        first.ep_dmiss = 500;
+        insts.push(first);
+        for _ in 1..n {
+            insts.push(simple_inst(1));
+        }
+        let g = DepGraph::from_parts(insts, params());
+        let t = g.node_times(EventSet::EMPTY);
+        // Instruction rob_size cannot dispatch before inst 0 commits.
+        assert!(t[p.rob_size].d >= t[0].c);
+        // Idealizing the window removes that wait.
+        let tw = g.node_times(EventSet::single(EventClass::Win));
+        assert!(tw[p.rob_size].d < t[p.rob_size].d);
+    }
+
+    #[test]
+    fn pd_edge_gates_post_branch_dispatch() {
+        let p = params();
+        let mut br = simple_inst(1);
+        br.mispredicted = true;
+        let insts = vec![br, simple_inst(1)];
+        let g = DepGraph::from_parts(insts, params());
+        let t = g.node_times(EventSet::EMPTY);
+        assert_eq!(t[1].d, t[0].p + p.misp_loop);
+        let tb = g.node_times(EventSet::single(EventClass::Bmisp));
+        assert!(tb[1].d < t[1].d);
+    }
+
+    #[test]
+    fn pp_edge_holds_completion() {
+        let mut origin = simple_inst(0);
+        origin.ep_dl1 = 2;
+        origin.ep_dmiss = 110;
+        let mut sharer = simple_inst(0);
+        sharer.ep_dl1 = 2;
+        sharer.pp_producer = Some(0);
+        let g = DepGraph::from_parts(vec![origin, sharer], params());
+        let t = g.node_times(EventSet::EMPTY);
+        assert_eq!(t[1].p, t[0].p);
+        // dmiss idealization releases the sharer.
+        let ti = g.node_times(EventSet::single(EventClass::Dmiss));
+        assert!(ti[1].p < t[1].p);
+    }
+
+    #[test]
+    fn costs_are_monotone_under_union_for_latency_sets() {
+        // cost(A ∪ B) >= max(cost(A), cost(B)) for idealizations that only
+        // remove latency.
+        let mut insts = vec![simple_inst(1)];
+        let mut load = simple_inst(0);
+        load.ep_dl1 = 2;
+        load.ep_dmiss = 110;
+        insts.push(load);
+        let mut dep = simple_inst(1);
+        dep.producers[0] = Some(ProducerEdge {
+            producer: 1,
+            bubble: 0,
+            bubble_class: None,
+        });
+        insts.push(dep);
+        let g = DepGraph::from_parts(insts, params());
+        let a = EventSet::single(EventClass::Dmiss);
+        let b = EventSet::single(EventClass::ShortAlu);
+        let ab = a.union(b);
+        assert!(g.cost(ab) >= g.cost(a).max(g.cost(b)));
+    }
+
+    #[test]
+    fn fbw_edge_paces_dispatch() {
+        let p = params();
+        let n = 3 * p.fetch_width;
+        let insts = vec![simple_inst(1); n];
+        let g = DepGraph::from_parts(insts, params());
+        let t = g.node_times(EventSet::EMPTY);
+        assert_eq!(t[p.fetch_width].d, t[0].d + 1);
+        assert_eq!(t[2 * p.fetch_width].d, t[0].d + 2);
+        // bw idealization removes the pacing.
+        let ti = g.node_times(EventSet::single(EventClass::Bw));
+        assert_eq!(ti[2 * p.fetch_width].d, ti[0].d);
+    }
+}

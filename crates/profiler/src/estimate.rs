@@ -1,0 +1,180 @@
+//! Fragment-ensemble cost estimation (paper Section 5.2, Section 6).
+//!
+//! The profiler's breakdowns come from analyzing a statistically
+//! representative set of reconstructed fragments exactly as if each were a
+//! simulator-built graph: costs are summed across fragments and expressed
+//! against the summed fragment baselines.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::reconstruct::{reconstruct, Fragment};
+use crate::sampler::Samples;
+use icost::CostOracle;
+use uarch_trace::{EventSet, MachineConfig, StaticProgram};
+
+/// A [`CostOracle`] backed by shotgun-reconstructed graph fragments.
+///
+/// Random skeleton selection gives every signature sample equal
+/// probability, which naturally weights hot microexecution paths (they
+/// produce more samples).
+#[derive(Debug)]
+pub struct ProfilerOracle {
+    fragments: Vec<Fragment>,
+    discarded: usize,
+    memo: HashMap<EventSet, i64>,
+    baseline: u64,
+}
+
+impl ProfilerOracle {
+    /// Reconstruct up to `max_fragments` fragments from `samples` and
+    /// build the ensemble oracle. Fragments failing reconstruction are
+    /// discarded and counted.
+    ///
+    /// # Panics
+    /// Panics if `samples` contains no signature samples.
+    pub fn new(
+        samples: &Samples,
+        program: &StaticProgram,
+        config: &MachineConfig,
+        max_fragments: usize,
+        seed: u64,
+    ) -> ProfilerOracle {
+        assert!(
+            !samples.signatures.is_empty(),
+            "no signature samples collected"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut fragments = Vec::new();
+        let mut discarded = 0;
+        // Random selection with replacement (step 1 of Figure 5a).
+        let attempts = max_fragments.max(1) * 2;
+        for _ in 0..attempts {
+            if fragments.len() >= max_fragments {
+                break;
+            }
+            let pick = rng.random_range(0..samples.signatures.len());
+            match reconstruct(&samples.signatures[pick], &samples.details, program, config) {
+                Ok(f) => fragments.push(f),
+                Err(_) => discarded += 1,
+            }
+        }
+        let baseline = fragments
+            .iter()
+            .map(|f| f.graph.evaluate(EventSet::EMPTY))
+            .sum();
+        ProfilerOracle {
+            fragments,
+            discarded,
+            memo: HashMap::new(),
+            baseline,
+        }
+    }
+
+    /// Number of fragments in the ensemble.
+    pub fn fragment_count(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// Number of skeleton picks that failed reconstruction.
+    pub fn discarded(&self) -> usize {
+        self.discarded
+    }
+
+    /// Mean fraction of positions filled from detailed samples.
+    pub fn match_rate(&self) -> f64 {
+        if self.fragments.is_empty() {
+            return 0.0;
+        }
+        self.fragments
+            .iter()
+            .map(|f| f.stats.match_rate())
+            .sum::<f64>()
+            / self.fragments.len() as f64
+    }
+
+    /// The fragments themselves (for inspection and tests).
+    pub fn fragments(&self) -> &[Fragment] {
+        &self.fragments
+    }
+}
+
+impl CostOracle for ProfilerOracle {
+    fn cost(&mut self, set: EventSet) -> i64 {
+        if set.is_empty() {
+            return 0;
+        }
+        let fragments = &self.fragments;
+        let baseline = self.baseline;
+        *self.memo.entry(set).or_insert_with(|| {
+            let idealized: u64 = fragments.iter().map(|f| f.graph.evaluate(set)).sum();
+            baseline as i64 - idealized as i64
+        })
+    }
+
+    fn baseline(&mut self) -> u64 {
+        self.baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{collect_samples, SamplerConfig};
+    use uarch_sim::{Idealization, Simulator};
+    use uarch_trace::EventClass;
+    use uarch_workloads::{generate, BenchProfile};
+
+    fn build_oracle(bench: &str, n: usize) -> (ProfilerOracle, u64) {
+        let cfg = MachineConfig::table6();
+        let w = generate(BenchProfile::by_name(bench).expect("known"), n, 17);
+        let result = Simulator::new(&cfg).run(&w.trace, Idealization::none());
+        let samples = collect_samples(&w.trace, &result, &SamplerConfig::default());
+        let oracle = ProfilerOracle::new(&samples, &w.program, &cfg, 12, 5);
+        (oracle, result.cycles)
+    }
+
+    #[test]
+    fn builds_fragments_from_real_workload() {
+        let (oracle, _) = build_oracle("gcc", 30_000);
+        assert!(oracle.fragment_count() >= 4, "{}", oracle.fragment_count());
+        assert!(
+            oracle.match_rate() > 0.5,
+            "match rate {:.2} too low",
+            oracle.match_rate()
+        );
+    }
+
+    #[test]
+    fn profiler_costs_have_sane_signs() {
+        let (mut oracle, _) = build_oracle("mcf", 30_000);
+        let dmiss = oracle.cost(EventSet::single(EventClass::Dmiss));
+        assert!(dmiss > 0, "mcf dmiss cost must be large, got {dmiss}");
+        assert_eq!(oracle.cost(EventSet::EMPTY), 0);
+        let all = oracle.cost(EventSet::ALL);
+        assert!(all >= dmiss);
+    }
+
+    #[test]
+    fn profiler_tracks_fullgraph_dmiss_cost() {
+        // The headline Table 7 claim: the profiler's breakdown tracks the
+        // full-graph analysis. Check the dominant category for mcf in
+        // percentage terms.
+        let cfg = MachineConfig::table6();
+        let w = generate(BenchProfile::by_name("mcf").expect("mcf"), 30_000, 17);
+        let result = Simulator::new(&cfg).run(&w.trace, Idealization::none());
+        let graph = uarch_graph::DepGraph::build(&w.trace, &result, &cfg);
+        let mut full = icost::GraphOracle::new(&graph);
+        let samples = collect_samples(&w.trace, &result, &SamplerConfig::default());
+        let mut prof = ProfilerOracle::new(&samples, &w.program, &cfg, 16, 5);
+        let set = EventSet::single(EventClass::Dmiss);
+        let full_pct = full.cost_percent(set);
+        let prof_pct = prof.cost_percent(set);
+        assert!(
+            (full_pct - prof_pct).abs() < 15.0,
+            "profiler {prof_pct:.1}% vs fullgraph {full_pct:.1}%"
+        );
+    }
+}

@@ -1,0 +1,527 @@
+//! Post-mortem graph-fragment reconstruction (paper Figure 5a).
+//!
+//! A randomly chosen signature sample is the *skeleton*; the algorithm
+//! walks it instruction by instruction, inferring each PC from the program
+//! binary (direct targets, call/return structure; indirect targets come
+//! from detailed samples), and fills each position with the detailed
+//! sample whose surrounding signature bits best match the skeleton.
+//! Impossible signature-bit settings (e.g. bit 1 set at a PC that is not a
+//! load, store or branch) indicate the walk went down a control path
+//! inconsistent with the skeleton; such fragments are discarded.
+
+use std::collections::HashMap;
+
+use crate::sampler::{DetailedSample, SignatureSample};
+use crate::signature::SigBits;
+use uarch_graph::{decompose_ep, DepGraph, GraphInst, GraphParams, ProducerEdge};
+use uarch_trace::{EventClass, MachineConfig, OpClass, Reg, StaticProgram};
+
+/// Why a fragment could not be assembled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconstructError {
+    /// The inferred PC does not exist in the program binary.
+    UnknownPc {
+        /// The PC that failed to resolve.
+        pc: u64,
+        /// Skeleton position at which it was reached.
+        at: usize,
+    },
+    /// A signature bit was impossible for the instruction at the inferred
+    /// PC — the walk is on a wrong control path (Figure 5a step 2e).
+    Inconsistent {
+        /// Skeleton position of the contradiction.
+        at: usize,
+    },
+    /// An indirect transfer had no detailed sample to supply its target.
+    MissingIndirectTarget {
+        /// PC of the indirect transfer.
+        pc: u64,
+        /// Skeleton position.
+        at: usize,
+    },
+}
+
+impl std::fmt::Display for ReconstructError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconstructError::UnknownPc { pc, at } => {
+                write!(f, "pc {pc:#x} at position {at} not in program image")
+            }
+            ReconstructError::Inconsistent { at } => {
+                write!(f, "impossible signature bits at position {at}")
+            }
+            ReconstructError::MissingIndirectTarget { pc, at } => {
+                write!(f, "no detailed sample supplies the target of {pc:#x} at {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconstructError {}
+
+/// Reconstruction bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReconstructStats {
+    /// Positions filled from a matching detailed sample.
+    pub matched: usize,
+    /// Positions filled from binary inference + default latencies.
+    pub fallback: usize,
+    /// The fragment was truncated at the last sampled indirect target
+    /// after a downstream inconsistency (the prefix remains consistent
+    /// with the skeleton).
+    pub truncated: bool,
+}
+
+impl ReconstructStats {
+    /// Fraction of positions that had a detailed sample (0..=1).
+    pub fn match_rate(&self) -> f64 {
+        let total = self.matched + self.fallback;
+        if total == 0 {
+            0.0
+        } else {
+            self.matched as f64 / total as f64
+        }
+    }
+}
+
+/// A reconstructed dependence-graph fragment.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// The assembled graph, analyzable like any simulator-built graph.
+    pub graph: DepGraph,
+    /// How it was assembled.
+    pub stats: ReconstructStats,
+}
+
+/// Assemble the dependence-graph fragment described by `skeleton`
+/// (Figure 5a).
+///
+/// # Errors
+/// Returns a [`ReconstructError`] when the walk leaves the known binary,
+/// hits an impossible signature-bit setting, or cannot resolve an indirect
+/// target. Callers are expected to discard such fragments (the paper
+/// reports 95–100% of errant walks are caught this way).
+pub fn reconstruct(
+    skeleton: &SignatureSample,
+    details: &[DetailedSample],
+    program: &StaticProgram,
+    config: &MachineConfig,
+) -> Result<Fragment, ReconstructError> {
+    /// A salvaged prefix shorter than this is statistically useless —
+    /// fragment-boundary effects (the first window's worth of
+    /// instructions has no re-order-buffer constraint) would dominate.
+    const MIN_FRAGMENT: usize = 128;
+
+    let mut db: HashMap<u64, Vec<&DetailedSample>> = HashMap::new();
+    for d in details {
+        db.entry(d.pc).or_default().push(d);
+    }
+
+    // Position of the last PC inferred from a *sampled* indirect target —
+    // the only guess that can silently go wrong. When a later
+    // inconsistency is detected, the prefix before that guess is still
+    // consistent with the skeleton and is salvaged if long enough.
+    let mut last_risky: Option<usize> = None;
+    let salvage = |insts: &mut Vec<GraphInst>,
+                   mut stats: ReconstructStats,
+                   last_risky: Option<usize>,
+                   err: ReconstructError| {
+        match last_risky {
+            Some(risky) if risky >= MIN_FRAGMENT => {
+                insts.truncate(risky);
+                stats.truncated = true;
+                stats.matched = stats.matched.min(insts.len());
+                Ok(Fragment {
+                    graph: DepGraph::from_parts(std::mem::take(insts), GraphParams::from(config)),
+                    stats,
+                })
+            }
+            _ => Err(err),
+        }
+    };
+
+    let mut insts: Vec<GraphInst> = Vec::with_capacity(skeleton.bits.len());
+    let mut ops: Vec<OpClass> = Vec::with_capacity(skeleton.bits.len());
+    let mut stats = ReconstructStats::default();
+    let mut last_writer: [Option<u32>; Reg::COUNT] = [None; Reg::COUNT];
+    let mut ras: Vec<u64> = Vec::new();
+    let mut pc = skeleton.start_pc;
+
+    for (i, &bits) in skeleton.bits.iter().enumerate() {
+        let Some(si) = program.lookup(pc).copied() else {
+            return salvage(
+                &mut insts,
+                stats,
+                last_risky,
+                ReconstructError::UnknownPc { pc, at: i },
+            );
+        };
+        // Step 2e: a set bit 1 requires a load, store or branch here.
+        if bits.b1 && !(si.op.is_mem() || si.op.is_branch()) {
+            return salvage(
+                &mut insts,
+                stats,
+                last_risky,
+                ReconstructError::Inconsistent { at: i },
+            );
+        }
+
+        // Step 2b: best-matching detailed sample by signature agreement.
+        let detail = db
+            .get(&pc)
+            .and_then(|cands| {
+                cands
+                    .iter()
+                    .map(|d| (score(d, skeleton, i), *d))
+                    .max_by_key(|(s, _)| *s)
+            })
+            .map(|(_, d)| d);
+
+        // Step 2c: append this instruction's nodes and edges.
+        let mut gi = match detail {
+            Some(d) => {
+                stats.matched += 1;
+                let merged_in_range =
+                    d.pp_offset.is_some_and(|off| off as usize <= i && off > 0);
+                // The skeleton's own bits encode THIS instance's hit/miss
+                // outcome (Table 5). When the best-matching detailed
+                // sample is a different-outcome instance of the same PC,
+                // trust the bits for the memory level and keep the
+                // detail's dependence/contention information.
+                let (exec_latency, level_miss, dtlb, merged) = if si.op == OpClass::Load {
+                    let skel_miss = !bits.b1 || bits.b2;
+                    if skel_miss && !d.dcache_level.is_miss() {
+                        let lat = if !bits.b1 {
+                            config.mem_access_latency()
+                        } else {
+                            config.l2_access_latency()
+                        };
+                        (lat, true, false, false)
+                    } else if !skel_miss && d.dcache_level.is_miss() {
+                        (config.l1d.latency, false, false, false)
+                    } else {
+                        (d.exec_latency, d.dcache_level.is_miss(), d.dtlb_miss, merged_in_range)
+                    }
+                } else {
+                    (d.exec_latency, d.dcache_level.is_miss(), d.dtlb_miss, merged_in_range)
+                };
+                let (dl1, dmiss, shalu, lgalu, base) = decompose_ep(
+                    si.op,
+                    exec_latency,
+                    level_miss,
+                    dtlb,
+                    merged,
+                    config,
+                );
+                GraphInst {
+                    dd_latency: d.icache_extra,
+                    mispredicted: d.mispredicted,
+                    re_latency: d.re_delay,
+                    ep_dl1: dl1,
+                    ep_dmiss: dmiss,
+                    ep_shalu: shalu,
+                    ep_lgalu: lgalu,
+                    ep_base: base,
+                    pp_producer: if merged {
+                        d.pp_offset.map(|off| i as u32 - off)
+                    } else {
+                        None
+                    },
+                    ..GraphInst::default()
+                }
+            }
+            None => {
+                stats.fallback += 1;
+                default_inst(&si, bits, config)
+            }
+        };
+
+        // PR edges from fragment-local renaming (Figure 5b: register
+        // dependences are static).
+        let mut slot = 0;
+        for src in si.srcs.iter().flatten() {
+            if src.is_zero() {
+                continue;
+            }
+            if let Some(writer) = last_writer[src.index()] {
+                let wop = Some(ops[writer as usize]);
+                let bubble = wakeup_bubble(wop, config);
+                gi.producers[slot] = Some(ProducerEdge {
+                    producer: writer,
+                    bubble,
+                    bubble_class: bubble_class(wop).filter(|_| bubble > 0),
+                });
+                slot += 1;
+                if slot == 2 {
+                    break;
+                }
+            }
+        }
+        if let Some(dst) = si.dst.filter(|r| !r.is_zero()) {
+            last_writer[dst.index()] = Some(i as u32);
+        }
+        insts.push(gi);
+        ops.push(si.op);
+
+        // Step 2d: infer the next PC.
+        pc = match si.op {
+            op if !op.is_branch() => pc + 4,
+            OpClass::CondBranch => {
+                if bits.b1 {
+                    match si.direct_target {
+                        Some(t) => t,
+                        None => {
+                            return salvage(
+                                &mut insts,
+                                stats,
+                                last_risky,
+                                ReconstructError::Inconsistent { at: i },
+                            )
+                        }
+                    }
+                } else {
+                    pc + 4
+                }
+            }
+            OpClass::Jump | OpClass::Call => {
+                if si.op == OpClass::Call {
+                    ras.push(pc + 4);
+                }
+                match si.direct_target {
+                    Some(t) => t,
+                    None => {
+                        return salvage(
+                            &mut insts,
+                            stats,
+                            last_risky,
+                            ReconstructError::Inconsistent { at: i },
+                        )
+                    }
+                }
+            }
+            OpClass::Return => match ras.pop() {
+                Some(t) => t,
+                None => match detail.and_then(|d| d.indirect_target) {
+                    Some(t) => {
+                        last_risky = Some(i);
+                        t
+                    }
+                    None => {
+                        return salvage(
+                            &mut insts,
+                            stats,
+                            last_risky,
+                            ReconstructError::MissingIndirectTarget { pc, at: i },
+                        )
+                    }
+                },
+            },
+            OpClass::IndirectJump => match detail.and_then(|d| d.indirect_target) {
+                Some(t) => {
+                    last_risky = Some(i);
+                    t
+                }
+                None => {
+                    return salvage(
+                        &mut insts,
+                        stats,
+                        last_risky,
+                        ReconstructError::MissingIndirectTarget { pc, at: i },
+                    )
+                }
+            },
+            _ => pc + 4,
+        };
+    }
+
+    // A fragment is a window of a larger execution, so its producer
+    // indices are all in range by construction.
+    let graph = DepGraph::from_parts(insts, GraphParams::from(config));
+    Ok(Fragment { graph, stats })
+}
+
+/// Signature agreement between a detailed sample's context window and the
+/// skeleton around position `i`. The sample's *own* bits are weighted
+/// heavily: they encode the sampled instruction's hit/miss outcome, which
+/// must match the skeleton's for the latencies to be transplantable.
+fn score(d: &DetailedSample, skeleton: &SignatureSample, i: usize) -> u32 {
+    let mut s = 8 * d.own.agreement(skeleton.bits[i]);
+    let nb = d.ctx_before.len();
+    for (j, b) in d.ctx_before.iter().enumerate() {
+        // ctx_before is oldest-first: entry j corresponds to offset
+        // -(nb - j).
+        let off = nb - j;
+        if i >= off {
+            s += b.agreement(skeleton.bits[i - off]);
+        }
+    }
+    for (j, b) in d.ctx_after.iter().enumerate() {
+        let pos = i + 1 + j;
+        if pos < skeleton.bits.len() {
+            s += b.agreement(skeleton.bits[pos]);
+        }
+    }
+    s
+}
+
+/// Figure 5a fallback: "infer everything possible from the binary and use
+/// default values for the unknown latencies" — improved slightly by using
+/// the skeleton's own signature bits to pick the memory level.
+fn default_inst(si: &uarch_trace::StaticInst, bits: SigBits, config: &MachineConfig) -> GraphInst {
+    let exec_latency = match si.op {
+        OpClass::Load => {
+            if !bits.b1 {
+                // Bit 1 reset on a load ⇒ L2 dcache miss.
+                config.mem_access_latency()
+            } else if bits.b2 {
+                config.l2_access_latency()
+            } else {
+                config.l1d.latency
+            }
+        }
+        OpClass::Store => config.l1d.latency,
+        OpClass::IntMult => config.fu_int_mult.latency,
+        OpClass::FpAlu => config.fu_fp_alu.latency,
+        OpClass::FpMult => config.fu_fp_mult.latency,
+        OpClass::FpDiv => config.fp_div_latency,
+        OpClass::Nop => 0,
+        _ => config.fu_int_alu.latency,
+    };
+    let miss = si.op == OpClass::Load && (!bits.b1 || bits.b2);
+    let (dl1, dmiss, shalu, lgalu, base) =
+        decompose_ep(si.op, exec_latency, miss, false, false, config);
+    GraphInst {
+        ep_dl1: dl1,
+        ep_dmiss: dmiss,
+        ep_shalu: shalu,
+        ep_lgalu: lgalu,
+        ep_base: base,
+        ..GraphInst::default()
+    }
+}
+
+fn wakeup_bubble(op: Option<OpClass>, config: &MachineConfig) -> u64 {
+    let bubble = config.issue_wakeup - 1;
+    match op {
+        Some(o) if bubble > 0 && (o.is_short_alu() || o.is_long_alu()) => bubble,
+        _ => 0,
+    }
+}
+
+fn bubble_class(op: Option<OpClass>) -> Option<EventClass> {
+    match op {
+        Some(o) if o.is_long_alu() => Some(EventClass::LongAlu),
+        Some(o) if o.is_short_alu() => Some(EventClass::ShortAlu),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{collect_samples, SamplerConfig};
+    use uarch_sim::{Idealization, Simulator};
+    use uarch_trace::{MachineConfig, Reg, Trace, TraceBuilder};
+
+    fn observed_loop(n: usize) -> (Trace, StaticProgram, crate::sampler::Samples, MachineConfig) {
+        let mut b = TraceBuilder::new();
+        b.counted_loop(n, Reg::int(9), |b, k| {
+            b.load(Reg::int(1), 0x1000_0000 + (k as u64 % 256) * 8);
+            b.alu(Reg::int(2), &[Reg::int(1)]);
+            b.alu(Reg::int(3), &[Reg::int(2)]);
+        });
+        let t = b.finish();
+        let p = StaticProgram::from_trace(&t);
+        let cfg = MachineConfig::table6();
+        let result = Simulator::new(&cfg).run(&t, Idealization::none());
+        let samples = collect_samples(&t, &result, &SamplerConfig::default());
+        (t, p, samples, cfg)
+    }
+
+    #[test]
+    fn fragment_length_matches_skeleton() {
+        let (_, p, samples, cfg) = observed_loop(700);
+        let sk = &samples.signatures[0];
+        let f = reconstruct(sk, &samples.details, &p, &cfg).expect("reconstructs");
+        assert_eq!(f.graph.len(), sk.bits.len());
+        assert!(!f.stats.truncated);
+        assert_eq!(f.stats.matched + f.stats.fallback, sk.bits.len());
+    }
+
+    #[test]
+    fn no_details_falls_back_to_binary_inference() {
+        let (_, p, samples, cfg) = observed_loop(500);
+        let sk = &samples.signatures[0];
+        let f = reconstruct(sk, &[], &p, &cfg).expect("binary-only reconstruction");
+        assert_eq!(f.stats.matched, 0);
+        assert_eq!(f.stats.fallback, sk.bits.len());
+        // Even without details the fragment carries plausible latencies.
+        let cycles = f.graph.evaluate(uarch_trace::EventSet::EMPTY);
+        assert!(cycles > sk.bits.len() as u64 / 6, "cycles {cycles}");
+    }
+
+    #[test]
+    fn match_rate_reported_correctly() {
+        let stats = ReconstructStats {
+            matched: 3,
+            fallback: 1,
+            truncated: false,
+        };
+        assert!((stats.match_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(ReconstructStats::default().match_rate(), 0.0);
+    }
+
+    #[test]
+    fn error_displays_are_informative() {
+        let e = ReconstructError::UnknownPc { pc: 0x40, at: 3 };
+        assert!(e.to_string().contains("0x40"));
+        let e = ReconstructError::Inconsistent { at: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = ReconstructError::MissingIndirectTarget { pc: 0x99, at: 1 };
+        assert!(e.to_string().contains("0x99"));
+    }
+
+    #[test]
+    fn score_prefers_matching_context() {
+        let (_, p, samples, cfg) = observed_loop(600);
+        // Reconstruct with the full detail set and with a shuffled one in
+        // which each pc only keeps its first detail: the full set must
+        // match at least as well.
+        let sk = &samples.signatures[0];
+        let full = reconstruct(sk, &samples.details, &p, &cfg).expect("full");
+        let mut firsts: Vec<DetailedSample> = Vec::new();
+        for d in &samples.details {
+            if !firsts.iter().any(|x| x.pc == d.pc) {
+                firsts.push(d.clone());
+            }
+        }
+        let thin = reconstruct(sk, &firsts, &p, &cfg).expect("thin");
+        assert!(full.stats.matched >= thin.stats.matched);
+    }
+
+    #[test]
+    fn wakeup_bubbles_recovered_from_static_ops() {
+        // With a 2-cycle wakeup loop, fragment PR edges out of ALU
+        // producers must carry a bubble.
+        let mut b = TraceBuilder::new();
+        b.counted_loop(400, Reg::int(9), |b, _| {
+            b.alu(Reg::int(1), &[Reg::int(1)]);
+            b.alu(Reg::int(2), &[Reg::int(1)]);
+        });
+        let t = b.finish();
+        let p = StaticProgram::from_trace(&t);
+        let cfg = MachineConfig::table6().with_issue_wakeup(2);
+        let result = Simulator::new(&cfg).run(&t, Idealization::none());
+        let samples = collect_samples(&t, &result, &SamplerConfig::default());
+        let f = reconstruct(&samples.signatures[0], &samples.details, &p, &cfg)
+            .expect("reconstructs");
+        let bubbled = f
+            .graph
+            .insts()
+            .iter()
+            .flat_map(|g| g.producers.iter().flatten())
+            .filter(|pe| pe.bubble > 0)
+            .count();
+        assert!(bubbled > 10, "bubbles on PR edges: {bubbled}");
+    }
+}

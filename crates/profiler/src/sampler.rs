@@ -1,0 +1,255 @@
+//! Model of the hardware performance monitors (paper Section 5.1,
+//! Figure 4a).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::signature::{signature_bits, SigBits};
+use uarch_sim::{MissLevel, SimResult};
+use uarch_trace::Trace;
+
+/// Sampling-hardware configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplerConfig {
+    /// Instructions covered by one signature sample (paper: 1000).
+    pub signature_len: usize,
+    /// Signature-bit context captured before and after each detailed
+    /// sample (paper: 10).
+    pub detail_context: usize,
+    /// Mean dynamic instructions between signature-sample starts.
+    pub signature_interval: usize,
+    /// Mean dynamic instructions between detailed samples.
+    pub detail_interval: usize,
+    /// RNG seed for sample placement.
+    pub seed: u64,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> SamplerConfig {
+        SamplerConfig {
+            signature_len: 1000,
+            detail_context: 10,
+            signature_interval: 4000,
+            detail_interval: 29,
+            seed: 0x5407_6041,
+        }
+    }
+}
+
+/// A signature sample: one start PC plus the signature bits of the
+/// following `signature_len` dynamic instructions ("long and narrow").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureSample {
+    /// PC of the first instruction covered.
+    pub start_pc: u64,
+    /// Two signature bits per instruction.
+    pub bits: Vec<SigBits>,
+}
+
+/// A detailed sample: full timing for a single dynamic instruction
+/// ("short and wide"), plus surrounding signature bits used to match it
+/// into a skeleton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetailedSample {
+    /// Sampled instruction's PC.
+    pub pc: u64,
+    /// Signature bits of up to `detail_context` preceding instructions
+    /// (oldest first).
+    pub ctx_before: Vec<SigBits>,
+    /// The sampled instruction's own signature bits.
+    pub own: SigBits,
+    /// Signature bits of up to `detail_context` following instructions.
+    pub ctx_after: Vec<SigBits>,
+    /// Extra fetch latency from I-cache/ITLB misses (`DD`).
+    pub icache_extra: u64,
+    /// Execution latency (`EP`).
+    pub exec_latency: u64,
+    /// Issue-contention delay (`RE`).
+    pub re_delay: u64,
+    /// Whether this branch was mispredicted (`PD`).
+    pub mispredicted: bool,
+    /// Data-access outcome.
+    pub dcache_level: MissLevel,
+    /// DTLB miss flag.
+    pub dtlb_miss: bool,
+    /// Whether the load merged into an earlier line miss, and how far back
+    /// (dynamic instructions) the originating load was (`PP`).
+    pub pp_offset: Option<u32>,
+    /// Observed target of an indirect control transfer.
+    pub indirect_target: Option<u64>,
+}
+
+/// Everything the monitoring hardware hands to the post-mortem software.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    /// Collected signature samples.
+    pub signatures: Vec<SignatureSample>,
+    /// Collected detailed samples.
+    pub details: Vec<DetailedSample>,
+}
+
+/// Run the modeled monitoring hardware over an observed execution,
+/// collecting signature and detailed samples at randomized intervals.
+///
+/// # Panics
+/// Panics if `result` does not match `trace`, or the configuration is
+/// degenerate (zero lengths/intervals).
+pub fn collect_samples(trace: &Trace, result: &SimResult, config: &SamplerConfig) -> Samples {
+    assert_eq!(trace.len(), result.records.len(), "records mismatch trace");
+    assert!(
+        config.signature_len > 0 && config.signature_interval > 0 && config.detail_interval > 0,
+        "degenerate sampler configuration"
+    );
+    let n = trace.len();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Precompute all signature bits once (the hardware computes them at
+    // retirement).
+    let bits: Vec<SigBits> = trace
+        .iter()
+        .zip(&result.records)
+        .map(|(i, r)| signature_bits(i, r))
+        .collect();
+
+    let mut samples = Samples::default();
+
+    // Signature samples at randomized starts.
+    let mut pos = rng.random_range(0..config.signature_interval.min(n.max(1)));
+    while pos < n {
+        let end = (pos + config.signature_len).min(n);
+        samples.signatures.push(SignatureSample {
+            start_pc: trace.inst(pos).pc,
+            bits: bits[pos..end].to_vec(),
+        });
+        pos += config.signature_interval.max(1) + rng.random_range(0..=config.signature_interval / 2);
+    }
+
+    // Detailed samples, one instruction at a time.
+    let mut pos = rng.random_range(0..config.detail_interval.min(n.max(1)));
+    while pos < n {
+        samples.details.push(detail_at(trace, result, &bits, pos, config));
+        pos += config.detail_interval.max(1) + rng.random_range(0..=config.detail_interval / 2);
+    }
+    samples
+}
+
+fn detail_at(
+    trace: &Trace,
+    result: &SimResult,
+    bits: &[SigBits],
+    i: usize,
+    config: &SamplerConfig,
+) -> DetailedSample {
+    let inst = trace.inst(i);
+    let rec = &result.records[i];
+    let lo = i.saturating_sub(config.detail_context);
+    let hi = (i + 1 + config.detail_context).min(trace.len());
+    DetailedSample {
+        pc: inst.pc,
+        ctx_before: bits[lo..i].to_vec(),
+        own: bits[i],
+        ctx_after: bits[i + 1..hi].to_vec(),
+        icache_extra: rec.icache_extra,
+        exec_latency: rec.exec_latency,
+        re_delay: rec.re_delay,
+        mispredicted: rec.mispredicted,
+        dcache_level: rec.dcache_level,
+        dtlb_miss: rec.dtlb_miss,
+        pp_offset: rec.pp_producer.map(|p| (i as u32).saturating_sub(p)),
+        indirect_target: if inst.op.is_indirect() {
+            Some(inst.next_pc)
+        } else {
+            None
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_sim::{Idealization, Simulator};
+    use uarch_trace::{MachineConfig, Reg, TraceBuilder};
+
+    fn run(trace: &Trace) -> SimResult {
+        let cfg = MachineConfig::table6();
+        Simulator::new(&cfg).run(trace, Idealization::none())
+    }
+
+    fn kernel(n: usize) -> Trace {
+        let mut b = TraceBuilder::new();
+        b.counted_loop(n, Reg::int(9), |b, k| {
+            b.load(Reg::int(1), 0x8000 + (k as u64 % 64) * 8);
+            b.alu(Reg::int(2), &[Reg::int(1)]);
+            b.alu(Reg::int(3), &[Reg::int(2)]);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn collects_both_sample_kinds() {
+        let t = kernel(500);
+        let r = run(&t);
+        let s = collect_samples(&t, &r, &SamplerConfig::default());
+        assert!(!s.signatures.is_empty(), "no signature samples");
+        assert!(s.details.len() > 10, "too few detailed samples");
+    }
+
+    #[test]
+    fn signature_sample_length_respected() {
+        let t = kernel(2000);
+        let r = run(&t);
+        let cfg = SamplerConfig {
+            signature_len: 100,
+            signature_interval: 500,
+            ..SamplerConfig::default()
+        };
+        let s = collect_samples(&t, &r, &cfg);
+        for sig in &s.signatures {
+            assert!(sig.bits.len() <= 100);
+        }
+        assert!(s.signatures.iter().any(|sig| sig.bits.len() == 100));
+    }
+
+    #[test]
+    fn detail_context_clipped_at_trace_edges() {
+        let t = kernel(30);
+        let r = run(&t);
+        let cfg = SamplerConfig {
+            detail_interval: 1,
+            ..SamplerConfig::default()
+        };
+        let s = collect_samples(&t, &r, &cfg);
+        let first = s.details.first().expect("samples");
+        assert!(first.ctx_before.len() <= 10);
+        for d in &s.details {
+            assert!(d.ctx_after.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = kernel(300);
+        let r = run(&t);
+        let a = collect_samples(&t, &r, &SamplerConfig::default());
+        let b = collect_samples(&t, &r, &SamplerConfig::default());
+        assert_eq!(a.signatures, b.signatures);
+        assert_eq!(a.details, b.details);
+    }
+
+    #[test]
+    fn detail_pp_offset_recorded() {
+        let mut b = TraceBuilder::new();
+        b.load(Reg::int(1), 0x40_0000);
+        b.load(Reg::int(2), 0x40_0008); // merges with the first
+        b.nops(5);
+        let t = b.finish();
+        let r = run(&t);
+        let cfg = SamplerConfig {
+            detail_interval: 1,
+            seed: 1,
+            ..SamplerConfig::default()
+        };
+        let s = collect_samples(&t, &r, &cfg);
+        let merged = s.details.iter().find(|d| d.pp_offset.is_some());
+        assert!(merged.is_some(), "merged load's detail sample records PP");
+    }
+}

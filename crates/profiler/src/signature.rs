@@ -1,0 +1,121 @@
+//! Signature bits (paper Table 5).
+//!
+//! Two bits per dynamic instruction:
+//!
+//! * **bit 1** — set if the instruction is a taken branch, a load, or a
+//!   store; *reset* if it suffered an L2 data-cache miss (i.e. went to
+//!   memory). The bit doubles as the branch-direction record the
+//!   reconstruction algorithm uses to follow conditional control flow.
+//! * **bit 2** — set on any cache or TLB miss (L1/L2, I- or D-side).
+
+use uarch_sim::{ExecRecord, MissLevel};
+use uarch_trace::Inst;
+
+/// The two signature bits of one dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct SigBits {
+    /// Table 5 bit 1: taken-branch/load/store, reset on L2 D-miss.
+    pub b1: bool,
+    /// Table 5 bit 2: any cache or TLB miss.
+    pub b2: bool,
+}
+
+impl SigBits {
+    /// Number of identical bits between two signatures (0..=2).
+    pub fn agreement(self, other: SigBits) -> u32 {
+        u32::from(self.b1 == other.b1) + u32::from(self.b2 == other.b2)
+    }
+}
+
+/// Compute the signature bits the monitoring hardware would emit for one
+/// retired instruction.
+pub fn signature_bits(inst: &Inst, rec: &ExecRecord) -> SigBits {
+    let marker = inst.is_taken_branch() || inst.op.is_mem();
+    let l2_dmiss = inst.op.is_mem() && rec.dcache_level == MissLevel::Mem;
+    let any_miss = rec.icache_level.is_miss()
+        || rec.icache_extra > 0
+        || rec.itlb_miss
+        || (inst.op.is_mem() && (rec.dcache_level.is_miss() || rec.dtlb_miss));
+    SigBits {
+        b1: marker && !l2_dmiss,
+        b2: any_miss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_trace::{OpClass, Reg};
+
+    fn load_rec(level: MissLevel) -> (Inst, ExecRecord) {
+        let mut i = Inst::new(0x100, OpClass::Load);
+        i.dst = Some(Reg::int(1));
+        i.mem_addr = 0x8000;
+        let rec = ExecRecord {
+            dcache_level: level,
+            ..ExecRecord::default()
+        };
+        (i, rec)
+    }
+
+    #[test]
+    fn load_hit_sets_bit1_only() {
+        let (i, r) = load_rec(MissLevel::Hit);
+        let s = signature_bits(&i, &r);
+        assert!(s.b1 && !s.b2);
+    }
+
+    #[test]
+    fn l2_hit_load_sets_both() {
+        let (i, r) = load_rec(MissLevel::L2);
+        let s = signature_bits(&i, &r);
+        assert!(s.b1 && s.b2);
+    }
+
+    #[test]
+    fn memory_miss_resets_bit1() {
+        let (i, r) = load_rec(MissLevel::Mem);
+        let s = signature_bits(&i, &r);
+        assert!(!s.b1, "bit 1 must reset on an L2 dcache miss");
+        assert!(s.b2);
+    }
+
+    #[test]
+    fn taken_branch_sets_bit1() {
+        let mut i = Inst::new(0x10, OpClass::CondBranch);
+        i.taken = true;
+        i.next_pc = 0x80;
+        let s = signature_bits(&i, &ExecRecord::default());
+        assert!(s.b1);
+        i.taken = false;
+        i.next_pc = 0x14;
+        let s = signature_bits(&i, &ExecRecord::default());
+        assert!(!s.b1, "not-taken branch leaves bit 1 clear");
+    }
+
+    #[test]
+    fn icache_miss_sets_bit2() {
+        let i = Inst::new(0x10, OpClass::IntAlu);
+        let rec = ExecRecord {
+            icache_extra: 12,
+            icache_level: MissLevel::L2,
+            ..ExecRecord::default()
+        };
+        assert!(signature_bits(&i, &rec).b2);
+    }
+
+    #[test]
+    fn plain_alu_is_all_zero() {
+        let i = Inst::new(0x10, OpClass::IntAlu);
+        let s = signature_bits(&i, &ExecRecord::default());
+        assert_eq!(s, SigBits::default());
+    }
+
+    #[test]
+    fn agreement_counts_bits() {
+        let a = SigBits { b1: true, b2: false };
+        assert_eq!(a.agreement(a), 2);
+        assert_eq!(a.agreement(SigBits { b1: false, b2: false }), 1);
+        assert_eq!(a.agreement(SigBits { b1: false, b2: true }), 0);
+    }
+}

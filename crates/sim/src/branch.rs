@@ -1,0 +1,366 @@
+//! Combined bimodal/gshare branch predictor with BTB and return-address
+//! stack (paper Table 6).
+
+use uarch_trace::{BranchPredictorConfig, Inst, OpClass};
+
+/// Outcome of consulting the predictor for one dynamic branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchOutcome {
+    /// Predicted direction (always `true` for unconditional transfers).
+    pub predicted_taken: bool,
+    /// Predicted target PC, if the front end could produce one.
+    pub predicted_target: Option<u64>,
+    /// Whether the prediction (direction *and* target) matched the actual
+    /// outcome — `false` triggers the misprediction recovery loop.
+    pub correct: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BtbEntry {
+    tag: u64,
+    target: u64,
+    valid: bool,
+    stamp: u64,
+}
+
+/// The Table 6 front-end predictor: 8k-entry bimodal + 8k-entry gshare
+/// chosen by an 8k-entry meta predictor, a 4k-entry 2-way BTB, and a
+/// 64-entry return-address stack.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    bimodal: Vec<u8>,
+    gshare: Vec<u8>,
+    meta: Vec<u8>,
+    history: u64,
+    history_mask: u64,
+    btb: Vec<BtbEntry>,
+    btb_assoc: usize,
+    btb_sets: usize,
+    ras: Vec<u64>,
+    ras_limit: usize,
+    tick: u64,
+}
+
+fn counter_taken(c: u8) -> bool {
+    c >= 2
+}
+
+fn counter_update(c: &mut u8, taken: bool) {
+    if taken {
+        *c = (*c + 1).min(3);
+    } else {
+        *c = c.saturating_sub(1);
+    }
+}
+
+impl BranchPredictor {
+    /// Build a predictor from its configuration.
+    ///
+    /// # Panics
+    /// Panics if any table size is zero or not a power of two.
+    pub fn new(config: &BranchPredictorConfig) -> BranchPredictor {
+        for (name, n) in [
+            ("bimodal", config.bimodal_entries),
+            ("gshare", config.gshare_entries),
+            ("meta", config.meta_entries),
+        ] {
+            assert!(
+                n > 0 && n.is_power_of_two(),
+                "{name} table size must be a power of two"
+            );
+        }
+        let btb_sets = config.btb_entries / config.btb_assoc;
+        assert!(
+            btb_sets > 0 && btb_sets.is_power_of_two(),
+            "BTB sets must be a power of two"
+        );
+        BranchPredictor {
+            bimodal: vec![1; config.bimodal_entries], // weakly not-taken
+            gshare: vec![1; config.gshare_entries],
+            meta: vec![2; config.meta_entries], // weakly prefer gshare
+            history: 0,
+            history_mask: (1u64 << config.gshare_history_bits) - 1,
+            btb: vec![
+                BtbEntry {
+                    tag: 0,
+                    target: 0,
+                    valid: false,
+                    stamp: 0,
+                };
+                config.btb_entries
+            ],
+            btb_assoc: config.btb_assoc,
+            btb_sets,
+            ras: Vec::with_capacity(config.ras_entries),
+            ras_limit: config.ras_entries,
+            tick: 0,
+        }
+    }
+
+    fn bimodal_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.bimodal.len() - 1)
+    }
+
+    fn gshare_index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ (self.history & self.history_mask)) as usize) & (self.gshare.len() - 1)
+    }
+
+    fn meta_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.meta.len() - 1)
+    }
+
+    fn predict_direction(&self, pc: u64) -> bool {
+        let bi = counter_taken(self.bimodal[self.bimodal_index(pc)]);
+        let gs = counter_taken(self.gshare[self.gshare_index(pc)]);
+        if counter_taken(self.meta[self.meta_index(pc)]) {
+            gs
+        } else {
+            bi
+        }
+    }
+
+    fn btb_lookup(&mut self, pc: u64) -> Option<u64> {
+        let set = ((pc >> 2) as usize) & (self.btb_sets - 1);
+        let tag = pc >> 2;
+        self.tick += 1;
+        let ways = &mut self.btb[set * self.btb_assoc..(set + 1) * self.btb_assoc];
+        let hit = ways.iter_mut().find(|w| w.valid && w.tag == tag)?;
+        hit.stamp = self.tick;
+        Some(hit.target)
+    }
+
+    fn btb_update(&mut self, pc: u64, target: u64) {
+        let set = ((pc >> 2) as usize) & (self.btb_sets - 1);
+        let tag = pc >> 2;
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = &mut self.btb[set * self.btb_assoc..(set + 1) * self.btb_assoc];
+        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.target = target;
+            way.stamp = tick;
+            return;
+        }
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.stamp } else { 0 })
+            .expect("BTB associativity is non-zero");
+        *victim = BtbEntry {
+            tag,
+            target,
+            valid: true,
+            stamp: tick,
+        };
+    }
+
+    /// Predict-and-update for one dynamic branch (trace-driven: the actual
+    /// outcome is in `inst`, the predictor is consulted first and trained
+    /// afterwards).
+    ///
+    /// Non-branch instructions return a trivially correct outcome.
+    pub fn process(&mut self, inst: &Inst) -> BranchOutcome {
+        if !inst.op.is_branch() {
+            return BranchOutcome {
+                predicted_taken: false,
+                predicted_target: None,
+                correct: true,
+            };
+        }
+        let actual_taken = inst.taken;
+        let actual_target = inst.next_pc;
+        let (predicted_taken, predicted_target) = match inst.op {
+            OpClass::CondBranch => {
+                let dir = self.predict_direction(inst.pc);
+                let tgt = if dir { self.btb_lookup(inst.pc) } else { None };
+                (dir, tgt)
+            }
+            OpClass::Jump | OpClass::Call => {
+                // Direct target is available from decode; treat as
+                // predicted correctly if direction logic has nothing to do.
+                (true, Some(actual_target))
+            }
+            OpClass::Return => (true, self.ras.pop()),
+            OpClass::IndirectJump => (true, self.btb_lookup(inst.pc)),
+            _ => unreachable!("non-branch handled above"),
+        };
+
+        let correct = if inst.op.is_cond_branch() {
+            if predicted_taken != actual_taken {
+                false
+            } else if actual_taken {
+                // Predicted taken: also need the right target from the BTB.
+                predicted_target == Some(actual_target)
+            } else {
+                true
+            }
+        } else {
+            predicted_target == Some(actual_target)
+        };
+
+        // Train.
+        match inst.op {
+            OpClass::CondBranch => {
+                let bi = self.bimodal_index(inst.pc);
+                let gs = self.gshare_index(inst.pc);
+                let me = self.meta_index(inst.pc);
+                let bi_correct = counter_taken(self.bimodal[bi]) == actual_taken;
+                let gs_correct = counter_taken(self.gshare[gs]) == actual_taken;
+                if bi_correct != gs_correct {
+                    counter_update(&mut self.meta[me], gs_correct);
+                }
+                counter_update(&mut self.bimodal[bi], actual_taken);
+                counter_update(&mut self.gshare[gs], actual_taken);
+                self.history = (self.history << 1) | u64::from(actual_taken);
+                if actual_taken {
+                    self.btb_update(inst.pc, actual_target);
+                }
+            }
+            OpClass::Call => {
+                if self.ras.len() == self.ras_limit {
+                    self.ras.remove(0);
+                }
+                self.ras.push(inst.fall_through());
+                self.btb_update(inst.pc, actual_target);
+            }
+            OpClass::Jump => {
+                self.btb_update(inst.pc, actual_target);
+            }
+            OpClass::IndirectJump => {
+                self.btb_update(inst.pc, actual_target);
+            }
+            OpClass::Return => {}
+            _ => {}
+        }
+
+        BranchOutcome {
+            predicted_taken,
+            predicted_target,
+            correct,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_trace::{MachineConfig, Reg};
+
+    fn predictor() -> BranchPredictor {
+        BranchPredictor::new(&MachineConfig::table6().predictor)
+    }
+
+    fn cond(pc: u64, taken: bool, target: u64) -> Inst {
+        let mut i = Inst::new(pc, OpClass::CondBranch);
+        i.srcs[0] = Some(Reg::int(1));
+        i.taken = taken;
+        i.next_pc = if taken { target } else { pc + 4 };
+        i
+    }
+
+    #[test]
+    fn learns_always_taken_branch() {
+        let mut p = predictor();
+        let mut correct = 0;
+        for _ in 0..20 {
+            if p.process(&cond(0x100, true, 0x200)).correct {
+                correct += 1;
+            }
+        }
+        // After warmup everything should predict correctly.
+        assert!(correct >= 16, "only {correct}/20 correct");
+        assert!(p.process(&cond(0x100, true, 0x200)).correct);
+    }
+
+    #[test]
+    fn learns_alternating_pattern_via_gshare() {
+        let mut p = predictor();
+        // T,N,T,N... — bimodal can't learn this; gshare history can.
+        for k in 0..200u64 {
+            p.process(&cond(0x300, k % 2 == 0, 0x500));
+        }
+        let mut correct = 0;
+        for k in 200..240u64 {
+            if p.process(&cond(0x300, k % 2 == 0, 0x500)).correct {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 36, "gshare failed alternation: {correct}/40");
+    }
+
+    #[test]
+    fn returns_use_ras() {
+        let mut p = predictor();
+        let mut call = Inst::new(0x1000, OpClass::Call);
+        call.taken = true;
+        call.next_pc = 0x8000;
+        p.process(&call);
+        let mut ret = Inst::new(0x8004, OpClass::Return);
+        ret.taken = true;
+        ret.next_pc = 0x1004; // call fall-through
+        assert!(p.process(&ret).correct);
+    }
+
+    #[test]
+    fn ras_mismatch_detected() {
+        let mut p = predictor();
+        let mut ret = Inst::new(0x8004, OpClass::Return);
+        ret.taken = true;
+        ret.next_pc = 0x1004;
+        // Empty RAS: no prediction possible, counts as mispredict.
+        assert!(!p.process(&ret).correct);
+    }
+
+    #[test]
+    fn indirect_jump_learns_target() {
+        let mut p = predictor();
+        let mut j = Inst::new(0x2000, OpClass::IndirectJump);
+        j.taken = true;
+        j.next_pc = 0x9000;
+        assert!(!p.process(&j).correct); // cold BTB
+        assert!(p.process(&j).correct); // learned
+        j.next_pc = 0xa000;
+        assert!(!p.process(&j).correct); // target changed
+    }
+
+    #[test]
+    fn non_branches_are_trivially_correct() {
+        let mut p = predictor();
+        let i = Inst::new(0x10, OpClass::IntAlu);
+        let o = p.process(&i);
+        assert!(o.correct);
+        assert!(!o.predicted_taken);
+    }
+
+    #[test]
+    fn direct_jumps_always_correct() {
+        let mut p = predictor();
+        let mut j = Inst::new(0x2000, OpClass::Jump);
+        j.taken = true;
+        j.next_pc = 0x4000;
+        assert!(p.process(&j).correct);
+    }
+
+    #[test]
+    fn ras_overflow_drops_oldest() {
+        let mut p = predictor();
+        // Push 65 calls onto a 64-entry RAS; the first return address is
+        // gone, the remaining 64 are intact.
+        for k in 0..65u64 {
+            let mut call = Inst::new(0x1000 + k * 8, OpClass::Call);
+            call.taken = true;
+            call.next_pc = 0x9000;
+            p.process(&call);
+        }
+        // Pop 64 correct returns (LIFO).
+        for k in (1..65u64).rev() {
+            let mut ret = Inst::new(0x9000, OpClass::Return);
+            ret.taken = true;
+            ret.next_pc = 0x1000 + k * 8 + 4;
+            assert!(p.process(&ret).correct, "return {k} should hit RAS");
+        }
+        // The 65th pops an empty stack.
+        let mut ret = Inst::new(0x9000, OpClass::Return);
+        ret.taken = true;
+        ret.next_pc = 0x1004;
+        assert!(!p.process(&ret).correct);
+    }
+}

@@ -1,0 +1,116 @@
+//! Idealization of event classes in the simulator (paper Table 1).
+//!
+//! | class | simulator behaviour |
+//! |---|---|
+//! | `dl1`   | L1 data lookup takes zero cycles (hits free; misses lose the lookup component) |
+//! | `win`   | window grown by `ideal_window_factor` (Table 1: "twenty times larger") |
+//! | `bw`    | infinite fetch/dispatch/issue/commit bandwidth (and no FU contention) |
+//! | `bmisp` | all branches predicted correctly |
+//! | `dmiss` | every data access hits L1 and the DTLB |
+//! | `shalu` | single-cycle integer ops take zero cycles (incl. their wakeup bubble) |
+//! | `lgalu` | multi-cycle int/FP ops take zero cycles (incl. their wakeup bubble) |
+//! | `imiss` | every instruction fetch hits L1I and the ITLB |
+
+use uarch_trace::{EventClass, EventSet};
+
+/// Which event classes a simulation run idealizes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Idealization {
+    set: EventSet,
+}
+
+impl Idealization {
+    /// Idealize nothing (the baseline run).
+    pub fn none() -> Idealization {
+        Idealization::default()
+    }
+
+    /// Idealize every class at once (execution collapses to pipeline
+    /// overheads; used in tests of the icost accounting identity).
+    pub fn all() -> Idealization {
+        Idealization {
+            set: EventSet::ALL,
+        }
+    }
+
+    /// The underlying event set.
+    pub fn set(&self) -> EventSet {
+        self.set
+    }
+
+    /// Zero-latency L1 data lookups? (`dl1`)
+    pub fn zero_l1_lookup(&self) -> bool {
+        self.set.contains(EventClass::Dl1)
+    }
+
+    /// Enlarged instruction window? (`win`)
+    pub fn huge_window(&self) -> bool {
+        self.set.contains(EventClass::Win)
+    }
+
+    /// Infinite pipeline bandwidth? (`bw`)
+    pub fn infinite_bw(&self) -> bool {
+        self.set.contains(EventClass::Bw)
+    }
+
+    /// Perfect branch prediction? (`bmisp`)
+    pub fn perfect_branches(&self) -> bool {
+        self.set.contains(EventClass::Bmisp)
+    }
+
+    /// Perfect data cache and DTLB? (`dmiss`)
+    pub fn perfect_dcache(&self) -> bool {
+        self.set.contains(EventClass::Dmiss)
+    }
+
+    /// Zero-latency short integer ops? (`shalu`)
+    pub fn zero_short_alu(&self) -> bool {
+        self.set.contains(EventClass::ShortAlu)
+    }
+
+    /// Zero-latency long ops? (`lgalu`)
+    pub fn zero_long_alu(&self) -> bool {
+        self.set.contains(EventClass::LongAlu)
+    }
+
+    /// Perfect instruction cache and ITLB? (`imiss`)
+    pub fn perfect_icache(&self) -> bool {
+        self.set.contains(EventClass::Imiss)
+    }
+}
+
+impl From<EventSet> for Idealization {
+    fn from(set: EventSet) -> Idealization {
+        Idealization { set }
+    }
+}
+
+impl From<EventClass> for Idealization {
+    fn from(class: EventClass) -> Idealization {
+        Idealization {
+            set: EventSet::single(class),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_track_set_membership() {
+        let i = Idealization::from(EventSet::from([EventClass::Dl1, EventClass::Win]));
+        assert!(i.zero_l1_lookup());
+        assert!(i.huge_window());
+        assert!(!i.infinite_bw());
+        assert!(!i.perfect_branches());
+        assert_eq!(i.set().len(), 2);
+    }
+
+    #[test]
+    fn none_and_all() {
+        assert!(Idealization::none().set().is_empty());
+        let a = Idealization::all();
+        assert!(a.perfect_icache() && a.zero_long_alu() && a.perfect_dcache());
+    }
+}

@@ -1,0 +1,240 @@
+//! Per-instruction execution records and whole-run results.
+
+use crate::cache::MissLevel;
+use uarch_trace::Trace;
+
+/// Timing and event record for one dynamic instruction, as observed by the
+/// simulator. These are exactly the quantities the dependence-graph model
+/// (paper Table 3 / Figure 5b) needs: the dynamically-collected latencies
+/// (icache misses, execution latency, contention) and dependences (register
+/// producers, cache-line sharing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecRecord {
+    /// Cycle the instruction entered the fetch queue.
+    pub fetch: u64,
+    /// Cycle dispatched into the window (graph node `D`).
+    pub dispatch: u64,
+    /// Cycle all operands were available and the instruction could be
+    /// considered for issue (graph node `R`).
+    pub ready: u64,
+    /// Cycle issued to a functional unit (graph node `E`).
+    pub exec: u64,
+    /// Cycle execution completed (graph node `P`).
+    pub complete: u64,
+    /// Cycle committed (graph node `C`).
+    pub commit: u64,
+    /// Extra fetch delay caused by I-cache/ITLB misses (latency on the `DD`
+    /// edge).
+    pub icache_extra: u64,
+    /// Where the I-side access for this instruction's line hit (only
+    /// meaningful for the first instruction of each fetched line).
+    pub icache_level: MissLevel,
+    /// Whether the ITLB missed for this instruction's fetch.
+    pub itlb_miss: bool,
+    /// Whether this (branch) was mispredicted, triggering recovery.
+    pub mispredicted: bool,
+    /// Execution latency (latency on the `EP` edge); includes the memory
+    /// hierarchy for loads.
+    pub exec_latency: u64,
+    /// Issue delay beyond readiness caused by issue-width/functional-unit
+    /// contention (latency on the `RE` edge).
+    pub re_delay: u64,
+    /// Where this instruction's data access hit (memory ops only).
+    pub dcache_level: MissLevel,
+    /// Whether the DTLB missed (memory ops only).
+    pub dtlb_miss: bool,
+    /// Dynamic index of the producer of each source operand, if it is an
+    /// in-flight-relevant register dependence (`PR` edges).
+    pub src_producers: [Option<u32>; 2],
+    /// Extra wakeup latency charged on each `PR` edge (the issue-wakeup
+    /// loop bubble, attributed to the producer's class).
+    pub wakeup_bubble: [u64; 2],
+    /// Dynamic index of an earlier load whose outstanding miss this load
+    /// merged with (`PP` cache-line-sharing edge) — the "partial miss".
+    pub pp_producer: Option<u32>,
+}
+
+/// Aggregate event counts over one run (handy for workload calibration and
+/// sanity checks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Dynamic conditional branches.
+    pub cond_branches: u64,
+    /// Mispredicted branches of any kind.
+    pub mispredicts: u64,
+    /// Dynamic loads.
+    pub loads: u64,
+    /// Loads that missed L1 (including merged/partial misses).
+    pub l1d_load_misses: u64,
+    /// Loads that went to main memory.
+    pub mem_load_misses: u64,
+    /// Loads that merged into an outstanding miss (partial misses).
+    pub merged_loads: u64,
+    /// Fetch-line accesses that missed L1I.
+    pub l1i_misses: u64,
+    /// DTLB misses.
+    pub dtlb_misses: u64,
+    /// ITLB misses.
+    pub itlb_misses: u64,
+}
+
+/// Result of simulating one trace.
+#[derive(Debug, Clone, Default)]
+pub struct SimResult {
+    /// Total execution time in cycles (commit cycle of the last
+    /// instruction).
+    pub cycles: u64,
+    /// Per-instruction records, parallel to the trace.
+    pub records: Vec<ExecRecord>,
+    /// Aggregate event counts.
+    pub counts: EventCounts,
+}
+
+impl SimResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.records.len() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.cycles as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Branch misprediction rate over conditional branches (0..=1), or
+    /// `None` if the trace has no conditional branches.
+    pub fn mispredict_rate(&self) -> Option<f64> {
+        if self.counts.cond_branches == 0 {
+            None
+        } else {
+            Some(self.counts.mispredicts as f64 / self.counts.cond_branches as f64)
+        }
+    }
+
+    /// L1D load miss rate (0..=1), or `None` if the trace has no loads.
+    pub fn load_miss_rate(&self) -> Option<f64> {
+        if self.counts.loads == 0 {
+            None
+        } else {
+            Some(self.counts.l1d_load_misses as f64 / self.counts.loads as f64)
+        }
+    }
+
+    /// Check the fundamental per-instruction orderings (fetch ≤ dispatch ≤
+    /// ready ≤ exec ≤ complete ≤ commit, and in-order dispatch/commit)
+    /// against `trace`; returns the first violation as a human-readable
+    /// string. Used heavily by tests and property checks.
+    pub fn check_invariants(&self, trace: &Trace) -> Result<(), String> {
+        if self.records.len() != trace.len() {
+            return Err(format!(
+                "record count {} != trace length {}",
+                self.records.len(),
+                trace.len()
+            ));
+        }
+        let mut prev_dispatch = 0;
+        let mut prev_commit = 0;
+        for (i, r) in self.records.iter().enumerate() {
+            let ord = [r.fetch, r.dispatch, r.ready, r.exec, r.complete, r.commit];
+            if ord.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("inst {i}: non-monotonic pipeline times {ord:?}"));
+            }
+            if r.dispatch < prev_dispatch {
+                return Err(format!("inst {i}: out-of-order dispatch"));
+            }
+            if r.commit < prev_commit {
+                return Err(format!("inst {i}: out-of-order commit"));
+            }
+            prev_dispatch = r.dispatch;
+            prev_commit = r.commit;
+            for (s, p) in r.src_producers.iter().enumerate() {
+                if let Some(p) = p {
+                    if *p as usize >= i {
+                        return Err(format!("inst {i}: src {s} producer {p} not earlier"));
+                    }
+                }
+            }
+            if let Some(p) = r.pp_producer {
+                if p as usize >= i {
+                    return Err(format!("inst {i}: pp producer {p} not earlier"));
+                }
+            }
+        }
+        if let Some(last) = self.records.last() {
+            if last.commit != self.cycles {
+                return Err(format!(
+                    "total cycles {} != last commit {}",
+                    self.cycles, last.commit
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_empty_safe() {
+        let r = SimResult::default();
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.cpi(), 0.0);
+        assert_eq!(r.mispredict_rate(), None);
+        assert_eq!(r.load_miss_rate(), None);
+    }
+
+    #[test]
+    fn invariant_checker_catches_misordering() {
+        let mut b = uarch_trace::TraceBuilder::new();
+        b.nops(1);
+        let t = b.finish();
+        let mut res = SimResult {
+            cycles: 5,
+            records: vec![ExecRecord {
+                fetch: 3,
+                dispatch: 2, // violates fetch <= dispatch
+                ready: 4,
+                exec: 4,
+                complete: 5,
+                commit: 5,
+                ..ExecRecord::default()
+            }],
+            counts: EventCounts::default(),
+        };
+        assert!(res.check_invariants(&t).is_err());
+        res.records[0].fetch = 1;
+        assert!(res.check_invariants(&t).is_ok());
+    }
+
+    #[test]
+    fn invariant_checker_catches_bad_producer() {
+        let mut b = uarch_trace::TraceBuilder::new();
+        b.nops(1);
+        let t = b.finish();
+        let res = SimResult {
+            cycles: 1,
+            records: vec![ExecRecord {
+                commit: 1,
+                complete: 1,
+                exec: 1,
+                ready: 1,
+                dispatch: 1,
+                fetch: 1,
+                src_producers: [Some(0), None], // self-reference
+                ..ExecRecord::default()
+            }],
+            counts: EventCounts::default(),
+        };
+        assert!(res.check_invariants(&t).is_err());
+    }
+}

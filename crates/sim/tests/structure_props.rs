@@ -1,0 +1,97 @@
+//! Property tests for the simulator's structural models (caches, TLBs,
+//! predictor) and end-to-end timing invariants.
+
+use proptest::prelude::*;
+use uarch_sim::{Cache, Idealization, Simulator, Tlb};
+use uarch_trace::{CacheConfig, MachineConfig, Reg, TlbConfig, TraceBuilder};
+
+proptest! {
+    /// A cache access to an address always hits immediately afterwards
+    /// (fill-on-miss), regardless of access history.
+    #[test]
+    fn access_then_hit(history in prop::collection::vec(0u64..1 << 20, 0..200), addr in 0u64..1 << 20) {
+        let mut c = Cache::new(&CacheConfig {
+            size_bytes: 4 * 1024,
+            assoc: 2,
+            line_bytes: 64,
+            latency: 1,
+        });
+        for a in history {
+            c.access(a);
+        }
+        c.access(addr);
+        prop_assert!(c.probe(addr), "just-accessed address must be resident");
+    }
+
+    /// A direct-mapped cache of N lines never holds more than N distinct
+    /// lines: after touching N+1 distinct same-set lines, the first is
+    /// gone.
+    #[test]
+    fn capacity_is_respected(tag_count in 2u64..6) {
+        let mut c = Cache::new(&CacheConfig {
+            size_bytes: 64, // exactly one line
+            assoc: 1,
+            line_bytes: 64,
+            latency: 1,
+        });
+        for t in 0..tag_count {
+            c.access(t * 64);
+        }
+        // Only the most recent line survives.
+        prop_assert!(c.probe((tag_count - 1) * 64));
+        prop_assert!(!c.probe(0));
+    }
+
+    /// TLB behaves like a page-granular cache.
+    #[test]
+    fn tlb_page_granularity(addr in 0u64..1 << 26, offset in 0u64..8192) {
+        let mut t = Tlb::new(&TlbConfig {
+            entries: 8,
+            assoc: 2,
+            page_bytes: 8192,
+        });
+        let page_base = addr & !8191;
+        t.access(page_base);
+        prop_assert!(t.access(page_base + offset), "same page must hit");
+    }
+
+    /// Simulated time never decreases when the trace is extended — adding
+    /// instructions cannot finish earlier.
+    #[test]
+    fn cycles_monotone_in_trace_length(n in 1usize..40, extra in 1usize..20) {
+        let build = |len: usize| {
+            let mut b = TraceBuilder::new();
+            for k in 0..len {
+                b.load(Reg::int((k % 8) as u8 + 1), 0x1000 + (k as u64 % 128) * 8);
+                b.alu(Reg::int(9), &[Reg::int((k % 8) as u8 + 1)]);
+            }
+            b.finish()
+        };
+        let cfg = MachineConfig::table6();
+        let sim = Simulator::new(&cfg);
+        let short = sim.cycles(&build(n), Idealization::none());
+        let long = sim.cycles(&build(n + extra), Idealization::none());
+        prop_assert!(long >= short, "{long} < {short}");
+    }
+
+    /// Per-instruction records always satisfy the pipeline-order
+    /// invariants under any single-class idealization.
+    #[test]
+    fn invariants_hold_under_idealization(bits in 0u8..=255, n in 5usize..60) {
+        let ideal: uarch_trace::EventSet = uarch_trace::EventClass::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bits & (1 << i) != 0)
+            .map(|(_, c)| *c)
+            .collect();
+        let mut b = TraceBuilder::new();
+        b.counted_loop(n, Reg::int(9), |b, k| {
+            b.load(Reg::int(1), 0x2000_0000 + (k as u64 % 64) * 64);
+            b.alu(Reg::int(2), &[Reg::int(1)]);
+        });
+        let t = b.finish();
+        let cfg = MachineConfig::table6();
+        let r = Simulator::new(&cfg).run(&t, Idealization::from(ideal));
+        prop_assert!(r.check_invariants(&t).is_ok());
+    }
+}

@@ -1,0 +1,408 @@
+//! Machine configuration (paper Table 6).
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Hit latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    /// Panics if the geometry is inconsistent (size not divisible by
+    /// `assoc * line_bytes`, or any parameter zero).
+    pub fn num_sets(&self) -> usize {
+        assert!(
+            self.size_bytes > 0 && self.assoc > 0 && self.line_bytes > 0,
+            "cache geometry must be non-zero"
+        );
+        let sets = self.size_bytes / (self.assoc * self.line_bytes);
+        assert!(
+            sets > 0 && sets * self.assoc * self.line_bytes == self.size_bytes,
+            "cache size {} not divisible into {} ways of {}-byte lines",
+            self.size_bytes,
+            self.assoc,
+            self.line_bytes
+        );
+        sets
+    }
+}
+
+/// Configuration of a TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: usize,
+    /// Associativity.
+    pub assoc: usize,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+}
+
+/// Functional-unit classes of the execution core (paper Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Integer ALUs.
+    IntAlu,
+    /// Integer multipliers.
+    IntMult,
+    /// Floating-point adders.
+    FpAlu,
+    /// Floating-point multiply/divide units (shared).
+    FpMultDiv,
+    /// Load/store ports.
+    LdSt,
+}
+
+impl FuClass {
+    /// All functional-unit classes.
+    pub const ALL: [FuClass; 5] = [
+        FuClass::IntAlu,
+        FuClass::IntMult,
+        FuClass::FpAlu,
+        FuClass::FpMultDiv,
+        FuClass::LdSt,
+    ];
+}
+
+/// Count and latency of one functional-unit class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuConfig {
+    /// Number of units.
+    pub count: usize,
+    /// Operation latency in cycles.
+    pub latency: u64,
+    /// Whether the unit accepts a new operation every cycle.
+    pub pipelined: bool,
+}
+
+/// Branch-predictor configuration (paper Table 6: combined bimodal/gshare
+/// with meta chooser, 2-way BTB, return-address stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchPredictorConfig {
+    /// Bimodal table entries (power of two).
+    pub bimodal_entries: usize,
+    /// Gshare table entries (power of two).
+    pub gshare_entries: usize,
+    /// Gshare global-history bits.
+    pub gshare_history_bits: u32,
+    /// Meta-chooser table entries (power of two).
+    pub meta_entries: usize,
+    /// BTB entries.
+    pub btb_entries: usize,
+    /// BTB associativity.
+    pub btb_assoc: usize,
+    /// Return-address-stack depth.
+    pub ras_entries: usize,
+}
+
+/// The full simulated machine (paper Table 6), plus the pipeline-loop knobs
+/// the Section 4 tutorial varies (L1 latency, issue-wakeup latency,
+/// branch-misprediction loop length).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Re-order buffer / instruction window entries.
+    pub rob_size: usize,
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions dispatched (renamed into the window) per cycle.
+    pub dispatch_width: usize,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Fetch stops at the N-th taken branch in a cycle (Table 6: second).
+    pub fetch_taken_limit: usize,
+    /// Entries in the decoupling queue between fetch and dispatch.
+    pub fetch_queue: usize,
+    /// Front-end depth: cycles from fetch to dispatch. Together with the
+    /// one-cycle redirect this sets the branch-misprediction loop length
+    /// (`front_end_depth + 1`).
+    pub front_end_depth: u64,
+    /// Cycles from dispatch until operands can be consumed (rename/queue
+    /// stages).
+    pub dispatch_to_ready: u64,
+    /// Cycles from completed execution to earliest commit.
+    pub complete_to_commit: u64,
+    /// Issue-wakeup loop latency: 1 allows dependent ops to issue
+    /// back-to-back; 2 inserts one bubble (paper Section 4.2).
+    pub issue_wakeup: u64,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache. `l1d.latency` is the "dl1 loop" knob of Section 4.1.
+    pub l1d: CacheConfig,
+    /// Unified L2 cache.
+    pub l2: CacheConfig,
+    /// Main-memory latency in cycles.
+    pub mem_latency: u64,
+    /// Instruction TLB.
+    pub itlb: TlbConfig,
+    /// Data TLB.
+    pub dtlb: TlbConfig,
+    /// TLB miss-handling latency.
+    pub tlb_miss_penalty: u64,
+    /// Integer ALUs.
+    pub fu_int_alu: FuConfig,
+    /// Integer multipliers.
+    pub fu_int_mult: FuConfig,
+    /// FP adders.
+    pub fu_fp_alu: FuConfig,
+    /// FP multiply units (divide shares these, unpipelined, at
+    /// `fp_div_latency`).
+    pub fu_fp_mult: FuConfig,
+    /// FP divide latency on the shared mult/div units.
+    pub fp_div_latency: u64,
+    /// Load/store ports. Port *count* limits concurrency; load latency comes
+    /// from the cache hierarchy.
+    pub fu_ld_st: FuConfig,
+    /// Branch predictor.
+    pub predictor: BranchPredictorConfig,
+    /// Window multiplier used to approximate an infinite window when
+    /// idealizing `win` (paper Table 1: twenty times the baseline).
+    pub ideal_window_factor: usize,
+}
+
+impl MachineConfig {
+    /// The paper's Table 6 baseline: 64-entry window, 6-way issue, 15-cycle
+    /// pipeline, 32KB 2-cycle L1s, 1MB 12-cycle L2, 100-cycle memory.
+    pub fn table6() -> MachineConfig {
+        MachineConfig {
+            rob_size: 64,
+            fetch_width: 6,
+            dispatch_width: 6,
+            issue_width: 6,
+            commit_width: 6,
+            fetch_taken_limit: 2,
+            fetch_queue: 24,
+            // 15-stage pipeline: 10 front-end stages + rename/queue +
+            // writeback-to-commit stages.
+            front_end_depth: 10,
+            dispatch_to_ready: 2,
+            complete_to_commit: 2,
+            issue_wakeup: 1,
+            l1i: CacheConfig {
+                size_bytes: 32 * 1024,
+                assoc: 2,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                assoc: 2,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 1024 * 1024,
+                assoc: 4,
+                line_bytes: 64,
+                latency: 12,
+            },
+            mem_latency: 100,
+            itlb: TlbConfig {
+                entries: 64,
+                assoc: 4,
+                page_bytes: 8192,
+            },
+            dtlb: TlbConfig {
+                entries: 128,
+                assoc: 4,
+                page_bytes: 8192,
+            },
+            tlb_miss_penalty: 30,
+            fu_int_alu: FuConfig {
+                count: 6,
+                latency: 1,
+                pipelined: true,
+            },
+            fu_int_mult: FuConfig {
+                count: 2,
+                latency: 3,
+                pipelined: true,
+            },
+            fu_fp_alu: FuConfig {
+                count: 4,
+                latency: 2,
+                pipelined: true,
+            },
+            fu_fp_mult: FuConfig {
+                count: 2,
+                latency: 4,
+                pipelined: true,
+            },
+            fp_div_latency: 12,
+            fu_ld_st: FuConfig {
+                count: 3,
+                latency: 2,
+                pipelined: true,
+            },
+            predictor: BranchPredictorConfig {
+                bimodal_entries: 8192,
+                gshare_entries: 8192,
+                gshare_history_bits: 13,
+                meta_entries: 8192,
+                btb_entries: 4096,
+                btb_assoc: 2,
+                ras_entries: 64,
+            },
+            ideal_window_factor: 20,
+        }
+    }
+
+    /// Table 6 baseline with a different L1 data-cache latency — the
+    /// Section 4.1 "level-one data-cache access loop" configuration
+    /// (Table 4a uses `with_dl1_latency(4)`).
+    pub fn with_dl1_latency(mut self, latency: u64) -> MachineConfig {
+        self.l1d.latency = latency;
+        self.fu_ld_st.latency = latency;
+        self
+    }
+
+    /// Set the issue-wakeup loop latency (Table 4b uses 2).
+    pub fn with_issue_wakeup(mut self, latency: u64) -> MachineConfig {
+        self.issue_wakeup = latency;
+        self
+    }
+
+    /// Set the branch-misprediction loop length: the cycles from branch
+    /// resolution to dispatch of the first correct-path instruction
+    /// (Table 4c uses 15). Implemented by adjusting the front-end depth.
+    ///
+    /// # Panics
+    /// Panics if `loop_len == 0`.
+    pub fn with_misp_loop(mut self, loop_len: u64) -> MachineConfig {
+        assert!(loop_len > 0, "misprediction loop must be at least 1 cycle");
+        self.front_end_depth = loop_len - 1;
+        self
+    }
+
+    /// Set the window (ROB) size, as swept by the Figure 3 sensitivity
+    /// study.
+    pub fn with_window(mut self, rob: usize) -> MachineConfig {
+        self.rob_size = rob;
+        self
+    }
+
+    /// The branch-misprediction loop length implied by this configuration.
+    pub fn misp_loop(&self) -> u64 {
+        self.front_end_depth + 1
+    }
+
+    /// Latency of a load that misses L1 and hits L2 (lookup + L2).
+    pub fn l2_access_latency(&self) -> u64 {
+        self.l1d.latency + self.l2.latency
+    }
+
+    /// Latency of a load that misses to main memory.
+    pub fn mem_access_latency(&self) -> u64 {
+        self.l1d.latency + self.l2.latency + self.mem_latency
+    }
+
+    /// Validate internal consistency; returns a human-readable description
+    /// of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rob_size == 0 {
+            return Err("rob_size must be positive".into());
+        }
+        if self.fetch_width == 0 || self.issue_width == 0 || self.commit_width == 0 {
+            return Err("pipeline widths must be positive".into());
+        }
+        if self.issue_wakeup == 0 {
+            return Err("issue_wakeup is a loop length and must be >= 1".into());
+        }
+        if self.fetch_taken_limit == 0 {
+            return Err("fetch_taken_limit must be >= 1".into());
+        }
+        for (name, c) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("l2", &self.l2)] {
+            if c.size_bytes == 0
+                || c.assoc == 0
+                || c.line_bytes == 0
+                || !c.line_bytes.is_power_of_two()
+                || c.size_bytes % (c.assoc * c.line_bytes) != 0
+                || !(c.size_bytes / (c.assoc * c.line_bytes)).is_power_of_two()
+            {
+                return Err(format!("{name}: inconsistent cache geometry"));
+            }
+        }
+        for (name, t) in [("itlb", &self.itlb), ("dtlb", &self.dtlb)] {
+            if t.entries == 0 || t.assoc == 0 || t.entries % t.assoc != 0 {
+                return Err(format!("{name}: inconsistent TLB geometry"));
+            }
+            if !t.page_bytes.is_power_of_two() {
+                return Err(format!("{name}: page size must be a power of two"));
+            }
+        }
+        if self.ideal_window_factor < 2 {
+            return Err("ideal_window_factor must be at least 2".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig::table6()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_is_valid() {
+        let c = MachineConfig::table6();
+        c.validate().expect("Table 6 config must validate");
+        assert_eq!(c.rob_size, 64);
+        assert_eq!(c.issue_width, 6);
+        assert_eq!(c.l1d.latency, 2);
+        assert_eq!(c.mem_access_latency(), 2 + 12 + 100);
+    }
+
+    #[test]
+    fn cache_sets() {
+        let c = MachineConfig::table6();
+        assert_eq!(c.l1d.num_sets(), 32 * 1024 / (2 * 64));
+        assert_eq!(c.l2.num_sets(), 1024 * 1024 / (4 * 64));
+    }
+
+    #[test]
+    fn loop_knobs() {
+        let c = MachineConfig::table6().with_dl1_latency(4);
+        assert_eq!(c.l1d.latency, 4);
+        assert_eq!(c.fu_ld_st.latency, 4);
+        let c = MachineConfig::table6().with_issue_wakeup(2);
+        assert_eq!(c.issue_wakeup, 2);
+        let c = MachineConfig::table6().with_misp_loop(15);
+        assert_eq!(c.misp_loop(), 15);
+        let c = MachineConfig::table6().with_window(128);
+        assert_eq!(c.rob_size, 128);
+    }
+
+    #[test]
+    fn validation_catches_bad_geometry() {
+        let mut c = MachineConfig::table6();
+        c.l1d.size_bytes = 1000; // not divisible into ways of lines
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::table6();
+        c.issue_wakeup = 0;
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::table6();
+        c.rob_size = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 cycle")]
+    fn misp_loop_zero_panics() {
+        let _ = MachineConfig::table6().with_misp_loop(0);
+    }
+}

@@ -1,0 +1,339 @@
+//! The eight base breakdown categories of the paper's evaluation and sets
+//! thereof.
+//!
+//! Costs and interaction costs are always keyed by an [`EventSet`]: the set
+//! of event classes that are *idealized together*. The paper's category
+//! names (Table 4 caption) are kept verbatim: `dl1`, `win`, `bw`, `bmisp`,
+//! `dmiss`, `shalu`, `lgalu`, `imiss`.
+
+use std::fmt;
+
+/// A base category of stall-causing events (paper Table 4 caption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventClass {
+    /// Level-one data-cache access latency (L1 hits).
+    Dl1,
+    /// Instruction-window (re-order buffer) stalls.
+    Win,
+    /// Processor bandwidth: fetch, issue and commit bandwidth.
+    Bw,
+    /// Branch mispredictions.
+    Bmisp,
+    /// Data-cache misses (to L2 or memory, incl. DTLB misses).
+    Dmiss,
+    /// Single-cycle integer operations.
+    ShortAlu,
+    /// Multi-cycle integer and floating-point operations.
+    LongAlu,
+    /// Instruction-cache misses (incl. ITLB misses).
+    Imiss,
+}
+
+impl EventClass {
+    /// All eight classes, in the paper's Table 4a row order.
+    pub const ALL: [EventClass; 8] = [
+        EventClass::Dl1,
+        EventClass::Win,
+        EventClass::Bw,
+        EventClass::Bmisp,
+        EventClass::Dmiss,
+        EventClass::ShortAlu,
+        EventClass::LongAlu,
+        EventClass::Imiss,
+    ];
+
+    /// The paper's short name for the category.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventClass::Dl1 => "dl1",
+            EventClass::Win => "win",
+            EventClass::Bw => "bw",
+            EventClass::Bmisp => "bmisp",
+            EventClass::Dmiss => "dmiss",
+            EventClass::ShortAlu => "shalu",
+            EventClass::LongAlu => "lgalu",
+            EventClass::Imiss => "imiss",
+        }
+    }
+
+    /// Parse a paper-style short name.
+    pub fn from_name(name: &str) -> Option<EventClass> {
+        EventClass::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            EventClass::Dl1 => 0,
+            EventClass::Win => 1,
+            EventClass::Bw => 2,
+            EventClass::Bmisp => 3,
+            EventClass::Dmiss => 4,
+            EventClass::ShortAlu => 5,
+            EventClass::LongAlu => 6,
+            EventClass::Imiss => 7,
+        }
+    }
+
+    fn from_bit(bit: u8) -> EventClass {
+        EventClass::ALL[bit as usize]
+    }
+}
+
+impl fmt::Display for EventClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of [`EventClass`]es, idealized together.
+///
+/// Represented as a tiny bitmask; cheap to copy, hash and enumerate, which
+/// matters because cost oracles memoize on it and icost computation walks
+/// power sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EventSet(u8);
+
+impl EventSet {
+    /// The empty set (idealize nothing; `cost(∅) = 0`).
+    pub const EMPTY: EventSet = EventSet(0);
+    /// The set of all eight base classes.
+    pub const ALL: EventSet = EventSet(0xff);
+
+    /// An empty set.
+    pub fn new() -> EventSet {
+        EventSet::EMPTY
+    }
+
+    /// A singleton set.
+    pub fn single(class: EventClass) -> EventSet {
+        EventSet(1 << class.bit())
+    }
+
+    /// Number of classes in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `class` is a member.
+    pub fn contains(self, class: EventClass) -> bool {
+        self.0 & (1 << class.bit()) != 0
+    }
+
+    /// Insert a class (in place).
+    pub fn insert(&mut self, class: EventClass) {
+        self.0 |= 1 << class.bit();
+    }
+
+    /// Remove a class (in place).
+    pub fn remove(&mut self, class: EventClass) {
+        self.0 &= !(1 << class.bit());
+    }
+
+    /// The union of two sets.
+    pub fn union(self, other: EventSet) -> EventSet {
+        EventSet(self.0 | other.0)
+    }
+
+    /// The intersection of two sets.
+    pub fn intersection(self, other: EventSet) -> EventSet {
+        EventSet(self.0 & other.0)
+    }
+
+    /// Set difference `self ∖ other`.
+    pub fn difference(self, other: EventSet) -> EventSet {
+        EventSet(self.0 & !other.0)
+    }
+
+    /// Returns a copy with `class` inserted.
+    pub fn with(self, class: EventClass) -> EventSet {
+        EventSet(self.0 | (1 << class.bit()))
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(self, other: EventSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterate over member classes in canonical order.
+    pub fn iter(self) -> impl Iterator<Item = EventClass> {
+        (0..8u8)
+            .filter(move |b| self.0 & (1 << b) != 0)
+            .map(EventClass::from_bit)
+    }
+
+    /// Enumerate **all** subsets of this set, including the empty set and
+    /// the set itself, in an order where every subset appears after all of
+    /// its own subsets (submask enumeration order is compatible with
+    /// inclusion).
+    pub fn subsets(self) -> Subsets {
+        Subsets {
+            mask: self.0,
+            current: Some(0),
+        }
+    }
+
+    /// Enumerate the *proper* subsets (all subsets except `self`), matching
+    /// the paper's `P(U) \ U` in the recursive icost definition.
+    pub fn proper_subsets(self) -> impl Iterator<Item = EventSet> {
+        let me = self;
+        self.subsets().filter(move |s| *s != me)
+    }
+}
+
+impl From<EventClass> for EventSet {
+    fn from(class: EventClass) -> EventSet {
+        EventSet::single(class)
+    }
+}
+
+impl<const N: usize> From<[EventClass; N]> for EventSet {
+    fn from(classes: [EventClass; N]) -> EventSet {
+        let mut s = EventSet::new();
+        for c in classes {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+impl FromIterator<EventClass> for EventSet {
+    fn from_iter<I: IntoIterator<Item = EventClass>>(iter: I) -> EventSet {
+        let mut s = EventSet::new();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+impl Extend<EventClass> for EventSet {
+    fn extend<I: IntoIterator<Item = EventClass>>(&mut self, iter: I) {
+        for c in iter {
+            self.insert(c);
+        }
+    }
+}
+
+impl fmt::Display for EventSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("(none)");
+        }
+        let mut first = true;
+        for c in self.iter() {
+            if !first {
+                f.write_str("+")?;
+            }
+            first = false;
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over all subsets of an [`EventSet`] (see
+/// [`EventSet::subsets`]).
+#[derive(Debug, Clone)]
+pub struct Subsets {
+    mask: u8,
+    current: Option<u8>,
+}
+
+impl Iterator for Subsets {
+    type Item = EventSet;
+
+    fn next(&mut self) -> Option<EventSet> {
+        let cur = self.current?;
+        // Standard submask enumeration: next = (cur - mask) & mask walks
+        // submasks in increasing order starting from 0.
+        self.current = if cur == self.mask {
+            None
+        } else {
+            Some((cur.wrapping_sub(self.mask)) & self.mask)
+        };
+        Some(EventSet(cur))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for c in EventClass::ALL {
+            assert_eq!(EventClass::from_name(c.name()), Some(c));
+        }
+        assert_eq!(EventClass::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = EventSet::from([EventClass::Dl1, EventClass::Win]);
+        let b = EventSet::from([EventClass::Win, EventClass::Bmisp]);
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(EventClass::Dl1));
+        assert!(!a.contains(EventClass::Bmisp));
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b), EventSet::single(EventClass::Win));
+        assert_eq!(a.difference(b), EventSet::single(EventClass::Dl1));
+        assert!(EventSet::single(EventClass::Win).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+        assert!(EventSet::EMPTY.is_subset_of(a));
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let s = EventSet::from([EventClass::ShortAlu, EventClass::Dl1]);
+        assert_eq!(s.to_string(), "dl1+shalu");
+        assert_eq!(EventSet::EMPTY.to_string(), "(none)");
+    }
+
+    #[test]
+    fn subsets_enumerates_power_set() {
+        let u = EventSet::from([EventClass::Dl1, EventClass::Win, EventClass::Bw]);
+        let subs: Vec<_> = u.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        assert!(subs.contains(&EventSet::EMPTY));
+        assert!(subs.contains(&u));
+        // All are genuine subsets and all are distinct.
+        for s in &subs {
+            assert!(s.is_subset_of(u));
+        }
+        let mut dedup = subs.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+        // Proper subsets exclude the set itself.
+        assert_eq!(u.proper_subsets().count(), 7);
+    }
+
+    #[test]
+    fn subsets_of_empty_is_just_empty() {
+        let subs: Vec<_> = EventSet::EMPTY.subsets().collect();
+        assert_eq!(subs, vec![EventSet::EMPTY]);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let s: EventSet = EventClass::ALL.into_iter().collect();
+        assert_eq!(s, EventSet::ALL);
+        let mut t = EventSet::new();
+        t.extend([EventClass::Imiss]);
+        assert!(t.contains(EventClass::Imiss));
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut s = EventSet::new();
+        s.insert(EventClass::Bw);
+        assert!(s.contains(EventClass::Bw));
+        s.remove(EventClass::Bw);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,357 @@
+//! Dynamic instruction representation.
+
+use std::fmt;
+
+/// Instruction word size in bytes; PCs advance by this on fall-through.
+pub(crate) const INST_BYTES: u64 = 4;
+
+/// An architectural register.
+///
+/// The machine has 32 integer registers (`int(0..32)`) and 32 floating-point
+/// registers (`fp(0..32)`), flattened into one 64-entry namespace. Register
+/// `int(31)` is the hard-wired zero register and never creates a dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers (integer + floating point).
+    pub const COUNT: usize = 64;
+    /// The hard-wired zero register; writes to it are discarded and reads
+    /// never create a dependence.
+    pub const ZERO: Reg = Reg(31);
+
+    /// Integer register `n`.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    pub fn int(n: u8) -> Reg {
+        assert!(n < 32, "integer register index {n} out of range");
+        Reg(n)
+    }
+
+    /// Floating-point register `n`.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    pub fn fp(n: u8) -> Reg {
+        assert!(n < 32, "fp register index {n} out of range");
+        Reg(n + 32)
+    }
+
+    /// Flat index into the 64-entry register file.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild a register from its flat index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= Reg::COUNT`.
+    pub fn from_index(idx: usize) -> Reg {
+        assert!(idx < Self::COUNT, "register index {idx} out of range");
+        Reg(idx as u8)
+    }
+
+    /// Whether this is the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 32 {
+            write!(f, "r{}", self.0)
+        } else {
+            write!(f, "f{}", self.0 - 32)
+        }
+    }
+}
+
+/// Operation class of an instruction.
+///
+/// The classes map onto the paper's breakdown categories: `IntAlu` is a
+/// "shalu" (single-cycle integer) op; `IntMult`, `FpAlu`, `FpMult`, `FpDiv`
+/// are "lgalu" (multi-cycle) ops; `Load`/`Store` exercise the data cache
+/// ("dl1"/"dmiss"); branches exercise the predictor ("bmisp").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Multi-cycle integer multiply.
+    IntMult,
+    /// Floating-point add/sub/convert.
+    FpAlu,
+    /// Floating-point multiply.
+    FpMult,
+    /// Floating-point divide (unpipelined).
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional direct branch.
+    CondBranch,
+    /// Unconditional direct jump.
+    Jump,
+    /// Direct call (pushes return address).
+    Call,
+    /// Indirect return (pops return address stack).
+    Return,
+    /// Indirect jump through a register (not a return).
+    IndirectJump,
+    /// No-op (consumes fetch/commit bandwidth only).
+    Nop,
+}
+
+impl OpClass {
+    /// All operation classes.
+    pub const ALL: [OpClass; 13] = [
+        OpClass::IntAlu,
+        OpClass::IntMult,
+        OpClass::FpAlu,
+        OpClass::FpMult,
+        OpClass::FpDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::CondBranch,
+        OpClass::Jump,
+        OpClass::Call,
+        OpClass::Return,
+        OpClass::IndirectJump,
+        OpClass::Nop,
+    ];
+
+    /// Is this any control-transfer instruction?
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self,
+            OpClass::CondBranch
+                | OpClass::Jump
+                | OpClass::Call
+                | OpClass::Return
+                | OpClass::IndirectJump
+        )
+    }
+
+    /// Is this a conditional branch (the only kind whose *direction* is
+    /// predicted)?
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, OpClass::CondBranch)
+    }
+
+    /// Does the target come from somewhere other than the instruction word
+    /// (register or return-address stack)?
+    pub fn is_indirect(self) -> bool {
+        matches!(self, OpClass::Return | OpClass::IndirectJump)
+    }
+
+    /// Does this instruction access data memory?
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Is this a load?
+    pub fn is_load(self) -> bool {
+        matches!(self, OpClass::Load)
+    }
+
+    /// Is this a store?
+    pub fn is_store(self) -> bool {
+        matches!(self, OpClass::Store)
+    }
+
+    /// Is this a single-cycle integer op (the paper's "shalu" class)?
+    pub fn is_short_alu(self) -> bool {
+        matches!(self, OpClass::IntAlu)
+    }
+
+    /// Is this a multi-cycle integer or floating-point op (the paper's
+    /// "lgalu" class)?
+    pub fn is_long_alu(self) -> bool {
+        matches!(
+            self,
+            OpClass::IntMult | OpClass::FpAlu | OpClass::FpMult | OpClass::FpDiv
+        )
+    }
+
+    /// Short mnemonic used in disassembly-style output.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpClass::IntAlu => "alu",
+            OpClass::IntMult => "mul",
+            OpClass::FpAlu => "fadd",
+            OpClass::FpMult => "fmul",
+            OpClass::FpDiv => "fdiv",
+            OpClass::Load => "ld",
+            OpClass::Store => "st",
+            OpClass::CondBranch => "br",
+            OpClass::Jump => "jmp",
+            OpClass::Call => "call",
+            OpClass::Return => "ret",
+            OpClass::IndirectJump => "ijmp",
+            OpClass::Nop => "nop",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One dynamic instruction of a microexecution trace.
+///
+/// The trace records *architectural* truth (actual branch outcome, actual
+/// memory address); all *microarchitectural* events (mispredictions, cache
+/// misses) are produced by the simulator's structural models running over
+/// the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inst {
+    /// Program counter of this instruction.
+    pub pc: u64,
+    /// Operation class.
+    pub op: OpClass,
+    /// Up to two source registers.
+    pub srcs: [Option<Reg>; 2],
+    /// Destination register, if any.
+    pub dst: Option<Reg>,
+    /// Effective data address (valid only when `op.is_mem()`).
+    pub mem_addr: u64,
+    /// Actual outcome for conditional branches (`true` = taken). Always
+    /// `true` for unconditional control transfers, `false` otherwise.
+    pub taken: bool,
+    /// Actual next dynamic PC (fall-through or branch target).
+    pub next_pc: u64,
+}
+
+impl Inst {
+    /// A new non-memory, non-branch instruction at `pc`.
+    pub fn new(pc: u64, op: OpClass) -> Inst {
+        Inst {
+            pc,
+            op,
+            srcs: [None, None],
+            dst: None,
+            mem_addr: 0,
+            taken: false,
+            next_pc: pc + INST_BYTES,
+        }
+    }
+
+    /// The fall-through PC (`pc + 4`).
+    pub fn fall_through(&self) -> u64 {
+        self.pc + INST_BYTES
+    }
+
+    /// Whether this control transfer leaves the fall-through path.
+    pub fn is_taken_branch(&self) -> bool {
+        self.op.is_branch() && self.taken
+    }
+
+    /// Iterator over the source registers that actually create dependences
+    /// (present and not the zero register).
+    pub fn live_srcs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|r| !r.is_zero())
+    }
+
+    /// The destination register if it creates a definition (present and not
+    /// the zero register).
+    pub fn live_dst(&self) -> Option<Reg> {
+        self.dst.filter(|r| !r.is_zero())
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#06x}: {}", self.pc, self.op)?;
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+        }
+        for s in self.srcs.iter().flatten() {
+            write!(f, ", {s}")?;
+        }
+        if self.op.is_mem() {
+            write!(f, " [{:#x}]", self.mem_addr)?;
+        }
+        if self.op.is_branch() {
+            write!(
+                f,
+                " -> {:#x} ({})",
+                self.next_pc,
+                if self.taken { "T" } else { "NT" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_namespaces_do_not_collide() {
+        assert_ne!(Reg::int(3), Reg::fp(3));
+        assert_eq!(Reg::int(3).index(), 3);
+        assert_eq!(Reg::fp(3).index(), 35);
+        assert_eq!(Reg::from_index(35), Reg::fp(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_int_range_checked() {
+        let _ = Reg::int(32);
+    }
+
+    #[test]
+    fn zero_register_is_dead() {
+        let mut i = Inst::new(0x100, OpClass::IntAlu);
+        i.srcs = [Some(Reg::ZERO), Some(Reg::int(4))];
+        i.dst = Some(Reg::ZERO);
+        assert_eq!(i.live_srcs().collect::<Vec<_>>(), vec![Reg::int(4)]);
+        assert_eq!(i.live_dst(), None);
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Load.is_load());
+        assert!(!OpClass::Load.is_branch());
+        assert!(OpClass::CondBranch.is_cond_branch());
+        assert!(OpClass::Return.is_indirect());
+        assert!(OpClass::IntAlu.is_short_alu());
+        assert!(OpClass::FpDiv.is_long_alu());
+        assert!(!OpClass::IntAlu.is_long_alu());
+        for op in OpClass::ALL {
+            assert!(!op.mnemonic().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut i = Inst::new(0x40, OpClass::Load);
+        i.dst = Some(Reg::int(1));
+        i.srcs[0] = Some(Reg::int(2));
+        i.mem_addr = 0xbeef;
+        let s = i.to_string();
+        assert!(s.contains("ld"), "{s}");
+        assert!(s.contains("0xbeef"), "{s}");
+        assert_eq!(Reg::fp(0).to_string(), "f0");
+    }
+
+    #[test]
+    fn fall_through_and_taken() {
+        let mut b = Inst::new(0x10, OpClass::CondBranch);
+        assert_eq!(b.fall_through(), 0x14);
+        assert!(!b.is_taken_branch());
+        b.taken = true;
+        b.next_pc = 0x80;
+        assert!(b.is_taken_branch());
+    }
+}

@@ -1,0 +1,206 @@
+//! Static program image — the "binary" the shotgun profiler consults.
+//!
+//! The paper's graph-reconstruction algorithm (Figure 5a) infers the PC of
+//! each dynamic instruction from the program binary: direct branch targets,
+//! call/return structure and operand registers are all static. This module
+//! is that binary.
+
+use std::collections::HashMap;
+
+use crate::inst::{Inst, OpClass, Reg};
+use crate::trace::Trace;
+
+/// One static instruction as read from the "binary".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticInst {
+    /// Program counter.
+    pub pc: u64,
+    /// Operation class.
+    pub op: OpClass,
+    /// Source registers.
+    pub srcs: [Option<Reg>; 2],
+    /// Destination register.
+    pub dst: Option<Reg>,
+    /// Direct control-transfer target encoded in the instruction word
+    /// (`None` for non-branches and indirect transfers).
+    pub direct_target: Option<u64>,
+}
+
+impl StaticInst {
+    /// The fall-through PC.
+    pub fn fall_through(&self) -> u64 {
+        self.pc + 4
+    }
+}
+
+impl From<&Inst> for StaticInst {
+    fn from(inst: &Inst) -> StaticInst {
+        let direct_target = if inst.op.is_branch() && !inst.op.is_indirect() {
+            // A direct branch's target is in the instruction word. For a
+            // conditional branch observed not-taken we cannot know the
+            // target from this one dynamic instance; callers that build a
+            // program from a trace merge instances (see
+            // `StaticProgram::from_trace`).
+            if inst.taken {
+                Some(inst.next_pc)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        StaticInst {
+            pc: inst.pc,
+            op: inst.op,
+            srcs: inst.srcs,
+            dst: inst.dst,
+            direct_target,
+        }
+    }
+}
+
+/// A static program: PC → [`StaticInst`] map.
+#[derive(Debug, Clone, Default)]
+pub struct StaticProgram {
+    insts: HashMap<u64, StaticInst>,
+}
+
+impl StaticProgram {
+    /// An empty program.
+    pub fn new() -> StaticProgram {
+        StaticProgram::default()
+    }
+
+    /// Insert (or overwrite) a static instruction.
+    pub fn insert(&mut self, inst: StaticInst) {
+        self.insts.insert(inst.pc, inst);
+    }
+
+    /// Look up the instruction at `pc`.
+    pub fn lookup(&self, pc: u64) -> Option<&StaticInst> {
+        self.insts.get(&pc)
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Iterate over the static instructions in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &StaticInst> {
+        self.insts.values()
+    }
+
+    /// Derive the static image from a dynamic trace, merging repeated
+    /// instances of the same PC. Direct-branch targets observed on any
+    /// taken instance are recorded; register operands must agree across
+    /// instances.
+    ///
+    /// # Panics
+    /// Panics if two dynamic instances of the same PC disagree on opcode or
+    /// operands (a malformed trace).
+    pub fn from_trace(trace: &Trace) -> StaticProgram {
+        let mut prog = StaticProgram::new();
+        for inst in trace {
+            let entry = StaticInst::from(inst);
+            match prog.insts.get_mut(&inst.pc) {
+                None => {
+                    prog.insts.insert(inst.pc, entry);
+                }
+                Some(existing) => {
+                    assert_eq!(
+                        (existing.op, existing.srcs, existing.dst),
+                        (entry.op, entry.srcs, entry.dst),
+                        "pc {:#x} decodes differently across dynamic instances",
+                        inst.pc
+                    );
+                    if existing.direct_target.is_none() {
+                        existing.direct_target = entry.direct_target;
+                    } else if let Some(t) = entry.direct_target {
+                        assert_eq!(
+                            existing.direct_target,
+                            Some(t),
+                            "pc {:#x} has two different direct targets",
+                            inst.pc
+                        );
+                    }
+                }
+            }
+        }
+        prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    #[test]
+    fn from_trace_merges_instances() {
+        let mut b = TraceBuilder::new();
+        let r = Reg::int(1);
+        let loop_head = b.pc();
+        // Two iterations of the same loop body.
+        b.alu(r, &[r]);
+        b.branch(r, true, loop_head);
+        b.set_pc(loop_head);
+        b.alu(r, &[r]);
+        b.branch(r, false, loop_head);
+        let t = b.finish();
+        let p = StaticProgram::from_trace(&t);
+        assert_eq!(p.len(), 2);
+        let br = p.lookup(loop_head + 4).expect("branch present");
+        // Target learned from the taken instance survives the not-taken one.
+        assert_eq!(br.direct_target, Some(loop_head));
+    }
+
+    #[test]
+    fn indirect_branches_have_no_static_target() {
+        let mut i = Inst::new(0x50, OpClass::Return);
+        i.taken = true;
+        i.next_pc = 0x1234;
+        let s = StaticInst::from(&i);
+        assert_eq!(s.direct_target, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "decodes differently")]
+    fn conflicting_decodes_rejected() {
+        let a = Inst::new(0x10, OpClass::IntAlu);
+        let mut b2 = Inst::new(0x10, OpClass::Load);
+        b2.mem_addr = 0x99;
+        // Two "dynamic paths" ending at the same pc with different decode.
+        let mut p = StaticProgram::new();
+        p.insert(StaticInst::from(&a));
+        let t = Trace::from_insts(vec![b2]);
+        // Merge the trace into a fresh program containing the conflicting
+        // entry by round-tripping through from_trace on a combined set.
+        let mut combined = StaticProgram::from_trace(&t);
+        combined.insert(StaticInst::from(&a));
+        // Direct panic path: build from a trace with two conflicting
+        // instances.
+        let mut a2 = a;
+        a2.next_pc = 0x10; // self-loop so the path stays connected
+        let tr = Trace::from_insts(vec![a2, b2]);
+        let _ = StaticProgram::from_trace(&tr);
+    }
+
+    #[test]
+    fn lookup_and_len() {
+        let mut b = TraceBuilder::new();
+        b.nops(3);
+        let t = b.finish();
+        let p = StaticProgram::from_trace(&t);
+        assert_eq!(p.len(), 3);
+        assert!(p.lookup(TraceBuilder::DEFAULT_BASE).is_some());
+        assert!(p.lookup(0xdead_0000).is_none());
+        assert!(!p.is_empty());
+        assert_eq!(p.iter().count(), 3);
+    }
+}

@@ -1,0 +1,401 @@
+//! Per-benchmark microarchitectural profiles.
+//!
+//! Each profile steers the generator toward the qualitative breakdown
+//! shape the paper reports for that benchmark (Table 4a): which categories
+//! dominate, and where the big serial/parallel interactions sit. The
+//! fields are *structural* knobs (working sets, predictability, dependence
+//! shape), not the output numbers themselves.
+
+/// Structural description of one synthetic benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchProfile {
+    /// Benchmark name (SPECint2000 stand-in).
+    pub name: &'static str,
+    /// Fraction of body ops that are loads.
+    pub load_frac: f64,
+    /// Fraction of body ops that are stores.
+    pub store_frac: f64,
+    /// Fraction of body ops that are in-body conditional branches
+    /// (hammocks).
+    pub branch_frac: f64,
+    /// Fraction of branch *sites* that are data-dependent random (hard to
+    /// predict); the rest are strongly biased.
+    pub wild_branch_frac: f64,
+    /// Fraction of wild branches whose condition reads the most recent
+    /// load (late resolution; drives the serial bmisp+dmiss interaction
+    /// of mcf/parser). The rest test quickly-available values.
+    pub branch_feed_load_frac: f64,
+    /// Fraction of blocks whose body makes a call to a helper function.
+    pub call_frac: f64,
+    /// Fraction of blocks ending in an indirect jump through a small
+    /// target set (switch dispatch) instead of a plain back-edge test.
+    pub indirect_frac: f64,
+    /// Of compute ops, the fraction that are multi-cycle (int mult / FP).
+    pub long_alu_frac: f64,
+    /// Of long ops, the fraction that are floating point.
+    pub fp_frac: f64,
+    /// Fraction of loads that pointer-chase (each load's address depends
+    /// on the previous chase load) — produces *serial* miss chains.
+    pub chase_frac: f64,
+    /// Size of the region pointer-chases walk: small regions chase
+    /// through the L1 (gzip hash chains), huge ones through memory (mcf).
+    pub chase_region_bytes: u64,
+    /// Whether the chase chain is carried across loop iterations (one
+    /// long list traversal, mcf-style) or restarts every iteration
+    /// (per-node walks, vortex-style — these fill the window).
+    pub chase_carried: bool,
+    /// Fraction of compute-op sources that read a recent in-block value
+    /// (forming chains) rather than a far/loop-carried value (exposing
+    /// ILP).
+    pub dep_near_frac: f64,
+    /// Fraction of non-chase loads hitting the small, L1-resident region.
+    pub l1_resident_frac: f64,
+    /// Fraction of non-chase loads hitting the L2-resident region; the
+    /// remainder go to a memory-sized region.
+    pub l2_resident_frac: f64,
+    /// Number of distinct hot loop blocks (code footprint → I-cache
+    /// pressure).
+    pub code_blocks: usize,
+    /// Body ops per block.
+    pub block_len: usize,
+    /// Loop iterations per visit to a block.
+    pub iters_per_visit: usize,
+}
+
+impl BenchProfile {
+    /// The twelve SPECint2000 stand-ins, Table 4a column order.
+    pub fn suite() -> &'static [BenchProfile] {
+        SUITE.get_or_init(build_suite)
+    }
+
+    /// Look up a benchmark by name.
+    pub fn by_name(name: &str) -> Option<&'static BenchProfile> {
+        Self::suite().iter().find(|p| p.name == name)
+    }
+
+    /// Names of the full suite, in order.
+    pub fn names() -> Vec<&'static str> {
+        Self::suite().iter().map(|p| p.name).collect()
+    }
+
+    /// Basic sanity checks on fractions and sizes.
+    pub fn validate(&self) -> Result<(), String> {
+        let fracs = [
+            ("load_frac", self.load_frac),
+            ("store_frac", self.store_frac),
+            ("branch_frac", self.branch_frac),
+            ("wild_branch_frac", self.wild_branch_frac),
+            ("branch_feed_load_frac", self.branch_feed_load_frac),
+            ("call_frac", self.call_frac),
+            ("indirect_frac", self.indirect_frac),
+            ("long_alu_frac", self.long_alu_frac),
+            ("fp_frac", self.fp_frac),
+            ("chase_frac", self.chase_frac),
+            ("dep_near_frac", self.dep_near_frac),
+            ("l1_resident_frac", self.l1_resident_frac),
+            ("l2_resident_frac", self.l2_resident_frac),
+        ];
+        for (n, f) in fracs {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(format!("{}: {n} = {f} outside [0,1]", self.name));
+            }
+        }
+        if self.load_frac + self.store_frac + self.branch_frac >= 1.0 {
+            return Err(format!("{}: op mix leaves no compute ops", self.name));
+        }
+        if self.l1_resident_frac + self.l2_resident_frac > 1.0 {
+            return Err(format!("{}: load-region fractions exceed 1", self.name));
+        }
+        if self.code_blocks == 0 || self.block_len < 4 || self.iters_per_visit == 0 {
+            return Err(format!("{}: degenerate code shape", self.name));
+        }
+        if self.chase_region_bytes < 64 {
+            return Err(format!("{}: chase region under one line", self.name));
+        }
+        Ok(())
+    }
+}
+
+static SUITE: std::sync::OnceLock<Vec<BenchProfile>> = std::sync::OnceLock::new();
+
+fn build_suite() -> Vec<BenchProfile> {
+    let base = BenchProfile {
+        name: "base",
+        load_frac: 0.26,
+        store_frac: 0.09,
+        branch_frac: 0.13,
+        wild_branch_frac: 0.20,
+        branch_feed_load_frac: 0.25,
+        call_frac: 0.3,
+        indirect_frac: 0.0,
+        long_alu_frac: 0.04,
+        fp_frac: 0.3,
+        chase_frac: 0.0,
+        chase_region_bytes: 8 * 1024,
+        chase_carried: false,
+        dep_near_frac: 0.55,
+        l1_resident_frac: 0.92,
+        l2_resident_frac: 0.065,
+        code_blocks: 8,
+        block_len: 24,
+        iters_per_visit: 40,
+    };
+    vec![
+        // bzip: heavy, hard-to-predict branches; moderate misses.
+        BenchProfile {
+            name: "bzip",
+            branch_frac: 0.17,
+            wild_branch_frac: 0.20,
+            load_frac: 0.26,
+            l1_resident_frac: 0.85,
+            l2_resident_frac: 0.13,
+            dep_near_frac: 0.75,
+            chase_frac: 0.25,
+            chase_region_bytes: 8 * 1024,
+            branch_feed_load_frac: 0.8,
+            ..base.clone()
+        },
+        // crafty: branchy search with good ILP, mostly resident data.
+        BenchProfile {
+            name: "crafty",
+            branch_frac: 0.15,
+            wild_branch_frac: 0.10,
+            load_frac: 0.28,
+            l1_resident_frac: 0.985,
+            l2_resident_frac: 0.010,
+            dep_near_frac: 0.75,
+            code_blocks: 12,
+            chase_frac: 0.25,
+            chase_region_bytes: 8 * 1024,
+            branch_feed_load_frac: 0.8,
+            ..base.clone()
+        },
+        // eon: FP-flavoured C++, bigger code footprint, predictable
+        // branches, long-latency compute.
+        BenchProfile {
+            name: "eon",
+            branch_frac: 0.10,
+            wild_branch_frac: 0.03,
+            long_alu_frac: 0.34,
+            fp_frac: 0.8,
+            load_frac: 0.24,
+            l1_resident_frac: 0.996,
+            l2_resident_frac: 0.003,
+            dep_near_frac: 0.65,
+            code_blocks: 44,
+            block_len: 30,
+            iters_per_visit: 10,
+            call_frac: 0.5,
+            chase_frac: 0.20,
+            chase_region_bytes: 8 * 1024,
+            branch_feed_load_frac: 0.7,
+            ..base.clone()
+        },
+        // gap: window-bound — streams of independent L2/memory misses with
+        // plenty of parallel integer work.
+        BenchProfile {
+            name: "gap",
+            branch_frac: 0.08,
+            wild_branch_frac: 0.05,
+            load_frac: 0.30,
+            l1_resident_frac: 0.85,
+            l2_resident_frac: 0.12,
+            dep_near_frac: 0.35,
+            iters_per_visit: 80,
+            branch_feed_load_frac: 0.7,
+            ..base.clone()
+        },
+        // gcc: a bit of everything — misses, mispredicts, big code.
+        BenchProfile {
+            name: "gcc",
+            branch_frac: 0.15,
+            wild_branch_frac: 0.09,
+            load_frac: 0.27,
+            l1_resident_frac: 0.925,
+            l2_resident_frac: 0.055,
+            code_blocks: 34,
+            iters_per_visit: 14,
+            call_frac: 0.45,
+            indirect_frac: 0.15,
+            dep_near_frac: 0.70,
+            chase_frac: 0.20,
+            chase_region_bytes: 8 * 1024,
+            branch_feed_load_frac: 0.75,
+            ..base.clone()
+        },
+        // gzip: L1-resident loads on the critical path (hash chains),
+        // branchy inner loops, chains of short ALU ops.
+        BenchProfile {
+            name: "gzip",
+            branch_frac: 0.13,
+            wild_branch_frac: 0.10,
+            load_frac: 0.26,
+            l1_resident_frac: 0.99,
+            l2_resident_frac: 0.006,
+            dep_near_frac: 0.90,
+            chase_frac: 0.45,
+            chase_region_bytes: 8 * 1024,
+            branch_feed_load_frac: 0.8,
+            ..base.clone()
+        },
+        // mcf: pointer-chasing memory misses dominate everything; loads
+        // feed branch decisions (serial bmisp+dmiss interaction).
+        BenchProfile {
+            name: "mcf",
+            branch_frac: 0.15,
+            wild_branch_frac: 0.70,
+            load_frac: 0.33,
+            chase_frac: 0.30,
+            chase_region_bytes: 4 * 1024 * 1024,
+            l1_resident_frac: 0.88,
+            l2_resident_frac: 0.05,
+            dep_near_frac: 0.7,
+            iters_per_visit: 60,
+            branch_feed_load_frac: 0.95,
+            chase_carried: false,
+            ..base.clone()
+        },
+        // parser: dictionary chasing with mispredicted branches fed by
+        // missing loads.
+        BenchProfile {
+            name: "parser",
+            branch_frac: 0.13,
+            wild_branch_frac: 0.35,
+            load_frac: 0.30,
+            chase_frac: 0.22,
+            chase_region_bytes: 4 * 1024 * 1024,
+            l1_resident_frac: 0.93,
+            l2_resident_frac: 0.03,
+            dep_near_frac: 0.80,
+            branch_feed_load_frac: 0.9,
+            chase_carried: false,
+            ..base.clone()
+        },
+        // perl: very branchy interpreter dispatch with indirect jumps and
+        // a large code footprint; data mostly resident.
+        BenchProfile {
+            name: "perl",
+            branch_frac: 0.18,
+            wild_branch_frac: 0.15,
+            indirect_frac: 0.5,
+            load_frac: 0.27,
+            l1_resident_frac: 0.99,
+            l2_resident_frac: 0.008,
+            dep_near_frac: 0.85,
+            code_blocks: 46,
+            iters_per_visit: 8,
+            call_frac: 0.55,
+            chase_frac: 0.50,
+            chase_region_bytes: 8 * 1024,
+            branch_feed_load_frac: 0.8,
+            ..base.clone()
+        },
+        // twolf: placement/annealing — misses plus window pressure plus
+        // mispredicts in roughly equal measure.
+        BenchProfile {
+            name: "twolf",
+            branch_frac: 0.13,
+            wild_branch_frac: 0.12,
+            load_frac: 0.29,
+            l1_resident_frac: 0.82,
+            l2_resident_frac: 0.16,
+            dep_near_frac: 0.45,
+            iters_per_visit: 50,
+            branch_feed_load_frac: 0.7,
+            chase_frac: 0.15,
+            ..base.clone()
+        },
+        // vortex: database — deep independent miss streams saturate the
+        // window (huge win cost, strong serial dl1+win), branches very
+        // predictable.
+        BenchProfile {
+            name: "vortex",
+            branch_frac: 0.09,
+            wild_branch_frac: 0.02,
+            load_frac: 0.34,
+            l1_resident_frac: 0.88,
+            l2_resident_frac: 0.08,
+            dep_near_frac: 0.55,
+            iters_per_visit: 100,
+            call_frac: 0.5,
+            chase_frac: 0.30,
+            chase_region_bytes: 12 * 1024,
+            branch_feed_load_frac: 0.8,
+            ..base.clone()
+        },
+        // vpr: routing — misses, window pressure and mispredicts.
+        BenchProfile {
+            name: "vpr",
+            branch_frac: 0.13,
+            wild_branch_frac: 0.30,
+            load_frac: 0.30,
+            l1_resident_frac: 0.90,
+            l2_resident_frac: 0.04,
+            dep_near_frac: 0.6,
+            iters_per_visit: 45,
+            branch_feed_load_frac: 0.7,
+            chase_frac: 0.15,
+            ..base.clone()
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twelve_valid_profiles() {
+        let suite = BenchProfile::suite();
+        assert_eq!(suite.len(), 12);
+        for p in suite {
+            p.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn names_match_table4a_order() {
+        assert_eq!(
+            BenchProfile::names(),
+            vec![
+                "bzip", "crafty", "eon", "gap", "gcc", "gzip", "mcf", "parser", "perl",
+                "twolf", "vortex", "vpr"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(BenchProfile::by_name("mcf").is_some());
+        assert!(BenchProfile::by_name("nonesuch").is_none());
+        assert_eq!(BenchProfile::by_name("mcf").map(|p| p.name), Some("mcf"));
+    }
+
+    #[test]
+    fn mcf_chases_memory_hardest() {
+        // mcf's pointer chases walk the biggest (memory-sized) region in
+        // the suite.
+        let mcf = BenchProfile::by_name("mcf").expect("mcf");
+        for p in BenchProfile::suite() {
+            if p.name != "mcf" {
+                assert!(
+                    mcf.chase_region_bytes >= p.chase_region_bytes,
+                    "{} chases a bigger region than mcf",
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_mix() {
+        let mut p = BenchProfile::by_name("gcc").expect("gcc").clone();
+        p.load_frac = 0.9;
+        p.store_frac = 0.2;
+        assert!(p.validate().is_err());
+        let mut p2 = BenchProfile::by_name("gcc").expect("gcc").clone();
+        p2.l1_resident_frac = 0.9;
+        p2.l2_resident_frac = 0.9;
+        assert!(p2.validate().is_err());
+    }
+}

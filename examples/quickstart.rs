@@ -1,0 +1,78 @@
+//! Quickstart: measure costs and interaction costs of a microexecution.
+//!
+//! Builds the paper's motivating kernel — two completely parallel cache
+//! misses — simulates it on the Table 6 machine, and shows why individual
+//! costs mislead while interaction costs do not.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use icost::{icost, render_bar_chart, Breakdown, CostOracle, GraphOracle, Interaction};
+use uarch_graph::DepGraph;
+use uarch_sim::{Idealization, Simulator};
+use uarch_trace::{EventClass, EventSet, MachineConfig, Reg, TraceBuilder};
+
+fn main() {
+    // 1. Describe a microexecution: a hot loop with two independent
+    //    missing loads per iteration (they overlap in the memory system).
+    let mut b = TraceBuilder::new();
+    b.counted_loop(300, Reg::int(9), |b, k| {
+        let k = k as u64;
+        b.load(Reg::int(1), 0x1000_0000 + k * 4096);
+        b.load(Reg::int(2), 0x3000_0000 + k * 4096);
+        b.alu(Reg::int(3), &[Reg::int(1), Reg::int(2)]);
+    });
+    let trace = b.finish();
+
+    // 2. Simulate it on the paper's machine (Table 6).
+    let config = MachineConfig::table6();
+    let result = Simulator::new(&config).run(&trace, Idealization::none());
+    println!(
+        "baseline: {} cycles for {} instructions (IPC {:.2})",
+        result.cycles,
+        trace.len(),
+        result.ipc()
+    );
+
+    // 3. Build the dependence graph and ask it questions — each answer
+    //    would otherwise need a full re-simulation.
+    let graph = DepGraph::build(&trace, &result, &config);
+    let mut oracle = GraphOracle::new(&graph);
+
+    let dmiss = EventSet::single(EventClass::Dmiss);
+    let win = EventSet::single(EventClass::Win);
+    println!(
+        "cost(dmiss) = {} cycles ({:.1}% of execution)",
+        oracle.cost(dmiss),
+        oracle.cost_percent(dmiss)
+    );
+    println!(
+        "cost(win)   = {} cycles ({:.1}% of execution)",
+        oracle.cost(win),
+        oracle.cost_percent(win)
+    );
+
+    // 4. The interaction cost reveals how they compose.
+    let pair = dmiss.union(win);
+    let ic = icost(&mut oracle, pair);
+    println!(
+        "icost(dmiss, win) = {ic} cycles -> {} interaction",
+        Interaction::classify(ic, 10)
+    );
+
+    // 5. A parallelism-aware breakdown accounts for every cycle.
+    let breakdown = Breakdown::full(
+        &mut oracle,
+        &[EventClass::Dmiss, EventClass::Win, EventClass::Bw],
+    );
+    println!("\nfull power-set breakdown (sums to exactly 100%):");
+    print!("{}", breakdown.to_table("%"));
+    println!("\n{}", render_bar_chart(&breakdown, 32));
+
+    // 6. Ground truth on demand: the same answers by re-simulation.
+    let mut multi = icost::MultiSimOracle::new(&config, &trace);
+    println!(
+        "re-simulated cost(dmiss) = {} cycles (graph said {})",
+        multi.cost(dmiss),
+        oracle.cost(dmiss)
+    );
+}

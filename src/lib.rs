@@ -1,0 +1,3 @@
+//! Umbrella crate for the interaction-cost reproduction: see the
+//! workspace README. Re-exports nothing; examples and integration tests
+//! live here.
