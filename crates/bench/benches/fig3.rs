@@ -4,44 +4,56 @@
 //! Section 4.2 corollary: window speedup grows with the issue-wakeup
 //! latency.
 
+use icost::sensitivity::{render_curves, window_sweep};
 use icost_bench::paper::{FIG3_SPEEDUP_64_TO_128, WAKEUP_SPEEDUP_64_TO_128};
 use icost_bench::{bench_insts, workload, Shape};
-use icost::sensitivity::{render_curves, window_sweep};
+use uarch_runner::{default_threads, parallel_map};
 use uarch_sim::{Idealization, Simulator};
 use uarch_trace::MachineConfig;
 use uarch_workloads::Workload;
 
 /// Warmed window sweep (mirrors `icost::sensitivity::window_sweep` but
-/// keeps the benchmark's steady-state cache contents).
+/// keeps the benchmark's steady-state cache contents). Every point of the
+/// `params x windows` grid is an independent simulation, so the whole
+/// grid runs as one deterministic `parallel_map` wave.
 fn warmed_sweep(
     w: &Workload,
     base: &MachineConfig,
     windows: &[usize],
     params: &[u64],
-    apply: impl Fn(MachineConfig, u64) -> MachineConfig,
+    apply: impl Fn(MachineConfig, u64) -> MachineConfig + Sync,
 ) -> Vec<icost::sensitivity::SweepCurve> {
+    let grid: Vec<(u64, usize)> = params
+        .iter()
+        .flat_map(|&p| windows.iter().map(move |&win| (p, win)))
+        .collect();
+    let cycles = parallel_map(&grid, default_threads(), |&(p, win)| {
+        let cfg = apply(base.clone(), p).with_window(win);
+        Simulator::new(&cfg).cycles_warmed(
+            &w.trace,
+            Idealization::none(),
+            &w.warm_data,
+            &w.warm_code,
+        )
+    });
     params
         .iter()
-        .map(|&p| {
-            let cycles: Vec<u64> = windows
-                .iter()
-                .map(|&win| {
-                    let cfg = apply(base.clone(), p).with_window(win);
-                    Simulator::new(&cfg).cycles_warmed(
-                        &w.trace,
-                        Idealization::none(),
-                        &w.warm_data,
-                        &w.warm_code,
-                    )
-                })
-                .collect();
-            let first = cycles[0] as f64;
+        .enumerate()
+        .map(|(pi, &p)| {
+            let row = &cycles[pi * windows.len()..(pi + 1) * windows.len()];
+            let first = row[0] as f64;
             icost::sensitivity::SweepCurve {
                 param: p,
                 windows: windows.to_vec(),
-                speedup_percent: cycles
+                speedup_percent: row
                     .iter()
-                    .map(|&c| if c == 0 { 0.0 } else { 100.0 * (first / c as f64 - 1.0) })
+                    .map(|&c| {
+                        if c == 0 {
+                            0.0
+                        } else {
+                            100.0 * (first / c as f64 - 1.0)
+                        }
+                    })
                     .collect(),
             }
         })

@@ -1,0 +1,100 @@
+//! Runner scaling: the same table7-style interaction-lattice sweep
+//! evaluated the pre-runner way (a fresh memoized oracle per analysis
+//! round, serial simulation) and through the shared `uarch-runner` engine
+//! (deduplicated parallel waves into one content-addressed cache).
+//!
+//! The sweep poses one analysis round per focus category: the icost of
+//! every pair containing the focus. Rounds overlap heavily — every round
+//! needs all the singletons, and each pair appears in two rounds — which
+//! is exactly the structure the runner exploits. On a single core the
+//! speedup comes entirely from dedup/cache reuse; with more cores the
+//! parallel waves stack on top.
+
+use std::time::Instant;
+
+use icost::{icost, MultiSimOracle};
+use icost_bench::{workload, Shape};
+use uarch_runner::{Query, RunReport, Runner};
+use uarch_trace::{EventClass, EventSet, MachineConfig};
+
+fn main() {
+    // A deliberately modest trace: the sweep below runs >100 serial
+    // simulations of it. Scale with ICOST_BENCH_INSTS as usual.
+    let n: usize = std::env::var("ICOST_BENCH_INSTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12_000);
+    let cfg = MachineConfig::table6().with_dl1_latency(4);
+    let w = workload("gcc", n, icost_bench::DEFAULT_SEED);
+    let mut shape = Shape::new();
+
+    // One analysis round per focus class: icost of every pair with it.
+    let rounds: Vec<Vec<EventSet>> = EventClass::ALL
+        .iter()
+        .map(|&focus| {
+            EventClass::ALL
+                .iter()
+                .filter(|&&c| c != focus)
+                .map(|&c| EventSet::from([focus, c]))
+                .collect()
+        })
+        .collect();
+    let pair_count: usize = rounds.iter().map(Vec::len).sum();
+    println!(
+        "Runner scaling — {} focus rounds, {pair_count} pair icosts, gcc @ {n} insts\n",
+        rounds.len()
+    );
+
+    // Serial path: exactly what the harness did before the runner — one
+    // fresh memoized MultiSimOracle per analysis round (memoization never
+    // survives a round, parallelism nonexistent). Unwarmed on both paths
+    // so the comparison is like for like.
+    let serial_start = Instant::now();
+    let mut serial_answers: Vec<i64> = Vec::with_capacity(pair_count);
+    let mut serial_sims = 0usize;
+    for round in &rounds {
+        let mut oracle = MultiSimOracle::new(&cfg, &w.trace);
+        for &pair in round {
+            serial_answers.push(icost(&mut oracle, pair));
+        }
+        serial_sims += oracle.simulations() + 1; // + the baseline run
+    }
+    let serial_wall = serial_start.elapsed();
+    println!("serial:  {serial_sims:>4} simulations in {serial_wall:>10.3?}");
+
+    // Runner path: one engine, one cache, same rounds in the same order.
+    let runner = Runner::new();
+    let runner_start = Instant::now();
+    let mut runner_answers: Vec<i64> = Vec::with_capacity(pair_count);
+    let mut report = RunReport::new(runner.threads());
+    for round in &rounds {
+        let queries: Vec<Query> = round.iter().map(|&p| Query::Icost(p)).collect();
+        let (answers, r) = runner.run(&cfg, &w.trace, &queries);
+        runner_answers.extend(answers);
+        report.absorb(&r);
+    }
+    let runner_wall = runner_start.elapsed();
+    println!(
+        "runner:  {:>4} simulations in {runner_wall:>10.3?}\n",
+        report.sims_run
+    );
+    println!("runner telemetry:\n{report}");
+
+    let speedup = serial_wall.as_secs_f64() / runner_wall.as_secs_f64().max(1e-9);
+    println!("wall-clock speedup: {speedup:.2}x\n");
+
+    shape.check(
+        "runner answers are bit-identical to the serial oracle",
+        runner_answers == serial_answers,
+    );
+    shape.check(
+        "runner reuses work (dedup + cache hits > 0)",
+        report.jobs_deduped + report.cache_hits > 0,
+    );
+    shape.check(
+        "runner simulates strictly fewer jobs than the serial path",
+        (report.sims_run as usize) < serial_sims,
+    );
+    shape.check("lattice sweep speedup is at least 2x", speedup >= 2.0);
+    std::process::exit(i32::from(!shape.finish("Runner scaling")));
+}

@@ -8,9 +8,10 @@
 //! reported per category, paper-style.
 
 use icost::{icost, Breakdown, CostOracle, GraphOracle};
-use icost_bench::{bench_insts, workload, Shape};
+use icost_bench::{bench_insts, multisim_oracle, workload, Shape};
 use shotgun::{collect_samples, ProfilerOracle, SamplerConfig};
 use uarch_graph::DepGraph;
+use uarch_runner::RunReport;
 use uarch_sim::{Idealization, Simulator};
 use uarch_trace::{EventClass, EventSet, MachineConfig};
 
@@ -22,6 +23,7 @@ fn main() {
     let mut shape = Shape::new();
     println!("Table 7 — profiler accuracy vs full graph vs multisim ({n} insts/benchmark)\n");
 
+    let mut engine_report = RunReport::new(0);
     let mut graph_errs: Vec<f64> = Vec::new();
     let mut prof_errs: Vec<f64> = Vec::new();
     let mut graph_pp: Vec<f64> = Vec::new();
@@ -33,39 +35,10 @@ fn main() {
         let result = sim.run_warmed(&w.trace, Idealization::none(), &w.warm_data, &w.warm_code);
         let graph = DepGraph::build(&w.trace, &result, &cfg);
 
-        // Ground truth: idealized re-simulations (each also warmed).
-        struct WarmMultiSim<'a> {
-            cfg: &'a MachineConfig,
-            w: &'a uarch_workloads::Workload,
-            memo: std::collections::HashMap<EventSet, i64>,
-            base: u64,
-        }
-        impl CostOracle for WarmMultiSim<'_> {
-            fn cost(&mut self, set: EventSet) -> i64 {
-                if set.is_empty() {
-                    return 0;
-                }
-                let (cfg, w, base) = (self.cfg, self.w, self.base);
-                *self.memo.entry(set).or_insert_with(|| {
-                    base as i64
-                        - Simulator::new(cfg).cycles_warmed(
-                            &w.trace,
-                            Idealization::from(set),
-                            &w.warm_data,
-                            &w.warm_code,
-                        ) as i64
-                })
-            }
-            fn baseline(&mut self) -> u64 {
-                self.base
-            }
-        }
-        let mut multi = WarmMultiSim {
-            cfg: &cfg,
-            w: &w,
-            memo: Default::default(),
-            base: result.cycles,
-        };
+        // Ground truth: warmed idealized re-simulations through the
+        // runner — the whole singleton+pair lattice lands as one
+        // deduplicated parallel wave instead of serial one-at-a-time runs.
+        let mut multi = multisim_oracle(&w, &cfg);
         let mut full = GraphOracle::new(&graph);
         let samples = collect_samples(&w.trace, &result, &SamplerConfig::default());
         let mut prof = ProfilerOracle::new(&samples, &w.program, &cfg, 16, 7);
@@ -92,6 +65,11 @@ fn main() {
                 EventSet::from([EventClass::Dl1, c]),
             ));
         }
+        // Everything the loop below will ask of the ground-truth oracle,
+        // posed up front as one batch.
+        let wanted: Vec<EventSet> = sets.iter().flat_map(|(_, s)| s.subsets()).collect();
+        multi.prefetch(&wanted);
+
         for (label, set) in &sets {
             let (m, f, p) = if set.len() == 1 {
                 (
@@ -123,8 +101,11 @@ fn main() {
                 prof_pp.push((p - m).abs());
             }
         }
+        engine_report.absorb(multi.report());
         println!();
     }
+
+    println!("ground-truth engine telemetry (all benchmarks):\n{engine_report}");
 
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let (ge, pe) = (100.0 * avg(&graph_errs), 100.0 * avg(&prof_errs));
@@ -159,9 +140,6 @@ fn main() {
     let _ = result;
     let mut oracle = GraphOracle::new(&graph);
     let b = Breakdown::with_focus(&mut oracle, &EventClass::ALL, EventClass::Dl1);
-    shape.check(
-        "breakdown table carries all 17 rows",
-        b.rows.len() == 17,
-    );
+    shape.check("breakdown table carries all 17 rows", b.rows.len() == 17);
     std::process::exit(i32::from(!shape.finish("Table 7")));
 }

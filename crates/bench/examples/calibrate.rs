@@ -1,19 +1,37 @@
 //! Calibration harness: our Table 4a shape vs the paper's, per benchmark.
-use icost::{Breakdown, GraphOracle};
+//! Oracles run through the shared runner cache, so re-running with
+//! `ICOST_CACHE_DIR` set skips every already-measured benchmark.
+use icost::Breakdown;
 use icost_bench::paper::TABLE4A;
-use icost_bench::{observe_workload, workload};
+use icost_bench::{graph_oracle, observe_workload, workload};
 use uarch_trace::{EventClass, MachineConfig};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
     let cfg = MachineConfig::table6().with_dl1_latency(4);
-    println!("{:<8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} | {:>8} {:>8} {:>8} {:>8}",
-        "bench", "dl1", "win", "bw", "bmisp", "dmiss", "shalu", "lgalu", "imiss",
-        "dl1+win", "dl1+bw", "dl1+bm", "dl1+sa");
+    println!(
+        "{:<8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} | {:>8} {:>8} {:>8} {:>8}",
+        "bench",
+        "dl1",
+        "win",
+        "bw",
+        "bmisp",
+        "dmiss",
+        "shalu",
+        "lgalu",
+        "imiss",
+        "dl1+win",
+        "dl1+bw",
+        "dl1+bm",
+        "dl1+sa"
+    );
     for col in &TABLE4A {
         let w = workload(col.name, n, 2003);
         let (_, graph) = observe_workload(&w, &cfg);
-        let mut o = GraphOracle::new(&graph);
+        let mut o = graph_oracle(&graph, &w, &cfg);
         let b = Breakdown::with_focus(&mut o, &EventClass::ALL, EventClass::Dl1);
         let g = |l: &str| b.percent(l).unwrap_or(f64::NAN);
         println!("{:<8} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} | {:>8.1} {:>8.1} {:>8.1} {:>8.1}",

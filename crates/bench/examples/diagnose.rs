@@ -4,14 +4,30 @@ use uarch_trace::MachineConfig;
 
 fn main() {
     let cfg = MachineConfig::table6().with_dl1_latency(4);
-    println!("{:<8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "bench", "cpi", "loads", "l1dmiss%", "mem", "merged", "dtlb", "itlb", "l1i");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "bench", "cpi", "loads", "l1dmiss%", "mem", "merged", "dtlb", "itlb", "l1i"
+    );
     for name in uarch_workloads::BenchProfile::names() {
         let w = workload(name, 60_000, 2003);
-        let r = Simulator::new(&cfg).run_warmed(&w.trace, Idealization::none(), &w.warm_data, &w.warm_code);
+        let r = Simulator::new(&cfg).run_warmed(
+            &w.trace,
+            Idealization::none(),
+            &w.warm_data,
+            &w.warm_code,
+        );
         let c = &r.counts;
-        println!("{:<8} {:>8.2} {:>8} {:>8.1} {:>8} {:>8} {:>8} {:>8} {:>8}",
-            name, r.cpi(), c.loads, 100.0*c.l1d_load_misses as f64/c.loads.max(1) as f64,
-            c.mem_load_misses, c.merged_loads, c.dtlb_misses, c.itlb_misses, c.l1i_misses);
+        println!(
+            "{:<8} {:>8.2} {:>8} {:>8.1} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            name,
+            r.cpi(),
+            c.loads,
+            100.0 * c.l1d_load_misses as f64 / c.loads.max(1) as f64,
+            c.mem_load_misses,
+            c.merged_loads,
+            c.dtlb_misses,
+            c.itlb_misses,
+            c.l1i_misses
+        );
     }
 }

@@ -1,20 +1,41 @@
-use icost_bench::workload;
+//! Simulator-vs-graph fidelity spot check: baseline and singleton
+//! idealized cycles, side by side. The simulator side runs through the
+//! runner engine — all idealizations of one benchmark land as a single
+//! deduplicated parallel wave, and the shared cache (persist it with
+//! `ICOST_CACHE_DIR`) answers repeat invocations outright.
+
+use icost::CostOracle;
+use icost_bench::{multisim_oracle, workload};
 use uarch_graph::DepGraph;
 use uarch_sim::{Idealization, Simulator};
 use uarch_trace::{EventClass, EventSet, MachineConfig};
 
 fn main() {
     let cfg = MachineConfig::table6().with_dl1_latency(4);
+    let classes = [EventClass::Win, EventClass::Bmisp, EventClass::Bw];
     for name in ["gcc", "parser", "twolf", "vortex"] {
         let w = workload(name, 60_000, 2003);
-        let sim = Simulator::new(&cfg);
-        let base = sim.run_warmed(&w.trace, Idealization::none(), &w.warm_data, &w.warm_code);
+        let base = Simulator::new(&cfg).run_warmed(
+            &w.trace,
+            Idealization::none(),
+            &w.warm_data,
+            &w.warm_code,
+        );
         let g = DepGraph::build(&w.trace, &base, &cfg);
         let gbase = g.evaluate(EventSet::EMPTY);
-        print!("{name:<8} sim={} graph={} ({:+.1}%)", base.cycles, gbase,
-            100.0*(gbase as f64/base.cycles as f64 - 1.0));
-        for c in [EventClass::Win, EventClass::Bmisp, EventClass::Bw] {
-            let s = sim.cycles_warmed(&w.trace, Idealization::from(c), &w.warm_data, &w.warm_code);
+
+        let mut oracle = multisim_oracle(&w, &cfg);
+        let sets: Vec<EventSet> = classes.iter().map(|&c| EventSet::single(c)).collect();
+        oracle.prefetch(&sets);
+
+        print!(
+            "{name:<8} sim={} graph={} ({:+.1}%)",
+            base.cycles,
+            gbase,
+            100.0 * (gbase as f64 / base.cycles as f64 - 1.0)
+        );
+        for c in classes {
+            let s = oracle.baseline() as i64 - oracle.cost(EventSet::single(c));
             let ge = g.evaluate(EventSet::single(c));
             print!("  {}[sim={} graph={}]", c.name(), s, ge);
         }

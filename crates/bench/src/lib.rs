@@ -11,8 +11,11 @@
 
 pub mod paper;
 
+use std::sync::OnceLock;
+
 use icost::{Breakdown, CostOracle, GraphOracle};
 use uarch_graph::DepGraph;
+use uarch_runner::{context_id, CachedOracle, ParallelMultiSimOracle, Runner, SimCache};
 use uarch_sim::{Idealization, SimResult, Simulator};
 use uarch_trace::{EventClass, MachineConfig, Trace};
 use uarch_workloads::{generate, BenchProfile, Workload};
@@ -50,16 +53,63 @@ pub fn observe(trace: &Trace, config: &MachineConfig) -> (SimResult, DepGraph) {
 /// Simulate a generated workload with its steady-state warm sets and
 /// return (result, graph).
 pub fn observe_workload(w: &Workload, config: &MachineConfig) -> (SimResult, DepGraph) {
-    let result =
-        Simulator::new(config).run_warmed(&w.trace, Idealization::none(), &w.warm_data, &w.warm_code);
+    let result = Simulator::new(config).run_warmed(
+        &w.trace,
+        Idealization::none(),
+        &w.warm_data,
+        &w.warm_code,
+    );
     let graph = DepGraph::build(&w.trace, &result, config);
     (result, graph)
+}
+
+/// The process-wide simulation-result cache every harness helper feeds.
+///
+/// Bench targets route all their oracles through this cache (via
+/// [`harness_runner`]/[`multisim_oracle`]/[`graph_oracle`]), so sets
+/// shared between artifacts in one process are simulated once. Point
+/// `ICOST_CACHE_DIR` at a directory to persist results across bench
+/// invocations too.
+pub fn shared_cache() -> &'static SimCache {
+    static CACHE: OnceLock<SimCache> = OnceLock::new();
+    CACHE.get_or_init(|| match std::env::var("ICOST_CACHE_DIR") {
+        Ok(dir) => SimCache::with_disk(dir).unwrap_or_default(),
+        Err(_) => SimCache::new(),
+    })
+}
+
+/// The evaluation engine all bench targets share: per-core workers plus
+/// [`shared_cache`].
+pub fn harness_runner() -> Runner {
+    Runner::new().with_cache(shared_cache().clone())
+}
+
+/// Ground-truth oracle over a generated workload: warmed idealized
+/// re-simulation with parallel deduplicated prefetch, feeding the shared
+/// cache.
+pub fn multisim_oracle<'a>(
+    w: &'a Workload,
+    config: &'a MachineConfig,
+) -> ParallelMultiSimOracle<'a> {
+    harness_runner().oracle_warmed(config, &w.trace, &w.warm_data, &w.warm_code)
+}
+
+/// Cached graph oracle over an already-built dependence graph. The cache
+/// context is tagged `"graph"` so approximate graph results can never
+/// alias the multisim ground truth for the same workload.
+pub fn graph_oracle<'g>(
+    graph: &'g DepGraph,
+    w: &Workload,
+    config: &MachineConfig,
+) -> CachedOracle<GraphOracle<'g>> {
+    let ctx = context_id(config, &w.trace, &w.warm_data, &w.warm_code).tagged("graph");
+    CachedOracle::new(GraphOracle::new(graph), ctx, shared_cache().clone())
 }
 
 /// Graph-based Table-4-style breakdown for one generated workload.
 pub fn workload_breakdown(w: &Workload, config: &MachineConfig, focus: EventClass) -> Breakdown {
     let (_, graph) = observe_workload(w, config);
-    let mut oracle = GraphOracle::new(&graph);
+    let mut oracle = graph_oracle(&graph, w, config);
     Breakdown::with_focus(&mut oracle, &EventClass::ALL, focus)
 }
 

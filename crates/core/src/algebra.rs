@@ -51,9 +51,15 @@ impl std::fmt::Display for Interaction {
 /// `cost(ab) − cost(a) − cost(b)`.
 pub fn icost(oracle: &mut dyn CostOracle, set: EventSet) -> i64 {
     let k = set.len() as u32;
+    let subsets: Vec<EventSet> = set.subsets().collect();
+    oracle.prefetch(&subsets);
     set.subsets()
         .map(|v| {
-            let sign = if (k - v.len() as u32).is_multiple_of(2) { 1 } else { -1 };
+            let sign = if (k - v.len() as u32).is_multiple_of(2) {
+                1
+            } else {
+                -1
+            };
             sign * oracle.cost(v)
         })
         .sum()
@@ -78,20 +84,26 @@ pub fn icost_of_sets(oracle: &mut dyn CostOracle, units: &[EventSet]) -> i64 {
             );
         }
     }
-    let mut total = 0i64;
-    for mask in 0u32..(1 << k) {
-        let mut union = EventSet::EMPTY;
-        for (j, u) in units.iter().enumerate() {
-            if mask & (1 << j) != 0 {
-                union = union.union(*u);
+    let unions: Vec<EventSet> = (0u32..(1 << k))
+        .map(|mask| {
+            let mut union = EventSet::EMPTY;
+            for (j, u) in units.iter().enumerate() {
+                if mask & (1 << j) != 0 {
+                    union = union.union(*u);
+                }
             }
-        }
-        let sign = if (k as u32 - mask.count_ones()).is_multiple_of(2) {
+            union
+        })
+        .collect();
+    oracle.prefetch(&unions);
+    let mut total = 0i64;
+    for (mask, union) in unions.iter().enumerate() {
+        let sign = if (k as u32 - (mask as u32).count_ones()).is_multiple_of(2) {
             1
         } else {
             -1
         };
-        total += sign * oracle.cost(union);
+        total += sign * oracle.cost(*union);
     }
     total
 }

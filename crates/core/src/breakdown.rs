@@ -73,6 +73,16 @@ impl Breakdown {
         base: &[EventClass],
         focus: EventClass,
     ) -> Breakdown {
+        // Everything this layout will query: all singletons plus the
+        // focus pairs. One prefetch lets batched oracles simulate the
+        // whole lattice in a single deduplicated parallel wave.
+        let mut wanted: Vec<EventSet> = base.iter().map(|&c| EventSet::single(c)).collect();
+        for &c in base {
+            if c != focus {
+                wanted.push(EventSet::from([focus, c]));
+            }
+        }
+        oracle.prefetch(&wanted);
         let mut rows = Vec::new();
         let mut shown = 0.0;
         for &c in base {
@@ -131,6 +141,7 @@ impl Breakdown {
         let mut shown = 0.0;
         let mut subsets: Vec<EventSet> = all.subsets().filter(|s| !s.is_empty()).collect();
         subsets.sort_by_key(|s| (s.len(), *s));
+        oracle.prefetch(&subsets);
         for s in subsets {
             let ic = icost(oracle, s);
             let pct = percent_of(ic, base_total);
@@ -159,7 +170,10 @@ impl Breakdown {
 
     /// Look up a row's percentage by its label (e.g. `"dl1+win"`).
     pub fn percent(&self, label: &str) -> Option<f64> {
-        self.rows.iter().find(|r| r.label == label).map(|r| r.percent)
+        self.rows
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| r.percent)
     }
 
     /// Render as an aligned text table (one benchmark column).
@@ -295,10 +309,7 @@ mod tests {
     fn interaction_classification_on_rows() {
         let row = BreakdownRow {
             label: "x+y".into(),
-            kind: RowKind::InteractionRow(EventSet::from([
-                EventClass::Dl1,
-                EventClass::Win,
-            ])),
+            kind: RowKind::InteractionRow(EventSet::from([EventClass::Dl1, EventClass::Win])),
             percent: -5.0,
         };
         assert_eq!(row.interaction(), Some(Interaction::Serial));

@@ -27,6 +27,16 @@ pub trait CostOracle {
             100.0 * self.cost(set) as f64 / base as f64
         }
     }
+
+    /// Hint that every set in `sets` is about to be queried via
+    /// [`CostOracle::cost`]. Batch-capable oracles (the `uarch-runner`
+    /// crate's parallel/cached oracles) expand this into one deduplicated
+    /// wave of simulation jobs; the default is a no-op, so serial oracles
+    /// are unaffected. Callers must not rely on prefetching for
+    /// correctness — `cost` must return the same value either way.
+    fn prefetch(&mut self, sets: &[EventSet]) {
+        let _ = sets;
+    }
 }
 
 /// The fast oracle: graph re-evaluation under per-edge idealization

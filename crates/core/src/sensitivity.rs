@@ -63,7 +63,13 @@ pub fn window_sweep(
                 windows: windows.to_vec(),
                 speedup_percent: cycles
                     .iter()
-                    .map(|&c| if c == 0 { 0.0 } else { 100.0 * (first / c as f64 - 1.0) })
+                    .map(|&c| {
+                        if c == 0 {
+                            0.0
+                        } else {
+                            100.0 * (first / c as f64 - 1.0)
+                        }
+                    })
                     .collect(),
             }
         })
@@ -147,7 +153,10 @@ mod tests {
             "window 128 should beat 64: {:?}",
             curves[0].speedup_percent
         );
-        assert_eq!(curves[0].speedup_at(128), Some(curves[0].speedup_percent[1]));
+        assert_eq!(
+            curves[0].speedup_at(128),
+            Some(curves[0].speedup_percent[1])
+        );
         assert_eq!(curves[0].speedup_at(999), None);
     }
 

@@ -41,7 +41,10 @@ impl TraditionalBreakdown {
         for (c, p) in &self.percent {
             out.push_str(&format!("{:<16} {:>8.1}\n", c.name(), p));
         }
-        out.push_str(&format!("{:<16} {:>8.1}\n", "(committing)", self.base_percent));
+        out.push_str(&format!(
+            "{:<16} {:>8.1}\n",
+            "(committing)", self.base_percent
+        ));
         out
     }
 }
@@ -100,7 +103,10 @@ pub fn traditional_breakdown(trace: &Trace, result: &SimResult) -> TraditionalBr
         } else {
             EventClass::Bw
         };
-        blamed[EventClass::ALL.iter().position(|c| *c == class).expect("class")] += 1;
+        blamed[EventClass::ALL
+            .iter()
+            .position(|c| *c == class)
+            .expect("class")] += 1;
     }
 
     let pct = |c: u64| {

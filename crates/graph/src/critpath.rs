@@ -95,9 +95,7 @@ impl DepGraph {
                     if i > 0 && times[i - 1].c == c {
                         record(&mut summary, EdgeKind::CC, 0);
                         Some(Node::C(i - 1))
-                    } else if keep_bw
-                        && i >= p.commit_width
-                        && times[i - p.commit_width].c + 1 == c
+                    } else if keep_bw && i >= p.commit_width && times[i - p.commit_width].c + 1 == c
                     {
                         record(&mut summary, EdgeKind::CBW, 1);
                         Some(Node::C(i - p.commit_width))
@@ -157,25 +155,40 @@ impl DepGraph {
                     if i == 0 {
                         // Anchor: pipeline-fill cycles plus any leading
                         // I-miss latency.
-                        let dd0 = if keep_imiss { self.insts[0].dd_latency } else { 0 };
+                        let dd0 = if keep_imiss {
+                            self.insts[0].dd_latency
+                        } else {
+                            0
+                        };
                         record(&mut summary, EdgeKind::DD, dd0);
                         None
                     } else if keep_bmisp && self.insts[i - 1].mispredicted && {
-                        let dd = if keep_imiss { self.insts[i].dd_latency } else { 0 };
+                        let dd = if keep_imiss {
+                            self.insts[i].dd_latency
+                        } else {
+                            0
+                        };
                         times[i - 1].p + p.misp_loop + dd == d
                     } {
-                        let dd = if keep_imiss { self.insts[i].dd_latency } else { 0 };
+                        let dd = if keep_imiss {
+                            self.insts[i].dd_latency
+                        } else {
+                            0
+                        };
                         record(&mut summary, EdgeKind::PD, p.misp_loop + dd);
                         Some(Node::P(i - 1))
                     } else if keep_win && i >= p.rob_size && times[i - p.rob_size].c == d {
                         record(&mut summary, EdgeKind::CD, 0);
                         Some(Node::C(i - p.rob_size))
-                    } else if keep_bw && i >= p.fetch_width && times[i - p.fetch_width].d + 1 == d
-                    {
+                    } else if keep_bw && i >= p.fetch_width && times[i - p.fetch_width].d + 1 == d {
                         record(&mut summary, EdgeKind::FBW, 1);
                         Some(Node::D(i - p.fetch_width))
                     } else {
-                        let dd = if keep_imiss { self.insts[i].dd_latency } else { 0 };
+                        let dd = if keep_imiss {
+                            self.insts[i].dd_latency
+                        } else {
+                            0
+                        };
                         record(&mut summary, EdgeKind::DD, dd);
                         Some(Node::D(i - 1))
                     }

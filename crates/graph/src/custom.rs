@@ -118,10 +118,7 @@ impl DepGraph {
 
     /// Cost (cycles saved) of idealizing the instructions selected by
     /// `pick`, with nothing else idealized.
-    pub fn cost_custom(
-        &self,
-        pick: impl FnMut(usize, &GraphInst) -> InstIdealization,
-    ) -> i64 {
+    pub fn cost_custom(&self, pick: impl FnMut(usize, &GraphInst) -> InstIdealization) -> i64 {
         self.evaluate(EventSet::EMPTY) as i64 - self.evaluate_custom(EventSet::EMPTY, pick) as i64
     }
 

@@ -173,10 +173,7 @@ mod tests {
         assert_eq!(t[0].d, p.front_end_depth);
         assert_eq!(t[0].p, p.front_end_depth + p.dispatch_to_ready + 1);
         assert_eq!(t[2].p, t[0].p + 2);
-        assert_eq!(
-            g.evaluate(EventSet::EMPTY),
-            t[2].p + p.complete_to_commit
-        );
+        assert_eq!(g.evaluate(EventSet::EMPTY), t[2].p + p.complete_to_commit);
     }
 
     #[test]

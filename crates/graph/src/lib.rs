@@ -60,7 +60,7 @@ mod eval;
 mod model;
 
 pub use build::decompose_ep;
-pub use custom::InstIdealization;
 pub use critpath::{CritPathSummary, SlackReport};
+pub use custom::InstIdealization;
 pub use eval::NodeTimes;
 pub use model::{DepGraph, EdgeKind, GraphInst, GraphParams, NodeKind, ProducerEdge};

@@ -19,7 +19,13 @@ pub enum NodeKind {
 
 impl NodeKind {
     /// All node kinds in pipeline order.
-    pub const ALL: [NodeKind; 5] = [NodeKind::D, NodeKind::R, NodeKind::E, NodeKind::P, NodeKind::C];
+    pub const ALL: [NodeKind; 5] = [
+        NodeKind::D,
+        NodeKind::R,
+        NodeKind::E,
+        NodeKind::P,
+        NodeKind::C,
+    ];
 }
 
 /// The twelve edge classes of the model (paper Table 3).

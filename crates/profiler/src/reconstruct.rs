@@ -51,7 +51,10 @@ impl std::fmt::Display for ReconstructError {
                 write!(f, "impossible signature bits at position {at}")
             }
             ReconstructError::MissingIndirectTarget { pc, at } => {
-                write!(f, "no detailed sample supplies the target of {pc:#x} at {at}")
+                write!(
+                    f,
+                    "no detailed sample supplies the target of {pc:#x} at {at}"
+                )
             }
         }
     }
@@ -181,8 +184,7 @@ pub fn reconstruct(
         let mut gi = match detail {
             Some(d) => {
                 stats.matched += 1;
-                let merged_in_range =
-                    d.pp_offset.is_some_and(|off| off as usize <= i && off > 0);
+                let merged_in_range = d.pp_offset.is_some_and(|off| off as usize <= i && off > 0);
                 // The skeleton's own bits encode THIS instance's hit/miss
                 // outcome (Table 5). When the best-matching detailed
                 // sample is a different-outcome instance of the same PC,
@@ -200,19 +202,23 @@ pub fn reconstruct(
                     } else if !skel_miss && d.dcache_level.is_miss() {
                         (config.l1d.latency, false, false, false)
                     } else {
-                        (d.exec_latency, d.dcache_level.is_miss(), d.dtlb_miss, merged_in_range)
+                        (
+                            d.exec_latency,
+                            d.dcache_level.is_miss(),
+                            d.dtlb_miss,
+                            merged_in_range,
+                        )
                     }
                 } else {
-                    (d.exec_latency, d.dcache_level.is_miss(), d.dtlb_miss, merged_in_range)
+                    (
+                        d.exec_latency,
+                        d.dcache_level.is_miss(),
+                        d.dtlb_miss,
+                        merged_in_range,
+                    )
                 };
-                let (dl1, dmiss, shalu, lgalu, base) = decompose_ep(
-                    si.op,
-                    exec_latency,
-                    level_miss,
-                    dtlb,
-                    merged,
-                    config,
-                );
+                let (dl1, dmiss, shalu, lgalu, base) =
+                    decompose_ep(si.op, exec_latency, level_miss, dtlb, merged, config);
                 GraphInst {
                     dd_latency: d.icache_extra,
                     mispredicted: d.mispredicted,
@@ -513,8 +519,8 @@ mod tests {
         let cfg = MachineConfig::table6().with_issue_wakeup(2);
         let result = Simulator::new(&cfg).run(&t, Idealization::none());
         let samples = collect_samples(&t, &result, &SamplerConfig::default());
-        let f = reconstruct(&samples.signatures[0], &samples.details, &p, &cfg)
-            .expect("reconstructs");
+        let f =
+            reconstruct(&samples.signatures[0], &samples.details, &p, &cfg).expect("reconstructs");
         let bubbled = f
             .graph
             .insts()

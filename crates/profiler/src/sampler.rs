@@ -120,13 +120,16 @@ pub fn collect_samples(trace: &Trace, result: &SimResult, config: &SamplerConfig
             start_pc: trace.inst(pos).pc,
             bits: bits[pos..end].to_vec(),
         });
-        pos += config.signature_interval.max(1) + rng.random_range(0..=config.signature_interval / 2);
+        pos +=
+            config.signature_interval.max(1) + rng.random_range(0..=config.signature_interval / 2);
     }
 
     // Detailed samples, one instruction at a time.
     let mut pos = rng.random_range(0..config.detail_interval.min(n.max(1)));
     while pos < n {
-        samples.details.push(detail_at(trace, result, &bits, pos, config));
+        samples
+            .details
+            .push(detail_at(trace, result, &bits, pos, config));
         pos += config.detail_interval.max(1) + rng.random_range(0..=config.detail_interval / 2);
     }
     samples

@@ -113,9 +113,24 @@ mod tests {
 
     #[test]
     fn agreement_counts_bits() {
-        let a = SigBits { b1: true, b2: false };
+        let a = SigBits {
+            b1: true,
+            b2: false,
+        };
         assert_eq!(a.agreement(a), 2);
-        assert_eq!(a.agreement(SigBits { b1: false, b2: false }), 1);
-        assert_eq!(a.agreement(SigBits { b1: false, b2: true }), 0);
+        assert_eq!(
+            a.agreement(SigBits {
+                b1: false,
+                b2: false
+            }),
+            1
+        );
+        assert_eq!(
+            a.agreement(SigBits {
+                b1: false,
+                b2: true
+            }),
+            0
+        );
     }
 }

@@ -1,0 +1,192 @@
+//! Content-addressed memoization of simulation results.
+//!
+//! The cache maps `(ContextId, idealized EventSet) -> cycles` — the full
+//! identity of a simulation job. It is shared (`Clone` hands out another
+//! handle to the same store), thread-safe, and optionally backed by an
+//! on-disk layer so repeated benchmark processes skip re-simulation
+//! entirely.
+//!
+//! Disk format: one append-only text file per context, named
+//! `<context>.sims`, each line `"<set-bits-hex> <cycles>"`. Text keeps the
+//! layer debuggable (`cat`-able) and append-only keeps concurrent writers
+//! from corrupting each other beyond a duplicated line, which dedup on
+//! load tolerates.
+
+use std::collections::{HashMap, HashSet};
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use uarch_trace::EventSet;
+
+use crate::fingerprint::ContextId;
+
+#[derive(Debug, Default)]
+struct Store {
+    /// `(context, idealized set) -> simulated cycles`.
+    map: HashMap<(ContextId, EventSet), u64>,
+    /// Contexts whose disk file has been read into `map`.
+    loaded: HashSet<ContextId>,
+}
+
+/// A shared, thread-safe, optionally disk-backed simulation-result cache.
+#[derive(Debug, Clone, Default)]
+pub struct SimCache {
+    store: Arc<Mutex<Store>>,
+    disk: Option<Arc<PathBuf>>,
+}
+
+impl SimCache {
+    /// A fresh in-memory cache.
+    pub fn new() -> SimCache {
+        SimCache::default()
+    }
+
+    /// A cache backed by `dir`: entries already on disk satisfy lookups,
+    /// and every insert is appended for future processes. The directory is
+    /// created if missing.
+    pub fn with_disk(dir: impl Into<PathBuf>) -> io::Result<SimCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SimCache {
+            store: Arc::default(),
+            disk: Some(Arc::new(dir)),
+        })
+    }
+
+    fn context_file(&self, ctx: ContextId) -> Option<PathBuf> {
+        self.disk.as_ref().map(|d| d.join(format!("{ctx}.sims")))
+    }
+
+    /// Pull `ctx`'s disk file into memory (once per context per handle
+    /// group). Unparseable lines are skipped: a torn concurrent append
+    /// must not poison the whole context.
+    fn ensure_loaded(&self, ctx: ContextId) -> usize {
+        let Some(path) = self.context_file(ctx) else {
+            return 0;
+        };
+        let mut store = self.store.lock().expect("cache poisoned");
+        if !store.loaded.insert(ctx) {
+            return 0;
+        }
+        let Ok(text) = fs::read_to_string(&path) else {
+            return 0;
+        };
+        let mut from_disk = 0;
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            let (Some(bits), Some(cycles)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            let (Ok(bits), Ok(cycles)) = (u8::from_str_radix(bits, 16), cycles.parse()) else {
+                continue;
+            };
+            if store
+                .map
+                .insert((ctx, EventSet::from_bits(bits)), cycles)
+                .is_none()
+            {
+                from_disk += 1;
+            }
+        }
+        from_disk
+    }
+
+    /// Cycles recorded for `(ctx, set)`, consulting disk on the first
+    /// touch of `ctx`. The second element reports how many entries the
+    /// disk layer newly contributed (for telemetry).
+    pub fn get(&self, ctx: ContextId, set: EventSet) -> (Option<u64>, usize) {
+        let loaded = self.ensure_loaded(ctx);
+        let hit = self
+            .store
+            .lock()
+            .expect("cache poisoned")
+            .map
+            .get(&(ctx, set))
+            .copied();
+        (hit, loaded)
+    }
+
+    /// Record a simulated result, appending to the disk layer if present.
+    /// Re-inserting an existing key is a no-op (no duplicate disk lines).
+    pub fn insert(&self, ctx: ContextId, set: EventSet, cycles: u64) {
+        {
+            let mut store = self.store.lock().expect("cache poisoned");
+            if store.map.insert((ctx, set), cycles).is_some() {
+                return;
+            }
+        }
+        if let Some(path) = self.context_file(ctx) {
+            // Best-effort: a failed append only costs future processes a
+            // re-simulation.
+            if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(path) {
+                let _ = writeln!(f, "{:02x} {}", set.bits(), cycles);
+            }
+        }
+    }
+
+    /// Number of entries currently in memory.
+    pub fn len(&self) -> usize {
+        self.store.lock().expect("cache poisoned").map.len()
+    }
+
+    /// Whether the in-memory store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_trace::EventClass;
+
+    #[test]
+    fn memory_roundtrip_and_sharing() {
+        let a = SimCache::new();
+        let b = a.clone();
+        let ctx = ContextId(7);
+        let s = EventSet::single(EventClass::Dmiss);
+        assert_eq!(a.get(ctx, s).0, None);
+        a.insert(ctx, s, 1234);
+        assert_eq!(b.get(ctx, s).0, Some(1234), "handles share one store");
+        assert_eq!(b.get(ContextId(8), s).0, None);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn disk_roundtrip_across_processes() {
+        let dir = std::env::temp_dir().join(format!("simcache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let ctx = ContextId(0xabcd);
+        let s = EventSet::from([EventClass::Dl1, EventClass::Win]);
+        {
+            let c = SimCache::with_disk(&dir).expect("create");
+            c.insert(ctx, s, 999);
+            c.insert(ctx, EventSet::EMPTY, 1500);
+        }
+        // A fresh handle group simulating a new process.
+        let c2 = SimCache::with_disk(&dir).expect("open");
+        assert_eq!(c2.get(ctx, s), (Some(999), 2));
+        assert_eq!(c2.get(ctx, EventSet::EMPTY), (Some(1500), 0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_lines_are_skipped() {
+        let dir = std::env::temp_dir().join(format!("simcache-corrupt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let ctx = ContextId(0x11);
+        fs::write(
+            dir.join(format!("{ctx}.sims")),
+            "zz nonsense\n03 77\ntorn-li",
+        )
+        .unwrap();
+        let c = SimCache::with_disk(&dir).expect("open");
+        assert_eq!(c.get(ctx, EventSet::from_bits(0x03)).0, Some(77));
+        assert_eq!(c.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

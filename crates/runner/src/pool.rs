@@ -1,0 +1,87 @@
+//! A small scoped worker pool with deterministic result ordering.
+//!
+//! `rayon` is the natural choice here but is not available in the offline
+//! build environment, so this module implements the one primitive the
+//! runner needs on plain `std`: map a function over a slice on N OS
+//! threads, work-stealing by atomic index, and return results in *input
+//! order* regardless of which thread finished when. Determinism therefore
+//! never depends on scheduling — only throughput does.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers to use by default: one per available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every element of `items` on up to `threads` workers and
+/// collect the results in input order.
+///
+/// `f` runs exactly once per item. With `threads <= 1` or a single item
+/// everything runs inline on the caller's thread (no spawn overhead).
+pub fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker completed every claimed job")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, 8, |&x| x * 3);
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_each_item_exactly_once() {
+        let counters: Vec<AtomicU32> = (0..64).map(|_| AtomicU32::new(0)).collect();
+        let items: Vec<usize> = (0..64).collect();
+        parallel_map(&items, 4, |&i| counters[i].fetch_add(1, Ordering::SeqCst));
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn single_thread_and_empty_inputs() {
+        assert_eq!(parallel_map(&[1, 2, 3], 1, |&x| x + 1), vec![2, 3, 4]);
+        assert_eq!(parallel_map::<u8, u8>(&[], 8, |&x| x), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(parallel_map(&[5], 16, |&x| x * 2), vec![10]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Run telemetry: what the engine actually did, printable as a table.
+
+use std::time::Duration;
+
+/// Counters and phase timings for one oracle / batch run.
+///
+/// Every `cost(S)` request ends in exactly one of: answered from memory or
+/// disk (`cache_hits`/`disk_hits`), collapsed onto an identical in-flight
+/// or already-requested job (`jobs_deduped`), or simulated (`sims_run`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// `cost`/`baseline` queries answered (including trivial `∅` ones).
+    pub queries: u64,
+    /// Simulation jobs requested before dedup/cache screening.
+    pub jobs_requested: u64,
+    /// Requests collapsed because an identical job was already requested
+    /// in the same batch or answered earlier.
+    pub jobs_deduped: u64,
+    /// Requests answered by the in-memory content-addressed cache.
+    pub cache_hits: u64,
+    /// Entries the on-disk cache layer contributed.
+    pub disk_hits: u64,
+    /// Cycle-level simulations actually executed.
+    pub sims_run: u64,
+    /// Total simulated cycles across `sims_run`.
+    pub cycles_simulated: u64,
+    /// Total dynamic instructions fed to the simulator.
+    pub insts_simulated: u64,
+    /// Worker threads available to parallel waves.
+    pub threads: usize,
+    /// Wall time spent expanding/deduplicating/screening queries.
+    pub expand_wall: Duration,
+    /// Wall time spent inside simulation waves (parallel or inline).
+    pub sim_wall: Duration,
+}
+
+impl RunReport {
+    /// A zeroed report for `threads` workers.
+    pub fn new(threads: usize) -> RunReport {
+        RunReport {
+            threads,
+            ..RunReport::default()
+        }
+    }
+
+    /// Fold another report's counters and timings into this one.
+    pub fn absorb(&mut self, other: &RunReport) {
+        self.queries += other.queries;
+        self.jobs_requested += other.jobs_requested;
+        self.jobs_deduped += other.jobs_deduped;
+        self.cache_hits += other.cache_hits;
+        self.disk_hits += other.disk_hits;
+        self.sims_run += other.sims_run;
+        self.cycles_simulated += other.cycles_simulated;
+        self.insts_simulated += other.insts_simulated;
+        self.threads = self.threads.max(other.threads);
+        self.expand_wall += other.expand_wall;
+        self.sim_wall += other.sim_wall;
+    }
+
+    /// Fraction of non-empty requests that skipped simulation, in
+    /// `[0, 1]`; `None` before any requests.
+    pub fn reuse_rate(&self) -> Option<f64> {
+        let answered = self.jobs_deduped + self.cache_hits + self.sims_run;
+        if answered == 0 {
+            return None;
+        }
+        Some((self.jobs_deduped + self.cache_hits) as f64 / answered as f64)
+    }
+
+    /// Render as an aligned two-column table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let mut row = |k: &str, v: String| out.push_str(&format!("  {k:<24} {v:>14}\n"));
+        row("queries", self.queries.to_string());
+        row("jobs requested", self.jobs_requested.to_string());
+        row("jobs deduped", self.jobs_deduped.to_string());
+        row("cache hits (memory)", self.cache_hits.to_string());
+        row("cache hits (disk)", self.disk_hits.to_string());
+        row("simulations run", self.sims_run.to_string());
+        row("cycles simulated", self.cycles_simulated.to_string());
+        row("insts simulated", self.insts_simulated.to_string());
+        row("threads", self.threads.to_string());
+        row("expand wall", format!("{:.3?}", self.expand_wall));
+        row("simulate wall", format!("{:.3?}", self.sim_wall));
+        if let Some(r) = self.reuse_rate() {
+            row("reuse rate", format!("{:.1}%", 100.0 * r));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_counters() {
+        let mut a = RunReport::new(2);
+        a.sims_run = 3;
+        a.cache_hits = 1;
+        let mut b = RunReport::new(4);
+        b.sims_run = 2;
+        b.jobs_deduped = 5;
+        a.absorb(&b);
+        assert_eq!(a.sims_run, 5);
+        assert_eq!(a.jobs_deduped, 5);
+        assert_eq!(a.threads, 4);
+        // (1 + 5) reused of the 11 answered requests.
+        assert!((a.reuse_rate().unwrap() - 6.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_lists_every_counter() {
+        let r = RunReport::new(8);
+        let t = r.to_table();
+        for key in [
+            "queries",
+            "jobs requested",
+            "jobs deduped",
+            "cache hits (memory)",
+            "cache hits (disk)",
+            "simulations run",
+            "threads",
+        ] {
+            assert!(t.contains(key), "missing {key} in:\n{t}");
+        }
+        assert!(r.reuse_rate().is_none());
+    }
+}

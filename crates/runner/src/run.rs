@@ -1,0 +1,246 @@
+//! The job-based front door: declare what you want to know, let the
+//! engine figure out the minimal set of simulations.
+//!
+//! A [`Query`] names an analysis result (`cost(S)`, `icost(U)`, or an
+//! `icost` over aggregate units); [`Runner::run`] expands a batch of
+//! queries into their required `(trace, config, idealization)` simulation
+//! jobs, dedupes jobs shared *across* queries (every `icost` lattice
+//! shares its lower subsets with smaller queries), executes the residue as
+//! one parallel wave, and answers every query from the resulting cache.
+
+use std::io;
+use std::path::PathBuf;
+
+use icost::{icost, icost_of_sets, CostOracle};
+use uarch_trace::{EventSet, MachineConfig, Trace};
+
+use crate::cache::SimCache;
+use crate::oracle::ParallelMultiSimOracle;
+use crate::pool::default_threads;
+use crate::report::RunReport;
+
+/// One analysis request against a single simulation context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// `cost(S) = t − t(S)`.
+    Cost(EventSet),
+    /// `icost(U)` over the member classes of `U` (full `2^|U|` lattice).
+    Icost(EventSet),
+    /// `icost` treating each element as one aggregate unit
+    /// (see [`icost_of_sets`]).
+    IcostOfUnits(Vec<EventSet>),
+}
+
+impl Query {
+    /// Every event set whose simulation this query needs (including `∅`
+    /// for the baseline). Duplicates across queries are expected — the
+    /// runner dedupes them.
+    pub fn required_sets(&self) -> Vec<EventSet> {
+        match self {
+            Query::Cost(s) => vec![EventSet::EMPTY, *s],
+            Query::Icost(u) => u.subsets().collect(),
+            Query::IcostOfUnits(units) => (0u32..(1 << units.len()))
+                .map(|mask| {
+                    let mut union = EventSet::EMPTY;
+                    for (j, u) in units.iter().enumerate() {
+                        if mask & (1 << j) != 0 {
+                            union = union.union(*u);
+                        }
+                    }
+                    union
+                })
+                .collect(),
+        }
+    }
+
+    fn answer(&self, oracle: &mut dyn CostOracle) -> i64 {
+        match self {
+            Query::Cost(s) => oracle.cost(*s),
+            Query::Icost(u) => icost(oracle, *u),
+            Query::IcostOfUnits(units) => icost_of_sets(oracle, units),
+        }
+    }
+}
+
+/// The evaluation engine: a worker-thread budget plus a shared
+/// content-addressed [`SimCache`] that every oracle it hands out feeds.
+///
+/// Keep one `Runner` per process (or per benchmark sweep) and route all
+/// analyses through it — that is what turns overlapping queries into
+/// cache hits instead of repeated simulations.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    threads: usize,
+    cache: SimCache,
+}
+
+impl Default for Runner {
+    fn default() -> Runner {
+        Runner::new()
+    }
+}
+
+impl Runner {
+    /// A runner with one worker per core and a fresh in-memory cache.
+    pub fn new() -> Runner {
+        Runner {
+            threads: default_threads(),
+            cache: SimCache::new(),
+        }
+    }
+
+    /// Cap (or raise) the worker-thread budget.
+    pub fn with_threads(mut self, threads: usize) -> Runner {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Persist simulation results under `dir` so later processes reuse
+    /// them (see [`SimCache::with_disk`]).
+    pub fn with_disk_cache(self, dir: impl Into<PathBuf>) -> io::Result<Runner> {
+        Ok(Runner {
+            threads: self.threads,
+            cache: SimCache::with_disk(dir)?,
+        })
+    }
+
+    /// Adopt an existing cache handle (e.g. one shared across several
+    /// runners, or a pre-opened disk-backed cache).
+    pub fn with_cache(mut self, cache: SimCache) -> Runner {
+        self.cache = cache;
+        self
+    }
+
+    /// The shared cache handle (clone it into your own oracles freely).
+    pub fn cache(&self) -> &SimCache {
+        &self.cache
+    }
+
+    /// Worker threads used for parallel waves.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A parallel multi-sim oracle over `(config, trace)` wired to this
+    /// runner's cache and thread budget.
+    pub fn oracle<'a>(
+        &self,
+        config: &'a MachineConfig,
+        trace: &'a Trace,
+    ) -> ParallelMultiSimOracle<'a> {
+        self.oracle_warmed(config, trace, &[], &[])
+    }
+
+    /// Like [`Runner::oracle`], with cache/TLB warmup sets (steady-state
+    /// measurement).
+    pub fn oracle_warmed<'a>(
+        &self,
+        config: &'a MachineConfig,
+        trace: &'a Trace,
+        warm_data: &'a [u64],
+        warm_code: &'a [u64],
+    ) -> ParallelMultiSimOracle<'a> {
+        ParallelMultiSimOracle::warmed(config, trace, warm_data, warm_code)
+            .with_threads(self.threads)
+            .with_cache(self.cache.clone())
+    }
+
+    /// Evaluate a batch of queries against one context.
+    ///
+    /// All queries' required sets are expanded up front and pushed
+    /// through a single deduplicated prefetch wave, so overlapping
+    /// lattices cost one simulation per *distinct* set, not per query.
+    /// Results are returned in query order; the report says how much work
+    /// was actually done.
+    pub fn run(
+        &self,
+        config: &MachineConfig,
+        trace: &Trace,
+        queries: &[Query],
+    ) -> (Vec<i64>, RunReport) {
+        self.run_warmed(config, trace, &[], &[], queries)
+    }
+
+    /// [`Runner::run`] with warmup sets.
+    pub fn run_warmed(
+        &self,
+        config: &MachineConfig,
+        trace: &Trace,
+        warm_data: &[u64],
+        warm_code: &[u64],
+        queries: &[Query],
+    ) -> (Vec<i64>, RunReport) {
+        let mut oracle = self.oracle_warmed(config, trace, warm_data, warm_code);
+        let wanted: Vec<EventSet> = queries.iter().flat_map(Query::required_sets).collect();
+        oracle.prefetch(&wanted);
+        let answers = queries.iter().map(|q| q.answer(&mut oracle)).collect();
+        (answers, oracle.take_report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icost::MultiSimOracle;
+    use uarch_trace::{EventClass, Reg, TraceBuilder};
+
+    fn kernel() -> Trace {
+        let mut b = TraceBuilder::new();
+        for k in 0..25u64 {
+            b.load(Reg::int(1), 0x10_0000 + k * 4096);
+            b.alu(Reg::int(2), &[Reg::int(1)]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn queries_match_serial_oracle() {
+        let cfg = MachineConfig::table6();
+        let t = kernel();
+        let d = EventSet::single(EventClass::Dmiss);
+        let w = EventSet::single(EventClass::Win);
+        let queries = vec![
+            Query::Cost(d),
+            Query::Icost(d.union(w)),
+            Query::IcostOfUnits(vec![d, w]),
+        ];
+        let runner = Runner::new().with_threads(2);
+        let (got, report) = runner.run(&cfg, &t, &queries);
+
+        let mut serial = MultiSimOracle::new(&cfg, &t);
+        let expect = vec![
+            serial.cost(d),
+            icost(&mut serial, d.union(w)),
+            icost_of_sets(&mut serial, &[d, w]),
+        ];
+        assert_eq!(got, expect);
+        // The three queries share the {∅, d, w, d∪w} lattice: exactly four
+        // distinct simulations regardless of the per-query expansions.
+        assert_eq!(report.sims_run, 4);
+        assert!(report.jobs_deduped > 0, "cross-query sharing collapsed");
+    }
+
+    #[test]
+    fn second_batch_is_all_cache_hits() {
+        let cfg = MachineConfig::table6();
+        let t = kernel();
+        let u = EventSet::from([EventClass::Dmiss, EventClass::Bmisp]);
+        let runner = Runner::new();
+        let (first, r1) = runner.run(&cfg, &t, &[Query::Icost(u)]);
+        let (second, r2) = runner.run(&cfg, &t, &[Query::Icost(u)]);
+        assert_eq!(first, second);
+        assert_eq!(r1.sims_run, 4);
+        assert_eq!(r2.sims_run, 0, "everything answered from the cache");
+        assert!(r2.cache_hits > 0);
+    }
+
+    #[test]
+    fn required_sets_shapes() {
+        let d = EventSet::single(EventClass::Dmiss);
+        let w = EventSet::single(EventClass::Win);
+        assert_eq!(Query::Cost(d).required_sets(), vec![EventSet::EMPTY, d]);
+        assert_eq!(Query::Icost(d.union(w)).required_sets().len(), 4);
+        let units = Query::IcostOfUnits(vec![d, w]).required_sets();
+        assert_eq!(units, vec![EventSet::EMPTY, d, w, d.union(w)]);
+    }
+}

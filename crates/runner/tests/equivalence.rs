@@ -1,0 +1,129 @@
+//! Property tests pinning the runner's central guarantee: parallelism and
+//! caching change *when* a simulation happens, never *what* it computes.
+//! Every oracle the crate exposes must be bit-identical to the serial
+//! `MultiSimOracle` on arbitrary traces and query sets, and repeated
+//! queries must be answered from the cache rather than re-simulated.
+
+use icost::{icost, CostOracle, MultiSimOracle};
+use proptest::prelude::*;
+use uarch_runner::{context_id, CachedOracle, ParallelMultiSimOracle, Query, Runner, SimCache};
+use uarch_trace::{EventClass, EventSet, MachineConfig, Reg, Trace, TraceBuilder};
+
+/// Build a trace from a script of `(opcode, value)` pairs. The opcode
+/// selects the instruction kind; the value perturbs registers, addresses
+/// and branch outcomes, so the generator reaches loads that miss, loads
+/// that hit, dependent ALU work, stores and (mis)predictable branches.
+fn build_trace(script: &[(u8, u64)]) -> Trace {
+    let mut b = TraceBuilder::new();
+    for &(op, v) in script {
+        match op % 5 {
+            // Far-apart lines: data-cache misses.
+            0 => b.load(Reg::int(1 + (v % 4) as u8), 0x10_0000 + v * 4096),
+            // Dense lines: L1 hits.
+            1 => b.load(Reg::int(1 + (v % 4) as u8), 0x1000 + (v % 64) * 8),
+            // Dependent integer work.
+            2 => b.alu(Reg::int((v % 8) as u8), &[Reg::int(((v + 1) % 8) as u8)]),
+            3 => b.store(Reg::int(1 + (v % 4) as u8), 0x2000 + (v % 32) * 8),
+            // Mostly fall-through branches with occasional taken ones.
+            _ => {
+                let target = b.pc() + 64;
+                b.branch(Reg::int(1 + (v % 4) as u8), v % 3 == 0, target)
+            }
+        };
+    }
+    // Guarantee at least one instruction so baselines are meaningful.
+    b.alu(Reg::int(1), &[]);
+    b.finish()
+}
+
+/// Up to three distinct classes out of all eight.
+fn event_set(picks: &[u8]) -> EventSet {
+    picks
+        .iter()
+        .map(|&p| EventClass::ALL[(p % 8) as usize])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_oracle_matches_serial(
+        script in prop::collection::vec((0u8..5, 0u64..97), 1..32),
+        picks in prop::collection::vec(0u8..8, 1..4),
+    ) {
+        let cfg = MachineConfig::table6();
+        let trace = build_trace(&script);
+        let u = event_set(&picks);
+
+        let mut serial = MultiSimOracle::new(&cfg, &trace);
+        let mut par = ParallelMultiSimOracle::new(&cfg, &trace).with_threads(4);
+
+        let subsets: Vec<EventSet> = u.subsets().collect();
+        par.prefetch(&subsets);
+        for s in &subsets {
+            prop_assert_eq!(par.cost(*s), serial.cost(*s));
+        }
+        prop_assert_eq!(par.baseline(), serial.baseline());
+        prop_assert_eq!(icost(&mut par, u), icost(&mut serial, u));
+    }
+
+    #[test]
+    fn cached_oracle_matches_serial(
+        script in prop::collection::vec((0u8..5, 0u64..97), 1..32),
+        picks in prop::collection::vec(0u8..8, 1..4),
+    ) {
+        let cfg = MachineConfig::table6();
+        let trace = build_trace(&script);
+        let u = event_set(&picks);
+        let ctx = context_id(&cfg, &trace, &[], &[]);
+
+        let mut serial = MultiSimOracle::new(&cfg, &trace);
+        let mut cached =
+            CachedOracle::new(MultiSimOracle::new(&cfg, &trace), ctx, SimCache::new());
+
+        for s in u.subsets() {
+            prop_assert_eq!(cached.cost(s), serial.cost(s));
+        }
+        prop_assert_eq!(cached.baseline(), serial.baseline());
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache(
+        script in prop::collection::vec((0u8..5, 0u64..97), 1..24),
+        picks in prop::collection::vec(0u8..8, 1..3),
+    ) {
+        let cfg = MachineConfig::table6();
+        let trace = build_trace(&script);
+        let u = event_set(&picks);
+        let runner = Runner::new().with_threads(2);
+
+        let (first, r1) = runner.run(&cfg, &trace, &[Query::Icost(u)]);
+        let (second, r2) = runner.run(&cfg, &trace, &[Query::Icost(u)]);
+
+        prop_assert_eq!(first, second);
+        prop_assert!(r1.sims_run > 0, "first batch must simulate");
+        prop_assert_eq!(r2.sims_run, 0, "second batch must not simulate");
+        prop_assert!(
+            r2.cache_hits > 0,
+            "second batch answered from cache (report: {:?})",
+            r2
+        );
+    }
+
+    #[test]
+    fn thread_count_never_changes_answers(
+        script in prop::collection::vec((0u8..5, 0u64..97), 1..24),
+        picks in prop::collection::vec(0u8..8, 1..3),
+        threads in 1usize..6,
+    ) {
+        let cfg = MachineConfig::table6();
+        let trace = build_trace(&script);
+        let u = event_set(&picks);
+        let queries = [Query::Cost(u), Query::Icost(u)];
+
+        let (one, _) = Runner::new().with_threads(1).run(&cfg, &trace, &queries);
+        let (many, _) = Runner::new().with_threads(threads).run(&cfg, &trace, &queries);
+        prop_assert_eq!(one, many);
+    }
+}

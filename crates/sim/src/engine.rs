@@ -456,8 +456,7 @@ impl<'a> Engine<'a> {
                 let p = producer as usize;
                 if self.sched[p].issued {
                     let avail = self.sched[p].avail;
-                    self.records[i].wakeup_bubble[slot] =
-                        avail - self.records[p].complete;
+                    self.records[i].wakeup_bubble[slot] = avail - self.records[p].complete;
                     ready_time = ready_time.max(avail);
                 } else {
                     pending += 1;
@@ -734,11 +733,7 @@ mod tests {
         }
         let res = run(&b.finish());
         let first = res.records[0].exec;
-        let delayed = res
-            .records
-            .iter()
-            .filter(|r| r.exec > first)
-            .count();
+        let delayed = res.records.iter().filter(|r| r.exec > first).count();
         assert_eq!(delayed, 2, "two multiplies must wait for units");
         assert!(res.records.iter().any(|r| r.re_delay > 0));
     }

@@ -28,9 +28,7 @@ impl Idealization {
     /// Idealize every class at once (execution collapses to pipeline
     /// overheads; used in tests of the icost accounting identity).
     pub fn all() -> Idealization {
-        Idealization {
-            set: EventSet::ALL,
-        }
+        Idealization { set: EventSet::ALL }
     }
 
     /// The underlying event set.

@@ -1,7 +1,7 @@
 //! Machine configuration (paper Table 6).
 
 /// Configuration of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -37,7 +37,7 @@ impl CacheConfig {
 }
 
 /// Configuration of a TLB.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TlbConfig {
     /// Number of entries.
     pub entries: usize,
@@ -74,7 +74,7 @@ impl FuClass {
 }
 
 /// Count and latency of one functional-unit class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FuConfig {
     /// Number of units.
     pub count: usize,
@@ -86,7 +86,7 @@ pub struct FuConfig {
 
 /// Branch-predictor configuration (paper Table 6: combined bimodal/gshare
 /// with meta chooser, 2-way BTB, return-address stack).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BranchPredictorConfig {
     /// Bimodal table entries (power of two).
     pub bimodal_entries: usize,
@@ -107,7 +107,7 @@ pub struct BranchPredictorConfig {
 /// The full simulated machine (paper Table 6), plus the pipeline-loop knobs
 /// the Section 4 tutorial varies (L1 latency, issue-wakeup latency,
 /// branch-misprediction loop length).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MachineConfig {
     /// Re-order buffer / instruction window entries.
     pub rob_size: usize,

@@ -104,6 +104,18 @@ impl EventSet {
         EventSet::EMPTY
     }
 
+    /// The raw bitmask (one bit per [`EventClass`], in `ALL` order). The
+    /// inverse of [`EventSet::from_bits`]; used for compact serialization
+    /// (e.g. cache keys).
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuild a set from a [`EventSet::bits`] mask.
+    pub const fn from_bits(bits: u8) -> EventSet {
+        EventSet(bits)
+    }
+
     /// A singleton set.
     pub fn single(class: EventClass) -> EventSet {
         EventSet(1 << class.bit())

@@ -207,7 +207,7 @@ impl fmt::Display for OpClass {
 /// memory address); all *microarchitectural* events (mispredictions, cache
 /// misses) are produced by the simulator's structural models running over
 /// the trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Inst {
     /// Program counter of this instruction.
     pub pc: u64,
@@ -253,11 +253,7 @@ impl Inst {
     /// Iterator over the source registers that actually create dependences
     /// (present and not the zero register).
     pub fn live_srcs(&self) -> impl Iterator<Item = Reg> + '_ {
-        self.srcs
-            .iter()
-            .flatten()
-            .copied()
-            .filter(|r| !r.is_zero())
+        self.srcs.iter().flatten().copied().filter(|r| !r.is_zero())
     }
 
     /// The destination register if it creates a definition (present and not

@@ -4,7 +4,7 @@ use crate::inst::{Inst, OpClass, Reg, INST_BYTES};
 
 /// A microexecution trace: the dynamic instruction stream one program run
 /// produces, in program order.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Trace {
     insts: Vec<Inst>,
 }

@@ -284,12 +284,14 @@ fn synthesize(profile: &BenchProfile, rng: &mut StdRng) -> Layout {
                 } else {
                     counter_reg()
                 };
+                // Tame branches are strongly biased (a bimodal predictor
+                // learns them to a ~2-3% floor); wild ones are coin flips.
                 let taken_prob = if wild {
                     0.5
                 } else if rng.random_bool(0.5) {
-                    0.06
+                    0.025
                 } else {
-                    0.92
+                    0.975
                 };
                 let skip = rng.random_range(1..=3usize);
                 slots.push(Slot::Hammock {
@@ -538,11 +540,7 @@ impl<'p> Walker<'p> {
                     self.push(i);
                     s += 1;
                 }
-                Slot::Load {
-                    dst,
-                    addr_src,
-                    gen,
-                } => {
+                Slot::Load { dst, addr_src, gen } => {
                     let mut i = Inst::new(pc, OpClass::Load);
                     i.dst = Some(dst);
                     i.srcs[0] = addr_src;

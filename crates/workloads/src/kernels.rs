@@ -61,7 +61,11 @@ pub fn pointer_chase(iters: usize) -> Trace {
     let mut b = TraceBuilder::new();
     b.counted_loop(iters.max(1), Reg::int(9), |b, k| {
         let k = k as u64;
-        b.load_indexed(Reg::int(1), Reg::int(1), 0x4000_0000 + (k * 8191) % 0x100_0000);
+        b.load_indexed(
+            Reg::int(1),
+            Reg::int(1),
+            0x4000_0000 + (k * 8191) % 0x100_0000,
+        );
         b.alu(Reg::int(2), &[Reg::int(1)]);
     });
     b.finish()

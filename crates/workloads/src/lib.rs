@@ -35,7 +35,5 @@ mod kernels;
 mod profiles;
 
 pub use generate::{generate, Workload};
-pub use kernels::{
-    branchy_kernel, parallel_misses, pointer_chase, serial_misses_parallel_alu,
-};
+pub use kernels::{branchy_kernel, parallel_misses, pointer_chase, serial_misses_parallel_alu};
 pub use profiles::BenchProfile;

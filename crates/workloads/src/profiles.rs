@@ -145,7 +145,7 @@ fn build_suite() -> Vec<BenchProfile> {
         BenchProfile {
             name: "bzip",
             branch_frac: 0.17,
-            wild_branch_frac: 0.20,
+            wild_branch_frac: 0.34,
             load_frac: 0.26,
             l1_resident_frac: 0.85,
             l2_resident_frac: 0.13,
@@ -260,7 +260,7 @@ fn build_suite() -> Vec<BenchProfile> {
         BenchProfile {
             name: "parser",
             branch_frac: 0.13,
-            wild_branch_frac: 0.35,
+            wild_branch_frac: 0.34,
             load_frac: 0.30,
             chase_frac: 0.22,
             chase_region_bytes: 4 * 1024 * 1024,
@@ -311,7 +311,7 @@ fn build_suite() -> Vec<BenchProfile> {
         BenchProfile {
             name: "vortex",
             branch_frac: 0.09,
-            wild_branch_frac: 0.02,
+            wild_branch_frac: 0.01,
             load_frac: 0.34,
             l1_resident_frac: 0.88,
             l2_resident_frac: 0.08,
@@ -358,8 +358,8 @@ mod tests {
         assert_eq!(
             BenchProfile::names(),
             vec![
-                "bzip", "crafty", "eon", "gap", "gcc", "gzip", "mcf", "parser", "perl",
-                "twolf", "vortex", "vpr"
+                "bzip", "crafty", "eon", "gap", "gcc", "gzip", "mcf", "parser", "perl", "twolf",
+                "vortex", "vpr"
             ]
         );
     }

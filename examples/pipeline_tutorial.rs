@@ -94,7 +94,10 @@ fn main() {
         Simulator::new(&cfg).run_warmed(&w.trace, Idealization::none(), &w.warm_data, &w.warm_code);
     let graph = DepGraph::build(&w.trace, &result, &cfg);
     let times = graph.node_times(EventSet::EMPTY);
-    println!("{:<5} {:<6} {:>6} {:>6} {:>6} {:>6} {:>6}", "#", "op", "D", "R", "E", "P", "C");
+    println!(
+        "{:<5} {:<6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "#", "op", "D", "R", "E", "P", "C"
+    );
     for (i, t) in times.iter().enumerate().take(12) {
         println!(
             "{:<5} {:<6} {:>6} {:>6} {:>6} {:>6} {:>6}",
@@ -111,7 +114,10 @@ fn main() {
     println!("\ncritical-path composition (cycles per edge class):");
     for (kind, cycles) in &crit.cycles {
         if *cycles > 0 {
-            println!("  {kind:<4} {cycles:>8} ({:.1}%)", 100.0 * crit.fraction(*kind));
+            println!(
+                "  {kind:<4} {cycles:>8} ({:.1}%)",
+                100.0 * crit.fraction(*kind)
+            );
         }
     }
 }

@@ -66,7 +66,10 @@ fn main() {
     hot.truncate(6);
 
     println!("\nper-static-load prefetch value (idealize that PC's misses):");
-    println!("{:<12} {:>8} {:>10} {:>10}", "static pc", "misses", "cost(cyc)", "cyc/miss");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10}",
+        "static pc", "misses", "cost(cyc)", "cyc/miss"
+    );
     let mut costs: Vec<(u64, i64)> = Vec::new();
     for &(pc, misses) in &hot {
         let cost = cost_of_static_loads(&graph, &w.trace, &[pc], baseline);

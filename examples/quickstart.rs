@@ -68,11 +68,34 @@ fn main() {
     print!("{}", breakdown.to_table("%"));
     println!("\n{}", render_bar_chart(&breakdown, 32));
 
-    // 6. Ground truth on demand: the same answers by re-simulation.
-    let mut multi = icost::MultiSimOracle::new(&config, &trace);
+    // 6. Ground truth on demand: the same answers by re-simulation,
+    //    batched through the runner — the power-set lattice is expanded
+    //    into distinct simulation jobs, deduplicated, executed in
+    //    parallel and memoized in a content-addressed cache.
+    let runner = uarch_runner::Runner::new();
+    let (answers, report) = runner.run(
+        &config,
+        &trace,
+        &[
+            uarch_runner::Query::Cost(dmiss),
+            uarch_runner::Query::Icost(pair),
+        ],
+    );
     println!(
         "re-simulated cost(dmiss) = {} cycles (graph said {})",
-        multi.cost(dmiss),
+        answers[0],
         oracle.cost(dmiss)
+    );
+    println!(
+        "re-simulated icost(dmiss, win) = {} cycles (graph said {ic})",
+        answers[1]
+    );
+    println!("\nrunner telemetry:\n{report}");
+
+    // Asking again is free: the cache answers without simulating.
+    let (_, again) = runner.run(&config, &trace, &[uarch_runner::Query::Icost(pair)]);
+    println!(
+        "repeat query: {} simulations, {} cache hits",
+        again.sims_run, again.cache_hits
     );
 }

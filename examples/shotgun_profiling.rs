@@ -68,7 +68,10 @@ fn main() {
     let mut full = GraphOracle::new(&graph);
     let reference = Breakdown::with_focus(&mut full, &EventClass::ALL, EventClass::Dl1);
 
-    println!("\n{:<12} {:>10} {:>10}", "category", "profiler", "fullgraph");
+    println!(
+        "\n{:<12} {:>10} {:>10}",
+        "category", "profiler", "fullgraph"
+    );
     for row in &profiled.rows {
         let full_pct = reference.percent(&row.label).unwrap_or(f64::NAN);
         println!("{:<12} {:>10.1} {:>10.1}", row.label, row.percent, full_pct);

@@ -8,11 +8,9 @@ use uarch_sim::{Idealization, Simulator};
 use uarch_trace::{EventClass, EventSet, MachineConfig};
 use uarch_workloads::{generate, parallel_misses, serial_misses_parallel_alu, BenchProfile};
 
-fn observe(
-    w: &uarch_workloads::Workload,
-    cfg: &MachineConfig,
-) -> (uarch_sim::SimResult, DepGraph) {
-    let r = Simulator::new(cfg).run_warmed(&w.trace, Idealization::none(), &w.warm_data, &w.warm_code);
+fn observe(w: &uarch_workloads::Workload, cfg: &MachineConfig) -> (uarch_sim::SimResult, DepGraph) {
+    let r =
+        Simulator::new(cfg).run_warmed(&w.trace, Idealization::none(), &w.warm_data, &w.warm_code);
     let g = DepGraph::build(&w.trace, &r, cfg);
     (r, g)
 }
@@ -90,8 +88,16 @@ fn canonical_kernels_show_expected_interactions() {
     let pair = EventSet::from([EventClass::Dmiss, EventClass::ShortAlu]);
     let gi = icost(&mut graph_oracle, pair);
     let si = icost(&mut sim_oracle, pair);
-    assert_eq!(Interaction::classify(gi, 20), Interaction::Serial, "graph {gi}");
-    assert_eq!(Interaction::classify(si, 20), Interaction::Serial, "sim {si}");
+    assert_eq!(
+        Interaction::classify(gi, 20),
+        Interaction::Serial,
+        "graph {gi}"
+    );
+    assert_eq!(
+        Interaction::classify(si, 20),
+        Interaction::Serial,
+        "sim {si}"
+    );
 }
 
 #[test]

@@ -11,52 +11,49 @@ use uarch_trace::{EventClass, EventSet, MachineConfig, OpClass, Reg, Trace, Trac
 /// Random per-instruction graph node data.
 fn arb_graph_inst(idx: u32) -> impl Strategy<Value = GraphInst> {
     (
-        0u64..3,        // dd latency
-        any::<bool>(),  // mispredicted
-        0u64..4,        // re latency
-        0u64..5,        // ep_dl1
-        0u64..120,      // ep_dmiss
-        0u64..3,        // ep_shalu
-        0u64..13,       // ep_lgalu
+        0u64..3,       // dd latency
+        any::<bool>(), // mispredicted
+        0u64..4,       // re latency
+        0u64..5,       // ep_dl1
+        0u64..120,     // ep_dmiss
+        0u64..3,       // ep_shalu
+        0u64..13,      // ep_lgalu
         proptest::option::of(0..idx.max(1)),
         proptest::option::of(0..idx.max(1)),
     )
-        .prop_map(
-            move |(dd, misp, re, dl1, dmiss, shalu, lgalu, p0, p1)| {
-                let mk = |p: Option<u32>| {
-                    p.filter(|_| idx > 0).map(|producer| ProducerEdge {
-                        producer,
-                        bubble: 0,
-                        bubble_class: None,
-                    })
-                };
-                GraphInst {
-                    dd_latency: dd,
-                    mispredicted: misp,
-                    re_latency: re,
-                    ep_dl1: dl1,
-                    ep_dmiss: dmiss,
-                    ep_shalu: shalu,
-                    ep_lgalu: lgalu,
-                    ep_base: 0,
-                    producers: [mk(p0), mk(p1)],
-                    pp_producer: None,
-                }
-            },
-        )
+        .prop_map(move |(dd, misp, re, dl1, dmiss, shalu, lgalu, p0, p1)| {
+            let mk = |p: Option<u32>| {
+                p.filter(|_| idx > 0).map(|producer| ProducerEdge {
+                    producer,
+                    bubble: 0,
+                    bubble_class: None,
+                })
+            };
+            GraphInst {
+                dd_latency: dd,
+                mispredicted: misp,
+                re_latency: re,
+                ep_dl1: dl1,
+                ep_dmiss: dmiss,
+                ep_shalu: shalu,
+                ep_lgalu: lgalu,
+                ep_base: 0,
+                producers: [mk(p0), mk(p1)],
+                pp_producer: None,
+            }
+        })
 }
 
 fn arb_graph() -> impl Strategy<Value = DepGraph> {
-    prop::collection::vec(0u32..1, 1..60)
-        .prop_flat_map(|v| {
-            let n = v.len() as u32;
-            (0..n)
-                .map(arb_graph_inst)
-                .collect::<Vec<_>>()
-                .prop_map(move |insts| {
-                    DepGraph::from_parts(insts, GraphParams::from(&MachineConfig::table6()))
-                })
-        })
+    prop::collection::vec(0u32..1, 1..60).prop_flat_map(|v| {
+        let n = v.len() as u32;
+        (0..n)
+            .map(arb_graph_inst)
+            .collect::<Vec<_>>()
+            .prop_map(move |insts| {
+                DepGraph::from_parts(insts, GraphParams::from(&MachineConfig::table6()))
+            })
+    })
 }
 
 proptest! {

@@ -43,8 +43,8 @@ fn reconstruction_recovers_register_dependences() {
     let cfg = MachineConfig::table6();
     let result = Simulator::new(&cfg).run(&t, Idealization::none());
     let samples = collect_samples(&t, &result, &SamplerConfig::default());
-    let frag = reconstruct(&samples.signatures[0], &samples.details, &p, &cfg)
-        .expect("reconstructs");
+    let frag =
+        reconstruct(&samples.signatures[0], &samples.details, &p, &cfg).expect("reconstructs");
     // The loop body is ld -> alu -> alu; at least a third of fragment
     // instructions must carry a producer edge.
     let with_deps = frag
@@ -74,7 +74,10 @@ fn corrupted_signature_bits_are_detected() {
         if !sig.bits[i].b1 {
             // Find a position whose static op is an ALU (the loop body
             // alternates ld, alu, alu, st, backedge).
-            sig.bits[i] = SigBits { b1: true, b2: sig.bits[i].b2 };
+            sig.bits[i] = SigBits {
+                b1: true,
+                b2: sig.bits[i].b2,
+            };
             corrupted_at = Some(i);
             break;
         }
@@ -120,8 +123,8 @@ fn taken_branch_directions_follow_signature_bit_one() {
     let cfg = MachineConfig::table6();
     let result = Simulator::new(&cfg).run(&t, Idealization::none());
     let samples = collect_samples(&t, &result, &SamplerConfig::default());
-    let frag = reconstruct(&samples.signatures[0], &samples.details, &p, &cfg)
-        .expect("reconstructs");
+    let frag =
+        reconstruct(&samples.signatures[0], &samples.details, &p, &cfg).expect("reconstructs");
     // Loop body is 6 instructions (4 body + counter + backedge); a
     // correctly-followed fragment of length L covers about L/6 iterations,
     // so PCs repeat. Count distinct PCs via the static program: must be
@@ -133,6 +136,15 @@ fn taken_branch_directions_follow_signature_bit_one() {
 #[test]
 fn profiler_handles_every_suite_benchmark() {
     let cfg = MachineConfig::table6();
+    // Denser sampling than the default: with only a couple of signatures
+    // per 10k-instruction trace, whether an indirect-jump target happens
+    // to be covered by a detailed sample is a seed lottery. This test is
+    // about the reconstruction machinery, not sampling luck.
+    let sampler = SamplerConfig {
+        signature_interval: 1500,
+        detail_interval: 13,
+        ..SamplerConfig::default()
+    };
     for profile in BenchProfile::suite() {
         let w = generate(profile, 10_000, 13);
         let result = Simulator::new(&cfg).run_warmed(
@@ -141,7 +153,7 @@ fn profiler_handles_every_suite_benchmark() {
             &w.warm_data,
             &w.warm_code,
         );
-        let samples = collect_samples(&w.trace, &result, &SamplerConfig::default());
+        let samples = collect_samples(&w.trace, &result, &sampler);
         let mut ok = 0;
         for sig in &samples.signatures {
             if reconstruct(sig, &samples.details, &w.program, &cfg).is_ok() {

@@ -1,0 +1,125 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate implements the subset of its API that the
+//! workspace's property tests use: the [`Strategy`] abstraction with
+//! `prop_map`/`prop_flat_map`, range / tuple / `Vec` / collection / option
+//! strategies, `any::<T>()`, the [`proptest!`] macro with optional
+//! `#![proptest_config(..)]`, and the `prop_assert*` macros.
+//!
+//! Semantics: each test runs `cases` times with a deterministic RNG seeded
+//! from the test name and case index, so failures are reproducible run to
+//! run. There is no shrinking — a failing case reports its case number,
+//! seed, and assertion message and panics immediately.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+
+/// The conventional glob-import surface: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Module-style access to the strategy factories (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Run `cases` deterministic property-test cases. This is the engine behind
+/// the [`proptest!`] macro; each case calls `body` with a fresh RNG.
+pub fn run_cases(
+    test_name: &str,
+    config: &test_runner::ProptestConfig,
+    mut body: impl FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+) {
+    for case in 0..config.cases {
+        let seed = test_runner::case_seed(test_name, case);
+        let mut rng = test_runner::TestRng::from_seed(seed);
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "proptest: {test_name} failed at case {case}/{} (seed {seed:#018x}): {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// The `proptest!` block macro: wraps `#[test]` functions whose arguments
+/// are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ config = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::run_cases(stringify!($name), &config, |__rng| {
+                let ($($arg,)*) = ($( $crate::strategy::Strategy::generate(&($strat), __rng), )*);
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Assert inside a proptest body, failing the case (not panicking directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}

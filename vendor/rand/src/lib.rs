@@ -1,0 +1,202 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! real `rand` cannot be fetched from a registry. This crate implements the
+//! exact API surface the workspace uses — [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`RngExt`] sampling methods —
+//! on top of a xoshiro256** generator seeded via SplitMix64 (the same
+//! seeding scheme the reference implementations recommend).
+//!
+//! The streams differ numerically from upstream `rand`, which is fine for
+//! this workspace: all consumers are synthetic-workload generators and
+//! samplers that rely only on statistical shape, never on exact values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Produce the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a small seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed, expanding it with SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The standard seedable generator: xoshiro256**.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A range that knows how to sample a uniform value from a generator.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from `self`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A type that can be drawn uniformly from a generator (`rng.random()`).
+pub trait Random {
+    /// Draw one value.
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Random for bool {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for u64 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Sampling conveniences on any [`RngCore`], mirroring rand 0.10's `Rng`.
+pub trait RngExt: RngCore {
+    /// Uniform value from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        f64::random_from(self) < p
+    }
+
+    /// Uniform value of type `T`.
+    fn random<T: Random>(&mut self) -> T {
+        T::random_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.random_range(0u64..1 << 40), b.random_range(0u64..1 << 40));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let equal = (0..64).all(|_| a.random::<u64>() == c.random::<u64>());
+        assert!(!equal, "different seeds must diverge");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.random_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = r.random_range(0u8..=255);
+            let _ = w; // full-range inclusive must not panic or wrap
+            let x = r.random_range(1usize..=3);
+            assert!((1..=3).contains(&x));
+        }
+    }
+
+    #[test]
+    fn random_bool_matches_probability_roughly() {
+        let mut r = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((1800..3200).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| r.random_bool(0.0)));
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v: f64 = r.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}
