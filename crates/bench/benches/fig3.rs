@@ -27,6 +27,16 @@ fn warmed_sweep(
         .iter()
         .flat_map(|&p| windows.iter().map(move |&win| (p, win)))
         .collect();
+    let tracer = uarch_obs::global();
+    let _sp = if tracer.is_enabled() {
+        tracer.span_with(
+            "bench",
+            "fig3.sweep",
+            vec![("points", grid.len().to_string())],
+        )
+    } else {
+        tracer.span("bench", "fig3.sweep")
+    };
     let cycles = parallel_map(&grid, default_threads(), |&(p, win)| {
         let cfg = apply(base.clone(), p).with_window(win);
         Simulator::new(&cfg).cycles_warmed(
@@ -143,5 +153,8 @@ fn main() {
         "library window_sweep agrees (cold caches)",
         s64_128(&lib_curves, 4) > s64_128(&lib_curves, 1),
     );
+    if let Ok(Some(path)) = uarch_obs::flush_global() {
+        println!("trace written to {}", path.display());
+    }
     std::process::exit(i32::from(!shape.finish("Figure 3")));
 }

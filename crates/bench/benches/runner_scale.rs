@@ -9,15 +9,45 @@
 //! is exactly the structure the runner exploits. On a single core the
 //! speedup comes entirely from dedup/cache reuse; with more cores the
 //! parallel waves stack on top.
+//!
+//! The runner pass is executed twice — span tracing off, then on — to
+//! bound the observability overhead: the instrumented run must stay
+//! within a few percent of the bare one. Set `ICOST_TRACE_FILE` to also
+//! get the Chrome trace of the instrumented pass.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use icost::{icost, MultiSimOracle};
 use icost_bench::{workload, Shape};
+use uarch_obs::{flush_global, global, install_global, Tracer};
 use uarch_runner::{Query, RunReport, Runner};
 use uarch_trace::{EventClass, EventSet, MachineConfig};
 
+/// One full sweep through the runner: fresh engine, fresh cache, all
+/// rounds in order. Returns (answers, telemetry, wall).
+fn runner_sweep(
+    cfg: &MachineConfig,
+    trace: &uarch_trace::Trace,
+    rounds: &[Vec<EventSet>],
+) -> (Vec<i64>, RunReport, Duration) {
+    let runner = Runner::new();
+    let start = Instant::now();
+    let mut answers: Vec<i64> = Vec::new();
+    let mut report = RunReport::new(runner.threads());
+    for round in rounds {
+        let queries: Vec<Query> = round.iter().map(|&p| Query::Icost(p)).collect();
+        let (a, r) = runner.run(cfg, trace, &queries);
+        answers.extend(a);
+        report.absorb(&r);
+    }
+    (answers, report, start.elapsed())
+}
+
 fn main() {
+    // Own the global tracer so the two passes below can toggle recording;
+    // if the environment already initialized it, toggle that one instead.
+    install_global(Tracer::enabled());
+
     // A deliberately modest trace: the sweep below runs >100 serial
     // simulations of it. Scale with ICOST_BENCH_INSTS as usual.
     let n: usize = std::env::var("ICOST_BENCH_INSTS")
@@ -62,30 +92,49 @@ fn main() {
     let serial_wall = serial_start.elapsed();
     println!("serial:  {serial_sims:>4} simulations in {serial_wall:>10.3?}");
 
-    // Runner path: one engine, one cache, same rounds in the same order.
-    let runner = Runner::new();
-    let runner_start = Instant::now();
-    let mut runner_answers: Vec<i64> = Vec::with_capacity(pair_count);
-    let mut report = RunReport::new(runner.threads());
-    for round in &rounds {
-        let queries: Vec<Query> = round.iter().map(|&p| Query::Icost(p)).collect();
-        let (answers, r) = runner.run(&cfg, &w.trace, &queries);
-        runner_answers.extend(answers);
-        report.absorb(&r);
-    }
-    let runner_wall = runner_start.elapsed();
+    // Runner path, observability off: same engine, spans dropped at one
+    // atomic load each. This is the speedup comparison baseline.
+    global().set_enabled(false);
+    let (runner_answers, report, runner_wall) = runner_sweep(&cfg, &w.trace, &rounds);
     println!(
-        "runner:  {:>4} simulations in {runner_wall:>10.3?}\n",
+        "runner:  {:>4} simulations in {runner_wall:>10.3?}  (tracing off)",
         report.sims_run
     );
+
+    // Runner path again, observability on: identical work (fresh cache),
+    // every span recorded. The delta bounds the instrumentation cost.
+    global().set_enabled(true);
+    let (traced_answers, traced_report, traced_wall) = runner_sweep(&cfg, &w.trace, &rounds);
+    global().set_enabled(false);
+    println!(
+        "runner:  {:>4} simulations in {traced_wall:>10.3?}  (tracing on, {} events)\n",
+        traced_report.sims_run,
+        global().len()
+    );
     println!("runner telemetry:\n{report}");
+    println!(
+        "metrics snapshot (registry view):\n{}",
+        report.to_registry().snapshot().to_table()
+    );
 
     let speedup = serial_wall.as_secs_f64() / runner_wall.as_secs_f64().max(1e-9);
-    println!("wall-clock speedup: {speedup:.2}x\n");
+    let overhead = traced_wall.as_secs_f64() / runner_wall.as_secs_f64().max(1e-9) - 1.0;
+    println!("wall-clock speedup: {speedup:.2}x");
+    println!("observability overhead: {:+.2}%\n", 100.0 * overhead);
+
+    match flush_global() {
+        Ok(Some(path)) => println!("trace written to {}\n", path.display()),
+        Ok(None) => {}
+        Err(e) => println!("trace write failed: {e}\n"),
+    }
 
     shape.check(
         "runner answers are bit-identical to the serial oracle",
         runner_answers == serial_answers,
+    );
+    shape.check(
+        "traced pass computes the same answers",
+        traced_answers == serial_answers,
     );
     shape.check(
         "runner reuses work (dedup + cache hits > 0)",
@@ -96,5 +145,13 @@ fn main() {
         (report.sims_run as usize) < serial_sims,
     );
     shape.check("lattice sweep speedup is at least 2x", speedup >= 2.0);
+    // Absolute-delta escape hatch: on a noisy box a sub-millisecond sweep
+    // can miss a 3% relative bound without the instrumentation being at
+    // fault.
+    let delta = traced_wall.saturating_sub(runner_wall);
+    shape.check(
+        "metrics + tracing overhead under 3% (or < 50ms absolute)",
+        overhead < 0.03 || delta < Duration::from_millis(50),
+    );
     std::process::exit(i32::from(!shape.finish("Runner scaling")));
 }

@@ -101,7 +101,7 @@ fn main() {
                 prof_pp.push((p - m).abs());
             }
         }
-        engine_report.absorb(multi.report());
+        engine_report.absorb(&multi.report());
         println!();
     }
 
@@ -141,5 +141,8 @@ fn main() {
     let mut oracle = GraphOracle::new(&graph);
     let b = Breakdown::with_focus(&mut oracle, &EventClass::ALL, EventClass::Dl1);
     shape.check("breakdown table carries all 17 rows", b.rows.len() == 17);
+    if let Ok(Some(path)) = uarch_obs::flush_global() {
+        println!("trace written to {}", path.display());
+    }
     std::process::exit(i32::from(!shape.finish("Table 7")));
 }

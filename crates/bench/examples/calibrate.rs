@@ -41,4 +41,7 @@ fn main() {
             "", col.base[0], col.base[1], col.base[2], col.base[3], col.base[4], col.base[5], col.base[6], col.base[7],
             col.dl1_pairs[0], col.dl1_pairs[1], col.dl1_pairs[2], col.dl1_pairs[4]);
     }
+    if let Ok(Some(path)) = uarch_obs::flush_global() {
+        println!("trace written to {}", path.display());
+    }
 }

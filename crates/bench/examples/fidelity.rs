@@ -41,4 +41,7 @@ fn main() {
         }
         println!();
     }
+    if let Ok(Some(path)) = uarch_obs::flush_global() {
+        println!("trace written to {}", path.display());
+    }
 }

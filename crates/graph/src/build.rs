@@ -15,6 +15,16 @@ impl DepGraph {
     /// # Panics
     /// Panics if `result` does not have one record per trace instruction.
     pub fn build(trace: &Trace, result: &SimResult, config: &MachineConfig) -> DepGraph {
+        let tracer = uarch_obs::global();
+        let _sp = if tracer.is_enabled() {
+            tracer.span_with(
+                "graph",
+                "graph.build",
+                vec![("insts", trace.len().to_string())],
+            )
+        } else {
+            tracer.span("graph", "graph.build")
+        };
         assert_eq!(
             trace.len(),
             result.records.len(),

@@ -66,6 +66,7 @@ impl DepGraph {
     /// edges), matching the "last-arriving edge" convention of the prior
     /// criticality work.
     pub fn critical_path(&self, ideal: EventSet) -> CritPathSummary {
+        let _sp = uarch_obs::global().span("graph", "graph.critpath");
         let times = self.node_times(ideal);
         let mut summary = CritPathSummary::default();
         let n = self.insts.len();

@@ -1,0 +1,38 @@
+//! `uarch-obs` — the observability substrate for the interaction-cost
+//! reproduction.
+//!
+//! The paper's whole method is "measure where the cycles actually go";
+//! this crate applies the same discipline to the stack itself. It is
+//! dependency-free (the build environment is vendored-only) and has
+//! three pieces:
+//!
+//! * [`Registry`] / [`Counter`] / [`Gauge`] / [`Histogram`] — a named
+//!   metrics registry with cheap atomic updates, snapshotting to an
+//!   aligned table, JSON, or CSV. `uarch-runner`'s `RunReport` is a view
+//!   over one of these.
+//! * [`Tracer`] / [`Span`] — span tracing with a Chrome trace-event
+//!   (`chrome://tracing` / Perfetto-loadable) JSON exporter. The
+//!   process-wide [`global`] tracer switches on when `ICOST_TRACE_FILE`
+//!   is set; [`flush_global`] writes the file.
+//! * [`json`] — a minimal JSON value model and parser, used to validate
+//!   exported snapshots and traces in tests and CI without external
+//!   crates.
+//!
+//! Everything is thread-safe and shared by handle: cloning a
+//! [`Registry`], [`Counter`], or [`Tracer`] hands out another reference
+//! to the same store, so worker threads can record into the same
+//! metrics the coordinating thread snapshots.
+//!
+//! Overhead discipline: a disabled tracer costs one relaxed atomic load
+//! per span; metric updates are single atomic RMWs. Nothing allocates
+//! unless tracing is enabled or a snapshot is taken.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+mod registry;
+mod span;
+
+pub use registry::{Counter, Gauge, Histogram, Registry, Snapshot, SnapshotValue};
+pub use span::{flush_global, global, install_global, Span, TraceEvent, Tracer, TRACE_FILE_ENV};

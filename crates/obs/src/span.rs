@@ -1,0 +1,388 @@
+//! Span tracing with a Chrome trace-event JSON exporter.
+//!
+//! A [`Tracer`] records begin/end (`"B"`/`"E"`) events with
+//! microsecond timestamps and per-thread track ids; [`Tracer::export`]
+//! renders them in the Chrome trace-event format, loadable in
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev). Spans are
+//! RAII guards ([`Span`]), so begin/end events are balanced per thread
+//! by construction — the guard ends the span on whatever line drops it.
+//!
+//! The process-wide [`global`] tracer is what the library instruments
+//! against: it turns itself on when `ICOST_TRACE_FILE` is set (and is a
+//! single relaxed atomic load per span otherwise), and [`flush_global`]
+//! writes the file at the end of a run. Tests install their own enabled
+//! tracer with [`install_global`].
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use crate::json::quote;
+
+/// Environment variable naming the Chrome-trace output file. Setting it
+/// enables the [`global`] tracer.
+pub const TRACE_FILE_ENV: &str = "ICOST_TRACE_FILE";
+
+/// The phase of a trace event (Chrome trace-event `ph` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Begin,
+    End,
+    Instant,
+}
+
+impl Phase {
+    fn code(self) -> char {
+        match self {
+            Phase::Begin => 'B',
+            Phase::End => 'E',
+            Phase::Instant => 'i',
+        }
+    }
+}
+
+/// One recorded trace event (a `B`, `E`, or instant).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Span or marker name.
+    pub name: Cow<'static, str>,
+    /// Category (Chrome groups and colors by it).
+    pub cat: &'static str,
+    /// `'B'`, `'E'`, or `'i'`.
+    pub phase: char,
+    /// Microseconds since the tracer's epoch.
+    pub ts_us: u64,
+    /// Small dense per-thread track id.
+    pub tid: u64,
+    /// Extra `args` key/value pairs (values rendered as JSON strings).
+    pub args: Vec<(&'static str, String)>,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    enabled: AtomicBool,
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+    /// OS thread id -> small dense track id (stable for the process).
+    tids: Mutex<HashMap<ThreadId, u64>>,
+    next_tid: AtomicU64,
+}
+
+/// A shared span recorder. Cloning hands out another handle to the same
+/// event buffer.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    fn with_enabled(enabled: bool) -> Tracer {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                enabled: AtomicBool::new(enabled),
+                epoch: Instant::now(),
+                events: Mutex::new(Vec::new()),
+                tids: Mutex::new(HashMap::new()),
+                next_tid: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A tracer that records every span.
+    pub fn enabled() -> Tracer {
+        Tracer::with_enabled(true)
+    }
+
+    /// A tracer that drops every span at the cost of one atomic load.
+    pub fn disabled() -> Tracer {
+        Tracer::with_enabled(false)
+    }
+
+    /// Whether spans are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off at runtime (used by overhead
+    /// measurements; toggle only between top-level spans or the B/E
+    /// balance is lost).
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    fn thread_track(&self) -> u64 {
+        let id = std::thread::current().id();
+        let mut tids = self.inner.tids.lock().expect("tracer tids poisoned");
+        *tids
+            .entry(id)
+            .or_insert_with(|| self.inner.next_tid.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn record(
+        &self,
+        phase: Phase,
+        cat: &'static str,
+        name: Cow<'static, str>,
+        args: Vec<(&'static str, String)>,
+    ) {
+        let ev = TraceEvent {
+            name,
+            cat,
+            phase: phase.code(),
+            ts_us: self.inner.epoch.elapsed().as_micros() as u64,
+            tid: self.thread_track(),
+            args,
+        };
+        self.inner
+            .events
+            .lock()
+            .expect("tracer events poisoned")
+            .push(ev);
+    }
+
+    /// Open a span; it ends (emits the `E` event) when the returned
+    /// guard drops. No-op (and allocation-free) when disabled.
+    pub fn span(&self, cat: &'static str, name: impl Into<Cow<'static, str>>) -> Span {
+        self.span_with(cat, name, Vec::new())
+    }
+
+    /// [`Tracer::span`] with extra `args` attached to the begin event.
+    pub fn span_with(
+        &self,
+        cat: &'static str,
+        name: impl Into<Cow<'static, str>>,
+        args: Vec<(&'static str, String)>,
+    ) -> Span {
+        if !self.is_enabled() {
+            return Span { live: None };
+        }
+        let name = name.into();
+        self.record(Phase::Begin, cat, name.clone(), args);
+        Span {
+            live: Some(LiveSpan {
+                tracer: self.clone(),
+                cat,
+                name,
+            }),
+        }
+    }
+
+    /// Record a zero-duration marker event.
+    pub fn instant(&self, cat: &'static str, name: impl Into<Cow<'static, str>>) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(Phase::Instant, cat, name.into(), Vec::new());
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner
+            .events
+            .lock()
+            .expect("tracer events poisoned")
+            .len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the recorded events, in record order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .events
+            .lock()
+            .expect("tracer events poisoned")
+            .clone()
+    }
+
+    /// Render the recorded events as a Chrome trace-event JSON document.
+    pub fn export_json(&self) -> String {
+        let events = self.inner.events.lock().expect("tracer events poisoned");
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        out.push_str("{\"traceEvents\": [\n");
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"name\": {}, \"cat\": {}, \"ph\": \"{}\", \"ts\": {}, \"pid\": 1, \"tid\": {}",
+                quote(&ev.name),
+                quote(ev.cat),
+                ev.phase,
+                ev.ts_us,
+                ev.tid
+            ));
+            // Instant events need a scope field to render in Chrome.
+            if ev.phase == 'i' {
+                out.push_str(", \"s\": \"t\"");
+            }
+            if !ev.args.is_empty() {
+                out.push_str(", \"args\": {");
+                for (j, (k, v)) in ev.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("{}: {}", quote(k), quote(v)));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+        out
+    }
+
+    /// Write the exported JSON to `path` (parent directories are
+    /// created).
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        fs::write(path, self.export_json())
+    }
+}
+
+#[derive(Debug)]
+struct LiveSpan {
+    tracer: Tracer,
+    cat: &'static str,
+    name: Cow<'static, str>,
+}
+
+/// RAII guard for an open span; dropping it emits the end event on the
+/// dropping thread.
+#[derive(Debug)]
+#[must_use = "dropping the span immediately records a zero-length interval"]
+pub struct Span {
+    live: Option<LiveSpan>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            live.tracer
+                .record(Phase::End, live.cat, live.name, Vec::new());
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+
+/// The process-wide tracer every instrumented component records into.
+///
+/// Initialized lazily: enabled iff [`TRACE_FILE_ENV`] is set in the
+/// environment at first use, disabled otherwise (one atomic load per
+/// span). Tests that want deterministic tracing should call
+/// [`install_global`] before any instrumented code runs.
+pub fn global() -> &'static Tracer {
+    GLOBAL.get_or_init(|| {
+        if std::env::var_os(TRACE_FILE_ENV).is_some() {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        }
+    })
+}
+
+/// Install `tracer` as the process-wide tracer. Returns `false` (and
+/// changes nothing) if the global tracer was already initialized.
+pub fn install_global(tracer: Tracer) -> bool {
+    GLOBAL.set(tracer).is_ok()
+}
+
+/// If the global tracer is enabled and [`TRACE_FILE_ENV`] names a file,
+/// write the trace there and return the path. Safe to call more than
+/// once (later calls rewrite the longer trace).
+pub fn flush_global() -> io::Result<Option<PathBuf>> {
+    let Some(path) = std::env::var_os(TRACE_FILE_ENV) else {
+        return Ok(None);
+    };
+    let tracer = global();
+    if !tracer.is_enabled() && tracer.is_empty() {
+        return Ok(None);
+    }
+    let path = PathBuf::from(path);
+    tracer.write(&path)?;
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        {
+            let _s = t.span("test", "outer");
+            t.instant("test", "marker");
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn spans_balance_and_nest_in_record_order() {
+        let t = Tracer::enabled();
+        {
+            let _outer = t.span("test", "outer");
+            {
+                let _inner = t.span_with("test", "inner", vec![("k", "v".into())]);
+            }
+        }
+        let evs = t.events();
+        let seq: Vec<(char, &str)> = evs.iter().map(|e| (e.phase, e.name.as_ref())).collect();
+        assert_eq!(
+            seq,
+            vec![
+                ('B', "outer"),
+                ('B', "inner"),
+                ('E', "inner"),
+                ('E', "outer")
+            ]
+        );
+        assert!(evs.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+    }
+
+    #[test]
+    fn export_is_valid_json() {
+        let t = Tracer::enabled();
+        {
+            let _s = t.span("cat", "span \"quoted\" name");
+            t.instant("cat", "mark");
+        }
+        let doc = crate::json::parse(&t.export_json()).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[0].get("name").unwrap().as_str(),
+            Some("span \"quoted\" name")
+        );
+    }
+
+    #[test]
+    fn threads_get_distinct_tracks() {
+        let t = Tracer::enabled();
+        let t2 = t.clone();
+        let _a = t.span("test", "main");
+        std::thread::spawn(move || {
+            let _b = t2.span("test", "worker");
+        })
+        .join()
+        .expect("worker");
+        let evs = t.events();
+        let main_tid = evs[0].tid;
+        assert!(evs.iter().any(|e| e.tid != main_tid));
+    }
+}

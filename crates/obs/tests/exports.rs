@@ -1,0 +1,104 @@
+//! Export-format contract tests: exact golden renderings of the JSON and
+//! CSV snapshots, histogram bucket-edge behaviour, and a property test
+//! that concurrent updates are never lost or double-counted.
+
+use std::thread;
+
+use proptest::prelude::*;
+use uarch_obs::Registry;
+
+/// The exact exports for a small fixed registry. These strings are the
+/// stable interface downstream dashboards parse — change them knowingly.
+#[test]
+fn golden_json_and_csv() {
+    let r = Registry::new();
+    r.counter("runner.sims_run").add(7);
+    r.gauge("runner.threads").set(4);
+    let h = r.histogram("sim.cycles", &[10, 100]);
+    h.record(5);
+    h.record(50);
+    h.record(5000);
+
+    let snap = r.snapshot();
+    assert_eq!(
+        snap.to_json(),
+        concat!(
+            "{\n",
+            "  \"counters\": {\"runner.sims_run\": 7},\n",
+            "  \"gauges\": {\"runner.threads\": 4},\n",
+            "  \"histograms\": {\"sim.cycles\": {\"bounds\": [10, 100], \"counts\": [1, 1, 1], \"count\": 3, \"sum\": 5055}}\n",
+            "}\n",
+        )
+    );
+    assert_eq!(
+        snap.to_csv(),
+        concat!(
+            "name,type,value\n",
+            "runner.sims_run,counter,7\n",
+            "runner.threads,gauge,4\n",
+            "sim.cycles,histogram_count,3\n",
+            "sim.cycles,histogram_sum,5055\n",
+            "sim.cycles[le=10],bucket,1\n",
+            "sim.cycles[le=100],bucket,1\n",
+            "sim.cycles[le=+inf],bucket,1\n",
+        )
+    );
+    // The JSON export must round-trip through the strict parser.
+    let doc = uarch_obs::json::parse(&snap.to_json()).expect("valid JSON");
+    assert_eq!(
+        doc.get("counters")
+            .and_then(|c| c.get("runner.sims_run"))
+            .and_then(|v| v.as_num()),
+        Some(7.0)
+    );
+}
+
+/// A sample exactly on a bucket bound lands in that bucket (bounds are
+/// inclusive upper edges), one past it lands in the next.
+#[test]
+fn histogram_bucket_edges() {
+    let r = Registry::new();
+    let h = r.histogram("edges", &[10, 100, 1000]);
+    h.record(0);
+    h.record(10); // on the first bound -> bucket 0
+    h.record(11); // just past -> bucket 1
+    h.record(100);
+    h.record(101);
+    h.record(1000);
+    h.record(1001); // past the last bound -> overflow
+    h.record(u64::MAX);
+    assert_eq!(h.bucket_counts(), vec![2, 2, 2, 2]);
+    assert_eq!(h.count(), 8);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Counter and histogram totals equal the sum of every increment, no
+    /// matter how the updates interleave across threads.
+    #[test]
+    fn concurrent_updates_all_land(per_thread in proptest::collection::vec(1u64..500, 1..6)) {
+        let r = Registry::new();
+        let c = r.counter("hits");
+        let h = r.histogram("sizes", &[64, 256]);
+        thread::scope(|s| {
+            for &n in &per_thread {
+                let c = c.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..n {
+                        c.inc();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        let expect: u64 = per_thread.iter().sum();
+        let snap = r.snapshot();
+        prop_assert_eq!(snap.counter("hits"), expect);
+        prop_assert_eq!(h.count(), expect);
+        prop_assert_eq!(h.bucket_counts().iter().sum::<u64>(), expect);
+        let expect_sum: u64 = per_thread.iter().map(|&n| n * (n - 1) / 2).sum();
+        prop_assert_eq!(h.sum(), expect_sum);
+    }
+}

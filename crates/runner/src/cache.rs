@@ -11,16 +11,29 @@
 //! layer debuggable (`cat`-able) and append-only keeps concurrent writers
 //! from corrupting each other beyond a duplicated line, which dedup on
 //! load tolerates.
+//!
+//! The disk layer can be size-capped: set [`CACHE_MAX_BYTES_ENV`] (or call
+//! [`SimCache::with_disk_capped`]) and whenever the directory's `.sims`
+//! files exceed the budget after an append, whole oldest-modified context
+//! files are evicted until it fits. Whole-file granularity matches the
+//! access pattern — a context's sets are loaded together — and keeps every
+//! surviving file a complete, self-consistent record.
 
 use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io::{self, Write as _};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
 
+use uarch_obs::{Counter, Registry};
 use uarch_trace::EventSet;
 
 use crate::fingerprint::ContextId;
+
+/// Environment variable holding the disk-cache byte budget. Unset, empty,
+/// unparseable, or `0` all mean "unbounded" (the default).
+pub const CACHE_MAX_BYTES_ENV: &str = "ICOST_CACHE_MAX_BYTES";
 
 #[derive(Debug, Default)]
 struct Store {
@@ -28,31 +41,81 @@ struct Store {
     map: HashMap<(ContextId, EventSet), u64>,
     /// Contexts whose disk file has been read into `map`.
     loaded: HashSet<ContextId>,
+    /// Keys whose value came from the disk layer rather than a simulation
+    /// this process ran — lets telemetry attribute hits to the right tier.
+    from_disk: HashSet<(ContextId, EventSet)>,
 }
 
 /// A shared, thread-safe, optionally disk-backed simulation-result cache.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SimCache {
     store: Arc<Mutex<Store>>,
     disk: Option<Arc<PathBuf>>,
+    /// Byte budget for the disk layer; `None` = unbounded.
+    max_bytes: Option<u64>,
+    metrics: Registry,
+    /// Disk-cache entries (lines) discarded by budget enforcement.
+    evictions: Counter,
+    /// Entries the disk layer contributed to the in-memory store.
+    disk_loads: Counter,
+}
+
+impl Default for SimCache {
+    fn default() -> SimCache {
+        SimCache::new()
+    }
 }
 
 impl SimCache {
     /// A fresh in-memory cache.
     pub fn new() -> SimCache {
-        SimCache::default()
+        let metrics = Registry::new();
+        SimCache {
+            store: Arc::default(),
+            disk: None,
+            max_bytes: None,
+            evictions: metrics.counter("cache.evictions"),
+            disk_loads: metrics.counter("cache.disk_entries_loaded"),
+            metrics,
+        }
     }
 
     /// A cache backed by `dir`: entries already on disk satisfy lookups,
     /// and every insert is appended for future processes. The directory is
-    /// created if missing.
+    /// created if missing. The byte budget comes from
+    /// [`CACHE_MAX_BYTES_ENV`]; absent or zero means unbounded.
     pub fn with_disk(dir: impl Into<PathBuf>) -> io::Result<SimCache> {
+        let budget = std::env::var(CACHE_MAX_BYTES_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&b| b > 0);
+        SimCache::with_disk_capped(dir, budget)
+    }
+
+    /// [`SimCache::with_disk`] with an explicit byte budget (`None` =
+    /// unbounded), ignoring the environment.
+    pub fn with_disk_capped(
+        dir: impl Into<PathBuf>,
+        max_bytes: Option<u64>,
+    ) -> io::Result<SimCache> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         Ok(SimCache {
-            store: Arc::default(),
             disk: Some(Arc::new(dir)),
+            max_bytes,
+            ..SimCache::new()
         })
+    }
+
+    /// The cache's own metrics registry (`cache.evictions`,
+    /// `cache.disk_entries_loaded`).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Disk-cache entries discarded by budget enforcement so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
     }
 
     fn context_file(&self, ctx: ContextId) -> Option<PathBuf> {
@@ -62,16 +125,16 @@ impl SimCache {
     /// Pull `ctx`'s disk file into memory (once per context per handle
     /// group). Unparseable lines are skipped: a torn concurrent append
     /// must not poison the whole context.
-    fn ensure_loaded(&self, ctx: ContextId) -> usize {
+    fn ensure_loaded(&self, ctx: ContextId) {
         let Some(path) = self.context_file(ctx) else {
-            return 0;
+            return;
         };
         let mut store = self.store.lock().expect("cache poisoned");
         if !store.loaded.insert(ctx) {
-            return 0;
+            return;
         }
         let Ok(text) = fs::read_to_string(&path) else {
-            return 0;
+            return;
         };
         let mut from_disk = 0;
         for line in text.lines() {
@@ -82,30 +145,28 @@ impl SimCache {
             let (Ok(bits), Ok(cycles)) = (u8::from_str_radix(bits, 16), cycles.parse()) else {
                 continue;
             };
-            if store
-                .map
-                .insert((ctx, EventSet::from_bits(bits)), cycles)
-                .is_none()
-            {
+            let key = (ctx, EventSet::from_bits(bits));
+            // Never overwrite a computed entry: a disk line for a key this
+            // process already simulated would mislabel its provenance.
+            if let std::collections::hash_map::Entry::Vacant(slot) = store.map.entry(key) {
+                slot.insert(cycles);
+                store.from_disk.insert(key);
                 from_disk += 1;
             }
         }
-        from_disk
+        self.disk_loads.add(from_disk);
     }
 
     /// Cycles recorded for `(ctx, set)`, consulting disk on the first
-    /// touch of `ctx`. The second element reports how many entries the
-    /// disk layer newly contributed (for telemetry).
-    pub fn get(&self, ctx: ContextId, set: EventSet) -> (Option<u64>, usize) {
-        let loaded = self.ensure_loaded(ctx);
-        let hit = self
-            .store
-            .lock()
-            .expect("cache poisoned")
-            .map
-            .get(&(ctx, set))
-            .copied();
-        (hit, loaded)
+    /// touch of `ctx`. The second element is `true` when the answer was
+    /// contributed by the disk layer (vs computed by this process), so
+    /// callers can attribute the hit to the right cache tier.
+    pub fn get(&self, ctx: ContextId, set: EventSet) -> (Option<u64>, bool) {
+        self.ensure_loaded(ctx);
+        let store = self.store.lock().expect("cache poisoned");
+        let hit = store.map.get(&(ctx, set)).copied();
+        let from_disk = hit.is_some() && store.from_disk.contains(&(ctx, set));
+        (hit, from_disk)
     }
 
     /// Record a simulated result, appending to the disk layer if present.
@@ -120,8 +181,53 @@ impl SimCache {
         if let Some(path) = self.context_file(ctx) {
             // Best-effort: a failed append only costs future processes a
             // re-simulation.
-            if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(path) {
+            if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(&path) {
                 let _ = writeln!(f, "{:02x} {}", set.bits(), cycles);
+            }
+            self.enforce_budget(&path);
+        }
+    }
+
+    /// Evict oldest-modified `.sims` files until the directory fits the
+    /// byte budget. `active` (the file just appended to) is never evicted:
+    /// the current run is still producing and consuming it, and evicting
+    /// it would discard this very insert.
+    fn enforce_budget(&self, active: &Path) {
+        let (Some(dir), Some(budget)) = (self.disk.as_deref(), self.max_bytes) else {
+            return;
+        };
+        let Ok(entries) = fs::read_dir(dir) else {
+            return;
+        };
+        let mut files: Vec<(SystemTime, PathBuf, u64)> = entries
+            .flatten()
+            .filter_map(|e| {
+                let path = e.path();
+                if path.extension().is_none_or(|x| x != "sims") {
+                    return None;
+                }
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                Some((mtime, path, meta.len()))
+            })
+            .collect();
+        let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+        if total <= budget {
+            return;
+        }
+        // Oldest first; tie-break on name so eviction order is stable on
+        // filesystems with coarse mtime resolution.
+        files.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        for (_, path, len) in files {
+            if total <= budget || path == active {
+                continue;
+            }
+            let lines = fs::read_to_string(&path)
+                .map(|t| t.lines().count() as u64)
+                .unwrap_or(0);
+            if fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                self.evictions.add(lines);
             }
         }
     }
@@ -150,7 +256,11 @@ mod tests {
         let s = EventSet::single(EventClass::Dmiss);
         assert_eq!(a.get(ctx, s).0, None);
         a.insert(ctx, s, 1234);
-        assert_eq!(b.get(ctx, s).0, Some(1234), "handles share one store");
+        assert_eq!(
+            b.get(ctx, s),
+            (Some(1234), false),
+            "handles share one store"
+        );
         assert_eq!(b.get(ContextId(8), s).0, None);
         assert_eq!(a.len(), 1);
     }
@@ -165,11 +275,34 @@ mod tests {
             let c = SimCache::with_disk(&dir).expect("create");
             c.insert(ctx, s, 999);
             c.insert(ctx, EventSet::EMPTY, 1500);
+            // The writing process computed these itself.
+            assert_eq!(c.get(ctx, s), (Some(999), false));
         }
-        // A fresh handle group simulating a new process.
+        // A fresh handle group simulating a new process: both answers now
+        // come from the disk tier.
         let c2 = SimCache::with_disk(&dir).expect("open");
-        assert_eq!(c2.get(ctx, s), (Some(999), 2));
-        assert_eq!(c2.get(ctx, EventSet::EMPTY), (Some(1500), 0));
+        assert_eq!(c2.get(ctx, s), (Some(999), true));
+        assert_eq!(c2.get(ctx, EventSet::EMPTY), (Some(1500), true));
+        assert_eq!(
+            c2.metrics().snapshot().counter("cache.disk_entries_loaded"),
+            2
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn computed_entry_outranks_disk_line() {
+        let dir = std::env::temp_dir().join(format!("simcache-prov-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let ctx = ContextId(0x22);
+        fs::write(dir.join(format!("{ctx}.sims")), "03 777\n").unwrap();
+        let c = SimCache::with_disk(&dir).expect("open");
+        // Simulated locally before the disk file is ever consulted.
+        c.insert(ctx, EventSet::from_bits(0x03), 555);
+        let (hit, from_disk) = c.get(ctx, EventSet::from_bits(0x03));
+        assert_eq!(hit, Some(555), "local result wins");
+        assert!(!from_disk, "provenance stays 'computed'");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -185,8 +318,56 @@ mod tests {
         )
         .unwrap();
         let c = SimCache::with_disk(&dir).expect("open");
-        assert_eq!(c.get(ctx, EventSet::from_bits(0x03)).0, Some(77));
+        assert_eq!(c.get(ctx, EventSet::from_bits(0x03)), (Some(77), true));
         assert_eq!(c.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_evicts_oldest_context_files() {
+        let dir = std::env::temp_dir().join(format!("simcache-gc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        // Each line is "xx nnnn\n" = 8 bytes; budget of 20 bytes holds at
+        // most two single-line files.
+        let c = SimCache::with_disk_capped(&dir, Some(20)).expect("create");
+        let old = ContextId(1);
+        c.insert(old, EventSet::from_bits(0x01), 1000);
+        // Ensure a strictly older mtime even on coarse-resolution
+        // filesystems.
+        let stale = SystemTime::now() - std::time::Duration::from_secs(120);
+        let f = fs::File::options()
+            .append(true)
+            .open(dir.join(format!("{old}.sims")))
+            .unwrap();
+        f.set_modified(stale).unwrap();
+        drop(f);
+        c.insert(ContextId(2), EventSet::from_bits(0x02), 2000);
+        c.insert(ContextId(3), EventSet::from_bits(0x03), 3000);
+        assert!(
+            !dir.join(format!("{old}.sims")).exists(),
+            "oldest file evicted"
+        );
+        assert_eq!(c.evictions(), 1, "one line discarded");
+        assert!(
+            dir.join(format!("{}.sims", ContextId(3))).exists(),
+            "the active file is never evicted"
+        );
+        // In-memory answers survive eviction; only future processes lose
+        // the entry.
+        assert_eq!(c.get(old, EventSet::from_bits(0x01)).0, Some(1000));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unbounded_budget_never_evicts() {
+        let dir = std::env::temp_dir().join(format!("simcache-nogc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let c = SimCache::with_disk_capped(&dir, None).expect("create");
+        for i in 0..16 {
+            c.insert(ContextId(i), EventSet::from_bits(0x01), i);
+        }
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 16);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -46,7 +46,7 @@ mod pool;
 mod report;
 mod run;
 
-pub use cache::SimCache;
+pub use cache::{SimCache, CACHE_MAX_BYTES_ENV};
 pub use fingerprint::{context_id, ContextId, StableHasher};
 pub use oracle::{CachedOracle, ParallelMultiSimOracle};
 pub use pool::{default_threads, parallel_map};

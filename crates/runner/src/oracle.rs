@@ -7,20 +7,30 @@
 //! jobs executed across worker threads, and every result lands in a
 //! shared content-addressed [`SimCache`].
 //!
+//! Telemetry lives in a registry-backed [`Metrics`] block — atomic
+//! counters the parallel waves update directly — and [`report`] snapshots
+//! it into the familiar [`RunReport`] view. Each simulation also returns
+//! its [`PipelineStalls`], which accumulate per-cause into
+//! `sim.stall.*` counters so a breakdown run can print what the simulated
+//! machine was doing alongside the icost numbers.
+//!
 //! [`CachedOracle`] adds the same content-addressed caching to *any*
 //! inner oracle (e.g. a `GraphOracle`), so repeated breakdowns over equal
 //! inputs skip even graph re-evaluation.
+//!
+//! [`report`]: ParallelMultiSimOracle::report
 
 use std::time::Instant;
 
 use icost::CostOracle;
-use uarch_sim::{Idealization, Simulator};
+use uarch_obs::{global, Registry};
+use uarch_sim::{Idealization, PipelineStalls, Simulator};
 use uarch_trace::{EventSet, MachineConfig, Trace};
 
 use crate::cache::SimCache;
 use crate::fingerprint::{context_id, ContextId};
 use crate::pool::{default_threads, parallel_map};
-use crate::report::RunReport;
+use crate::report::{Metrics, RunReport};
 
 /// A parallel, memoized multi-simulation oracle over one
 /// `(trace, config, warm sets)` context.
@@ -33,7 +43,7 @@ pub struct ParallelMultiSimOracle<'a> {
     ctx: ContextId,
     threads: usize,
     cache: SimCache,
-    report: RunReport,
+    metrics: Metrics,
 }
 
 impl<'a> ParallelMultiSimOracle<'a> {
@@ -60,14 +70,14 @@ impl<'a> ParallelMultiSimOracle<'a> {
             ctx: context_id(config, trace, warm_data, warm_code),
             threads,
             cache: SimCache::new(),
-            report: RunReport::new(threads),
+            metrics: Metrics::new(threads),
         }
     }
 
     /// Cap (or raise) the worker count for parallel waves.
     pub fn with_threads(mut self, threads: usize) -> ParallelMultiSimOracle<'a> {
         self.threads = threads.max(1);
-        self.report.threads = self.threads;
+        self.metrics.threads.set(self.threads as i64);
         self
     }
 
@@ -84,48 +94,85 @@ impl<'a> ParallelMultiSimOracle<'a> {
         self.ctx
     }
 
-    /// Telemetry accumulated so far.
-    pub fn report(&self) -> &RunReport {
-        &self.report
+    /// The live metrics registry the oracle's counters live in
+    /// (`runner.*` and `sim.stall.*` names; includes the per-simulation
+    /// cycle histogram the [`RunReport`] view omits).
+    pub fn metrics(&self) -> &Registry {
+        self.metrics.registry()
+    }
+
+    /// A snapshot of the telemetry accumulated so far.
+    pub fn report(&self) -> RunReport {
+        self.metrics.report()
     }
 
     /// Take the telemetry, resetting the counters.
     pub fn take_report(&mut self) -> RunReport {
-        std::mem::replace(&mut self.report, RunReport::new(self.threads))
+        let report = self.metrics.report();
+        self.metrics.reset();
+        report
     }
 
-    fn simulate(&self, set: EventSet) -> u64 {
-        Simulator::new(self.config).cycles_warmed(
+    /// Probe the cache, under a span so cache latency shows in traces.
+    fn probe(&self, set: EventSet) -> (Option<u64>, bool) {
+        let _sp = global().span("runner", "cache.probe");
+        self.cache.get(self.ctx, set)
+    }
+
+    /// Count one cache answer against the tier that served it.
+    fn count_hit(&self, from_disk: bool) {
+        if from_disk {
+            self.metrics.disk_hits.inc();
+        } else {
+            self.metrics.cache_hits.inc();
+        }
+    }
+
+    fn simulate(&self, set: EventSet) -> (u64, PipelineStalls) {
+        let tracer = global();
+        let _sp = if tracer.is_enabled() {
+            tracer.span_with("runner", "sim", vec![("set", set.to_string())])
+        } else {
+            tracer.span("runner", "sim")
+        };
+        let r = Simulator::new(self.config).run_warmed(
             self.trace,
             Idealization::from(set),
             self.warm_data,
             self.warm_code,
-        )
+        );
+        (r.cycles, r.stalls)
+    }
+
+    /// Book one executed simulation: counters, stall taxonomy, cache.
+    fn record_sim(&self, set: EventSet, cycles: u64, stalls: &PipelineStalls) {
+        self.metrics.sims_run.inc();
+        self.metrics.cycles_simulated.add(cycles);
+        self.metrics.insts_simulated.add(self.trace.len() as u64);
+        self.metrics.sim_cycles.record(cycles);
+        self.metrics.absorb_stalls(stalls);
+        self.cache.insert(self.ctx, set, cycles);
     }
 
     /// Cycles under idealization of `set`, via cache or simulation.
     fn cycles(&mut self, set: EventSet) -> u64 {
-        self.report.jobs_requested += 1;
-        let (hit, from_disk) = self.cache.get(self.ctx, set);
-        self.report.disk_hits += from_disk as u64;
+        self.metrics.jobs_requested.inc();
+        let (hit, from_disk) = self.probe(set);
         if let Some(cycles) = hit {
-            self.report.cache_hits += 1;
+            self.count_hit(from_disk);
             return cycles;
         }
         let start = Instant::now();
-        let cycles = self.simulate(set);
-        self.report.sim_wall += start.elapsed();
-        self.report.sims_run += 1;
-        self.report.cycles_simulated += cycles;
-        self.report.insts_simulated += self.trace.len() as u64;
-        self.cache.insert(self.ctx, set, cycles);
+        let (cycles, stalls) = self.simulate(set);
+        Metrics::add_wall(&self.metrics.sim_wall_us, start.elapsed());
+        self.record_sim(set, cycles, &stalls);
         cycles
     }
 }
 
 impl CostOracle for ParallelMultiSimOracle<'_> {
     fn cost(&mut self, set: EventSet) -> i64 {
-        self.report.queries += 1;
+        self.metrics.queries.inc();
         if set.is_empty() {
             return 0;
         }
@@ -134,7 +181,7 @@ impl CostOracle for ParallelMultiSimOracle<'_> {
     }
 
     fn baseline(&mut self) -> u64 {
-        self.report.queries += 1;
+        self.metrics.queries.inc();
         self.cycles(EventSet::EMPTY)
     }
 
@@ -142,35 +189,42 @@ impl CostOracle for ParallelMultiSimOracle<'_> {
     /// (always including the `∅` baseline) and execute them as one
     /// parallel wave with deterministic result placement.
     fn prefetch(&mut self, sets: &[EventSet]) {
+        let tracer = global();
         let expand_start = Instant::now();
         let mut jobs: Vec<EventSet> = Vec::with_capacity(sets.len() + 1);
-        for &set in std::iter::once(&EventSet::EMPTY).chain(sets) {
-            self.report.jobs_requested += 1;
-            if jobs.contains(&set) {
-                self.report.jobs_deduped += 1;
-                continue;
-            }
-            let (hit, from_disk) = self.cache.get(self.ctx, set);
-            self.report.disk_hits += from_disk as u64;
-            if hit.is_some() {
-                self.report.cache_hits += 1;
-            } else {
-                jobs.push(set);
+        {
+            let _dedup = tracer.span("runner", "dedup");
+            for &set in std::iter::once(&EventSet::EMPTY).chain(sets) {
+                self.metrics.jobs_requested.inc();
+                if jobs.contains(&set) {
+                    self.metrics.jobs_deduped.inc();
+                    continue;
+                }
+                let (hit, from_disk) = self.probe(set);
+                if hit.is_some() {
+                    self.count_hit(from_disk);
+                } else {
+                    jobs.push(set);
+                }
             }
         }
-        self.report.expand_wall += expand_start.elapsed();
+        Metrics::add_wall(&self.metrics.expand_wall_us, expand_start.elapsed());
         if jobs.is_empty() {
             return;
         }
 
         let sim_start = Instant::now();
-        let results = parallel_map(&jobs, self.threads, |&set| self.simulate(set));
-        self.report.sim_wall += sim_start.elapsed();
-        for (&set, &cycles) in jobs.iter().zip(&results) {
-            self.report.sims_run += 1;
-            self.report.cycles_simulated += cycles;
-            self.report.insts_simulated += self.trace.len() as u64;
-            self.cache.insert(self.ctx, set, cycles);
+        let results = {
+            let _wave = if tracer.is_enabled() {
+                tracer.span_with("runner", "wave", vec![("jobs", jobs.len().to_string())])
+            } else {
+                tracer.span("runner", "wave")
+            };
+            parallel_map(&jobs, self.threads, |&set| self.simulate(set))
+        };
+        Metrics::add_wall(&self.metrics.sim_wall_us, sim_start.elapsed());
+        for (&set, (cycles, stalls)) in jobs.iter().zip(&results) {
+            self.record_sim(set, *cycles, stalls);
         }
     }
 }
@@ -214,6 +268,15 @@ impl<O: CostOracle> CachedOracle<O> {
     pub fn into_inner(self) -> O {
         self.inner
     }
+
+    /// Count one cache answer against the tier that served it.
+    fn count_hit(&mut self, from_disk: bool) {
+        if from_disk {
+            self.report.disk_hits += 1;
+        } else {
+            self.report.cache_hits += 1;
+        }
+    }
 }
 
 impl<O: CostOracle> CostOracle for CachedOracle<O> {
@@ -225,9 +288,8 @@ impl<O: CostOracle> CostOracle for CachedOracle<O> {
         self.report.jobs_requested += 1;
         let base = self.baseline_cycles() as i64;
         let (hit, from_disk) = self.cache.get(self.ctx, set);
-        self.report.disk_hits += from_disk as u64;
         if let Some(cycles) = hit {
-            self.report.cache_hits += 1;
+            self.count_hit(from_disk);
             return base - cycles as i64;
         }
         let cost = self.inner.cost(set);
@@ -258,9 +320,8 @@ impl<O: CostOracle> CostOracle for CachedOracle<O> {
 impl<O: CostOracle> CachedOracle<O> {
     fn baseline_cycles(&mut self) -> u64 {
         let (hit, from_disk) = self.cache.get(self.ctx, EventSet::EMPTY);
-        self.report.disk_hits += from_disk as u64;
         if let Some(cycles) = hit {
-            self.report.cache_hits += 1;
+            self.count_hit(from_disk);
             return cycles;
         }
         let base = self.inner.baseline();
@@ -321,6 +382,34 @@ mod tests {
     }
 
     #[test]
+    fn report_carries_stalls_and_registry_agrees() {
+        let cfg = MachineConfig::table6();
+        let t = kernel(20);
+        let mut par = ParallelMultiSimOracle::new(&cfg, &t).with_threads(2);
+        let d = EventSet::single(EventClass::Dmiss);
+        par.prefetch(&[d]);
+        let r = par.report();
+        assert!(
+            r.stalls.total() > 0,
+            "a miss-heavy kernel must stall somewhere: {:?}",
+            r.stalls
+        );
+        // The baseline run sees the 4 KiB-stride loads miss.
+        assert!(r.stalls.load_l2_fill + r.stalls.load_mem_fill > 0);
+        // The RunReport view and the raw registry are the same numbers.
+        let snap = par.metrics().snapshot();
+        assert_eq!(snap.counter("runner.sims_run"), r.sims_run);
+        assert_eq!(
+            snap.counter("sim.stall.load_mem_fill"),
+            r.stalls.load_mem_fill
+        );
+        // take_report drains: a second take sees zeros.
+        let taken = par.take_report();
+        assert_eq!(taken.sims_run, r.sims_run);
+        assert_eq!(par.report(), RunReport::new(2));
+    }
+
+    #[test]
     fn shared_cache_spans_oracle_instances() {
         let cfg = MachineConfig::table6();
         let t = kernel(10);
@@ -334,6 +423,33 @@ mod tests {
         assert_eq!(o2.cost(s), first);
         assert_eq!(o2.report().sims_run, 0, "second oracle never simulates");
         assert_eq!(o2.report().cache_hits, 2, "baseline and set both hit");
+    }
+
+    #[test]
+    fn disk_served_answers_count_as_disk_hits() {
+        let dir = std::env::temp_dir().join(format!("oracle-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = MachineConfig::table6();
+        let t = kernel(10);
+        let s = EventSet::single(EventClass::Dmiss);
+        {
+            let cache = SimCache::with_disk(&dir).expect("create");
+            let mut o = ParallelMultiSimOracle::new(&cfg, &t).with_cache(cache);
+            let _ = o.cost(s);
+            let r = o.report();
+            assert_eq!((r.sims_run, r.disk_hits), (2, 0));
+        }
+        // A fresh process: same query, all answers from the disk tier —
+        // and the reuse rate reflects that instead of reporting 0%.
+        let cache = SimCache::with_disk(&dir).expect("open");
+        let mut o2 = ParallelMultiSimOracle::new(&cfg, &t).with_cache(cache);
+        let _ = o2.cost(s);
+        let r = o2.report();
+        assert_eq!(r.sims_run, 0);
+        assert_eq!(r.cache_hits, 0, "memory tier contributed nothing");
+        assert_eq!(r.disk_hits, 2, "baseline and set served from disk");
+        assert_eq!(r.reuse_rate(), Some(1.0));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -27,20 +27,31 @@ pub fn parallel_map<T: Sync, R: Send>(
     threads: usize,
     f: impl Fn(&T) -> R + Sync,
 ) -> Vec<R> {
+    let tracer = uarch_obs::global();
     let workers = threads.max(1).min(items.len());
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        return items
+            .iter()
+            .map(|item| {
+                let _sp = tracer.span("pool", "job");
+                f(item)
+            })
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let r = f(item);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            scope.spawn(|| {
+                let _worker_sp = tracer.span("pool", "worker");
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let _sp = tracer.span("pool", "job");
+                    let r = f(item);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                }
             });
         }
     });

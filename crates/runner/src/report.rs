@@ -1,12 +1,127 @@
-//! Run telemetry: what the engine actually did, printable as a table.
+//! Run telemetry: what the engine actually did, printable as a table
+//! and exportable as JSON/CSV.
+//!
+//! The counters live in a [`uarch_obs::Registry`] — the oracles update
+//! registry-backed atomic handles ([`Metrics`]) while they work, and
+//! [`RunReport`] is a plain-struct *view* over a snapshot of that
+//! registry, so existing call sites (`report.sims_run`, `absorb`,
+//! `to_table`) keep working while the same numbers are streamable
+//! through the metrics layer.
 
 use std::time::Duration;
 
+use uarch_obs::{Counter, Gauge, Histogram, Registry};
+use uarch_sim::PipelineStalls;
+
+/// Bucket bounds for the per-simulation cycle-count histogram.
+const SIM_CYCLES_BOUNDS: [u64; 6] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+
+/// Registry-backed live counters for one oracle. This is what the
+/// engine actually increments; [`Metrics::report`] snapshots it into a
+/// [`RunReport`].
+#[derive(Debug)]
+pub(crate) struct Metrics {
+    registry: Registry,
+    pub queries: Counter,
+    pub jobs_requested: Counter,
+    pub jobs_deduped: Counter,
+    pub cache_hits: Counter,
+    pub disk_hits: Counter,
+    pub sims_run: Counter,
+    pub cycles_simulated: Counter,
+    pub insts_simulated: Counter,
+    pub threads: Gauge,
+    pub expand_wall_us: Counter,
+    pub sim_wall_us: Counter,
+    /// Distribution of per-simulation cycle counts.
+    pub sim_cycles: Histogram,
+    /// One counter per [`PipelineStalls`] row, in row order.
+    stall_counters: Vec<Counter>,
+}
+
+impl Metrics {
+    /// Fresh metrics in a fresh registry.
+    pub fn new(threads: usize) -> Metrics {
+        let registry = Registry::new();
+        let stall_counters = PipelineStalls::default()
+            .rows()
+            .iter()
+            .map(|(name, _)| registry.counter(&format!("sim.stall.{name}")))
+            .collect();
+        let m = Metrics {
+            queries: registry.counter("runner.queries"),
+            jobs_requested: registry.counter("runner.jobs_requested"),
+            jobs_deduped: registry.counter("runner.jobs_deduped"),
+            cache_hits: registry.counter("runner.cache_hits_mem"),
+            disk_hits: registry.counter("runner.cache_hits_disk"),
+            sims_run: registry.counter("runner.sims_run"),
+            cycles_simulated: registry.counter("runner.cycles_simulated"),
+            insts_simulated: registry.counter("runner.insts_simulated"),
+            threads: registry.gauge("runner.threads"),
+            expand_wall_us: registry.counter("runner.expand_wall_us"),
+            sim_wall_us: registry.counter("runner.sim_wall_us"),
+            sim_cycles: registry.histogram("runner.sim_cycles", &SIM_CYCLES_BOUNDS),
+            stall_counters,
+            registry,
+        };
+        m.threads.set(threads as i64);
+        m
+    }
+
+    /// The registry the counters live in (for full snapshots that
+    /// include the histogram).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Add one simulation's stall counters.
+    pub fn absorb_stalls(&self, stalls: &PipelineStalls) {
+        for (counter, (_, v)) in self.stall_counters.iter().zip(stalls.rows()) {
+            counter.add(v);
+        }
+    }
+
+    /// Add `d` to a wall-time counter, in whole microseconds.
+    pub fn add_wall(counter: &Counter, d: Duration) {
+        counter.add(d.as_micros() as u64);
+    }
+
+    /// Snapshot the live counters into a plain [`RunReport`] view.
+    pub fn report(&self) -> RunReport {
+        let mut stall_values = [0u64; 10];
+        for (slot, counter) in stall_values.iter_mut().zip(&self.stall_counters) {
+            *slot = counter.get();
+        }
+        RunReport {
+            queries: self.queries.get(),
+            jobs_requested: self.jobs_requested.get(),
+            jobs_deduped: self.jobs_deduped.get(),
+            cache_hits: self.cache_hits.get(),
+            disk_hits: self.disk_hits.get(),
+            sims_run: self.sims_run.get(),
+            cycles_simulated: self.cycles_simulated.get(),
+            insts_simulated: self.insts_simulated.get(),
+            threads: self.threads.get().max(0) as usize,
+            expand_wall: Duration::from_micros(self.expand_wall_us.get()),
+            sim_wall: Duration::from_micros(self.sim_wall_us.get()),
+            stalls: PipelineStalls::from_row_values(stall_values),
+        }
+    }
+
+    /// Zero everything, keeping the thread gauge.
+    pub fn reset(&self) {
+        let threads = self.threads.get();
+        self.registry.reset();
+        self.threads.set(threads);
+    }
+}
+
 /// Counters and phase timings for one oracle / batch run.
 ///
-/// Every `cost(S)` request ends in exactly one of: answered from memory or
-/// disk (`cache_hits`/`disk_hits`), collapsed onto an identical in-flight
-/// or already-requested job (`jobs_deduped`), or simulated (`sims_run`).
+/// Every `cost(S)` request ends in exactly one of: answered from memory
+/// or disk (`cache_hits`/`disk_hits`), collapsed onto an identical
+/// in-flight or already-requested job (`jobs_deduped`), or simulated
+/// (`sims_run`).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunReport {
     /// `cost`/`baseline` queries answered (including trivial `∅` ones).
@@ -16,9 +131,9 @@ pub struct RunReport {
     /// Requests collapsed because an identical job was already requested
     /// in the same batch or answered earlier.
     pub jobs_deduped: u64,
-    /// Requests answered by the in-memory content-addressed cache.
+    /// Requests answered by in-memory entries this process computed.
     pub cache_hits: u64,
-    /// Entries the on-disk cache layer contributed.
+    /// Requests answered by entries the on-disk cache layer contributed.
     pub disk_hits: u64,
     /// Cycle-level simulations actually executed.
     pub sims_run: u64,
@@ -32,6 +147,9 @@ pub struct RunReport {
     pub expand_wall: Duration,
     /// Wall time spent inside simulation waves (parallel or inline).
     pub sim_wall: Duration,
+    /// Simulated-machine pipeline stalls, summed over every simulation
+    /// this report covers (idealized runs included).
+    pub stalls: PipelineStalls,
 }
 
 impl RunReport {
@@ -56,16 +174,73 @@ impl RunReport {
         self.threads = self.threads.max(other.threads);
         self.expand_wall += other.expand_wall;
         self.sim_wall += other.sim_wall;
+        self.stalls.absorb(&other.stalls);
     }
 
     /// Fraction of non-empty requests that skipped simulation, in
-    /// `[0, 1]`; `None` before any requests.
+    /// `[0, 1]`; `None` before any requests. Disk-served answers are
+    /// reused work, so they count toward reuse exactly like memory hits
+    /// and dedups.
     pub fn reuse_rate(&self) -> Option<f64> {
-        let answered = self.jobs_deduped + self.cache_hits + self.sims_run;
+        let reused = self.jobs_deduped + self.cache_hits + self.disk_hits;
+        let answered = reused + self.sims_run;
         if answered == 0 {
             return None;
         }
-        Some((self.jobs_deduped + self.cache_hits) as f64 / answered as f64)
+        Some(reused as f64 / answered as f64)
+    }
+
+    /// Publish every counter into `registry` (adding to whatever is
+    /// already there, so absorbing several reports accumulates).
+    pub fn publish(&self, registry: &Registry) {
+        registry.counter("runner.queries").add(self.queries);
+        registry
+            .counter("runner.jobs_requested")
+            .add(self.jobs_requested);
+        registry
+            .counter("runner.jobs_deduped")
+            .add(self.jobs_deduped);
+        registry
+            .counter("runner.cache_hits_mem")
+            .add(self.cache_hits);
+        registry
+            .counter("runner.cache_hits_disk")
+            .add(self.disk_hits);
+        registry.counter("runner.sims_run").add(self.sims_run);
+        registry
+            .counter("runner.cycles_simulated")
+            .add(self.cycles_simulated);
+        registry
+            .counter("runner.insts_simulated")
+            .add(self.insts_simulated);
+        registry.gauge("runner.threads").set(self.threads as i64);
+        registry
+            .counter("runner.expand_wall_us")
+            .add(self.expand_wall.as_micros() as u64);
+        registry
+            .counter("runner.sim_wall_us")
+            .add(self.sim_wall.as_micros() as u64);
+        for (name, v) in self.stalls.rows() {
+            registry.counter(&format!("sim.stall.{name}")).add(v);
+        }
+    }
+
+    /// The report as a standalone metrics registry (the snapshot/JSON/
+    /// CSV substrate).
+    pub fn to_registry(&self) -> Registry {
+        let registry = Registry::new();
+        self.publish(&registry);
+        registry
+    }
+
+    /// Render as a JSON metrics snapshot.
+    pub fn to_json(&self) -> String {
+        self.to_registry().snapshot().to_json()
+    }
+
+    /// Render as a CSV metrics snapshot.
+    pub fn to_csv(&self) -> String {
+        self.to_registry().snapshot().to_csv()
     }
 
     /// Render as an aligned two-column table.
@@ -86,6 +261,14 @@ impl RunReport {
         if let Some(r) = self.reuse_rate() {
             row("reuse rate", format!("{:.1}%", 100.0 * r));
         }
+        if self.stalls.total() > 0 {
+            out.push_str("  simulated-machine stalls by cause:\n");
+            for (name, v) in self.stalls.rows() {
+                if v > 0 {
+                    out.push_str(&format!("    stall.{name:<20} {v:>14}\n"));
+                }
+            }
+        }
         out
     }
 }
@@ -105,15 +288,32 @@ mod tests {
         let mut a = RunReport::new(2);
         a.sims_run = 3;
         a.cache_hits = 1;
+        a.stalls.issue_fu_busy = 2;
         let mut b = RunReport::new(4);
         b.sims_run = 2;
         b.jobs_deduped = 5;
+        b.stalls.issue_fu_busy = 3;
         a.absorb(&b);
         assert_eq!(a.sims_run, 5);
         assert_eq!(a.jobs_deduped, 5);
         assert_eq!(a.threads, 4);
+        assert_eq!(a.stalls.issue_fu_busy, 5);
         // (1 + 5) reused of the 11 answered requests.
         assert!((a.reuse_rate().unwrap() - 6.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reuse_rate_counts_disk_hits_as_reuse() {
+        // Regression for the disk-layer bug: two disk-served answers and
+        // two fresh simulations is a 50% reuse rate, not 0%.
+        let mut r = RunReport::new(1);
+        r.disk_hits = 2;
+        r.sims_run = 2;
+        assert_eq!(r.reuse_rate(), Some(0.5));
+        // All-disk runs are 100% reuse.
+        let mut all_disk = RunReport::new(1);
+        all_disk.disk_hits = 4;
+        assert_eq!(all_disk.reuse_rate(), Some(1.0));
     }
 
     #[test]
@@ -132,5 +332,55 @@ mod tests {
             assert!(t.contains(key), "missing {key} in:\n{t}");
         }
         assert!(r.reuse_rate().is_none());
+        // Stall section appears only when stalls were recorded.
+        assert!(!t.contains("stall."));
+        let mut s = RunReport::new(1);
+        s.stalls.dispatch_window_full = 9;
+        assert!(s.to_table().contains("stall.dispatch_window_full"));
+    }
+
+    #[test]
+    fn metrics_snapshot_roundtrips_to_report() {
+        let m = Metrics::new(3);
+        m.queries.add(2);
+        m.sims_run.inc();
+        m.cycles_simulated.add(1234);
+        m.sim_cycles.record(1234);
+        m.absorb_stalls(&PipelineStalls {
+            load_mem_fill: 7,
+            ..PipelineStalls::default()
+        });
+        let r = m.report();
+        assert_eq!(r.queries, 2);
+        assert_eq!(r.sims_run, 1);
+        assert_eq!(r.cycles_simulated, 1234);
+        assert_eq!(r.threads, 3);
+        assert_eq!(r.stalls.load_mem_fill, 7);
+        m.reset();
+        let r2 = m.report();
+        assert_eq!(r2.sims_run, 0);
+        assert_eq!(r2.threads, 3, "reset keeps the thread gauge");
+    }
+
+    #[test]
+    fn report_exports_parse_and_carry_values() {
+        let mut r = RunReport::new(2);
+        r.sims_run = 4;
+        r.stalls.fetch_bmisp_recovery = 11;
+        let doc = uarch_obs::json::parse(&r.to_json()).expect("valid JSON");
+        let counters = doc.get("counters").expect("counters section");
+        assert_eq!(
+            counters.get("runner.sims_run").and_then(|v| v.as_num()),
+            Some(4.0)
+        );
+        assert_eq!(
+            counters
+                .get("sim.stall.fetch_bmisp_recovery")
+                .and_then(|v| v.as_num()),
+            Some(11.0)
+        );
+        let csv = r.to_csv();
+        assert!(csv.starts_with("name,type,value\n"));
+        assert!(csv.contains("runner.sims_run,counter,4"));
     }
 }

@@ -170,8 +170,21 @@ impl Runner {
         warm_code: &[u64],
         queries: &[Query],
     ) -> (Vec<i64>, RunReport) {
+        let tracer = uarch_obs::global();
+        let _run_sp = if tracer.is_enabled() {
+            tracer.span_with(
+                "runner",
+                "runner.run",
+                vec![("queries", queries.len().to_string())],
+            )
+        } else {
+            tracer.span("runner", "runner.run")
+        };
         let mut oracle = self.oracle_warmed(config, trace, warm_data, warm_code);
-        let wanted: Vec<EventSet> = queries.iter().flat_map(Query::required_sets).collect();
+        let wanted: Vec<EventSet> = {
+            let _sp = tracer.span("runner", "expand");
+            queries.iter().flat_map(Query::required_sets).collect()
+        };
         oracle.prefetch(&wanted);
         let answers = queries.iter().map(|q| q.answer(&mut oracle)).collect();
         (answers, oracle.take_report())

@@ -12,7 +12,7 @@ use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 use crate::branch::BranchPredictor;
 use crate::cache::{MemSystem, MissLevel};
 use crate::ideal::Idealization;
-use crate::record::{EventCounts, ExecRecord, SimResult};
+use crate::record::{EventCounts, ExecRecord, PipelineStalls, SimResult};
 use uarch_trace::{FuClass, Inst, MachineConfig, OpClass, Reg, Trace};
 
 /// A very large width standing in for "infinite bandwidth" (paper Table 1).
@@ -120,6 +120,7 @@ struct Engine<'a> {
     records: Vec<ExecRecord>,
     sched: Vec<Sched>,
     counts: EventCounts,
+    stalls: PipelineStalls,
 
     // Effective (possibly idealized) parameters.
     rob_size: usize,
@@ -182,6 +183,7 @@ impl<'a> Engine<'a> {
             records: vec![ExecRecord::default(); n],
             sched: vec![Sched::default(); n],
             counts: EventCounts::default(),
+            stalls: PipelineStalls::default(),
             rob_size: if ideal.huge_window() {
                 cfg.rob_size * cfg.ideal_window_factor
             } else {
@@ -299,6 +301,7 @@ impl<'a> Engine<'a> {
             cycles,
             records: self.records,
             counts: self.counts,
+            stalls: self.stalls,
         }
     }
 
@@ -326,6 +329,15 @@ impl<'a> Engine<'a> {
             self.next_commit += 1;
             self.in_flight -= 1;
             slots -= 1;
+        }
+        // Stall attribution: a cycle where nothing retired is either a
+        // starved back end (ROB empty) or a blocked head instruction.
+        if slots == self.commit_width && self.next_commit < self.trace.len() {
+            if self.in_flight == 0 {
+                self.stalls.commit_rob_empty += 1;
+            } else {
+                self.stalls.commit_head_wait += 1;
+            }
         }
     }
 
@@ -361,6 +373,7 @@ impl<'a> Engine<'a> {
         // Structural hazard check (skipped under infinite bandwidth).
         if let Some(units) = self.fu_busy.get_mut(&class) {
             let Some(unit) = units.iter_mut().find(|u| **u <= t) else {
+                self.stalls.issue_fu_busy += 1;
                 return false;
             };
             let occupy = if inst.op == OpClass::FpDiv {
@@ -435,6 +448,7 @@ impl<'a> Engine<'a> {
                 break;
             }
             if self.in_flight >= self.rob_size {
+                self.stalls.dispatch_window_full += 1;
                 break;
             }
             self.fetch_queue.pop_front();
@@ -476,11 +490,27 @@ impl<'a> Engine<'a> {
     }
 
     fn fetch(&mut self, t: u64) {
-        if self.stalled_on.is_some() || t < self.redirect_at || t < self.line_ready_at {
+        let fetch_left = self.next_fetch < self.trace.len();
+        if self.stalled_on.is_some() || t < self.redirect_at {
+            if fetch_left {
+                self.stalls.fetch_bmisp_recovery += 1;
+            }
+            return;
+        }
+        if t < self.line_ready_at {
+            if fetch_left {
+                // Attribute the blocked cycle to where the line (or its
+                // translation) is being filled from.
+                match self.pending_icache_level {
+                    MissLevel::L2 => self.stalls.fetch_imiss_l2_fill += 1,
+                    _ => self.stalls.fetch_imiss_mem_fill += 1,
+                }
+            }
             return;
         }
         let mut slots = self.fetch_width;
         let mut taken_seen = 0usize;
+        let mut fetched = 0usize;
         while slots > 0
             && self.next_fetch < self.trace.len()
             && self.fetch_queue.len() < self.fetch_queue_cap
@@ -526,6 +556,7 @@ impl<'a> Engine<'a> {
             self.fetch_queue.push_back(idx);
             self.next_fetch += 1;
             slots -= 1;
+            fetched += 1;
 
             if inst.op.is_branch() {
                 if inst.op.is_cond_branch() {
@@ -549,6 +580,12 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
+        }
+        if fetched == 0
+            && self.next_fetch < self.trace.len()
+            && self.fetch_queue.len() >= self.fetch_queue_cap
+        {
+            self.stalls.fetch_queue_full += 1;
         }
     }
 
@@ -595,6 +632,7 @@ impl<'a> Engine<'a> {
                 } else {
                     0
                 };
+                self.stalls.load_l2_fill += (fill - t).max(hit_lat) - hit_lat;
                 return (
                     (fill - t).max(hit_lat) + tlb_extra,
                     MemOutcome {
@@ -623,11 +661,13 @@ impl<'a> Engine<'a> {
             MissLevel::Hit => {}
             MissLevel::L2 => {
                 self.counts.l1d_load_misses += 1;
+                self.stalls.load_l2_fill += latency.saturating_sub(hit_lat);
                 self.outstanding.insert(line, (t + latency, i as u32));
             }
             MissLevel::Mem => {
                 self.counts.l1d_load_misses += 1;
                 self.counts.mem_load_misses += 1;
+                self.stalls.load_mem_fill += latency.saturating_sub(hit_lat);
                 self.outstanding.insert(line, (t + latency, i as u32));
             }
         }
@@ -911,6 +951,67 @@ mod tests {
         // With infinite issue width every independent op issues as soon as
         // it is ready.
         assert!(ideal.records.iter().all(|r| r.re_delay == 0));
+    }
+
+    #[test]
+    fn stall_counters_attribute_by_cause() {
+        // A mispredicted branch: recovery cycles must be charged.
+        let mut b = TraceBuilder::new();
+        let r1 = Reg::int(1);
+        b.alu(r1, &[]);
+        b.branch(r1, true, 0x9000);
+        b.set_pc(0x9000);
+        b.alu(Reg::int(2), &[]);
+        let res = run_warm(&b.finish());
+        assert!(res.stalls.fetch_bmisp_recovery > 0, "{:?}", res.stalls);
+
+        // A window-full scenario (long load + >ROB independent ops).
+        let mut b = TraceBuilder::new();
+        b.load(Reg::int(1), 0x80_0000);
+        for _ in 0..80 {
+            b.alu(Reg::int(2), &[]);
+        }
+        let res = run_warm(&b.finish());
+        assert!(res.stalls.dispatch_window_full > 0);
+        assert!(res.stalls.commit_head_wait > 0, "load blocks the head");
+        assert!(res.stalls.load_mem_fill > 0);
+
+        // FU contention: four multiplies on two units.
+        let mut b = TraceBuilder::new();
+        for k in 0..4 {
+            b.op(OpClass::IntMult, Some(Reg::int(k + 1)), &[]);
+        }
+        let res = run_warm(&b.finish());
+        assert!(res.stalls.issue_fu_busy > 0);
+
+        // Cold I-side: the very first fetch misses to memory.
+        let mut b = TraceBuilder::new();
+        b.nops(4);
+        let res = run(&b.finish());
+        assert!(res.stalls.fetch_imiss_mem_fill > 0);
+    }
+
+    #[test]
+    fn stall_rows_cover_every_field_and_absorb_sums() {
+        let mut a = PipelineStalls {
+            fetch_bmisp_recovery: 1,
+            fetch_imiss_l2_fill: 2,
+            fetch_imiss_mem_fill: 3,
+            fetch_queue_full: 4,
+            dispatch_window_full: 5,
+            issue_fu_busy: 6,
+            commit_rob_empty: 7,
+            commit_head_wait: 8,
+            load_l2_fill: 9,
+            load_mem_fill: 10,
+        };
+        assert_eq!(a.total(), 55, "rows() must cover every field");
+        a.absorb(&a.clone());
+        assert_eq!(a.total(), 110);
+        let names: Vec<&str> = a.rows().iter().map(|(n, _)| *n).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len(), "row names are distinct");
     }
 
     #[test]

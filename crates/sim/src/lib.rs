@@ -56,4 +56,4 @@ pub use branch::{BranchOutcome, BranchPredictor};
 pub use cache::{Cache, MemSystem, MissLevel, Tlb};
 pub use engine::Simulator;
 pub use ideal::Idealization;
-pub use record::{EventCounts, ExecRecord, SimResult};
+pub use record::{EventCounts, ExecRecord, PipelineStalls, SimResult};

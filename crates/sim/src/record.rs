@@ -78,6 +78,99 @@ pub struct EventCounts {
     pub itlb_misses: u64,
 }
 
+/// Per-cause pipeline stall counters for one simulation — the
+/// "simulated-machine events" telemetry the observability layer
+/// aggregates and prints alongside icost breakdowns.
+///
+/// Fetch, dispatch, and commit causes count *cycles* the stage made no
+/// progress for that reason; `issue_fu_busy` counts failed issue
+/// *attempts* (the same instruction can fail several times in one
+/// issue fixpoint). The causes are mutually exclusive within a stage
+/// and cycle, so per-stage sums are meaningful.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStalls {
+    /// Cycles fetch sat idle waiting for a mispredicted branch to
+    /// resolve and redirect.
+    pub fetch_bmisp_recovery: u64,
+    /// Cycles fetch was blocked on an L1I miss filling from L2.
+    pub fetch_imiss_l2_fill: u64,
+    /// Cycles fetch was blocked on an I-side line (or translation)
+    /// filling from memory.
+    pub fetch_imiss_mem_fill: u64,
+    /// Cycles fetch had instructions left but the fetch queue was full.
+    pub fetch_queue_full: u64,
+    /// Cycles dispatch stalled because the window (ROB) was full.
+    pub dispatch_window_full: u64,
+    /// Failed issue attempts caused by busy functional units.
+    pub issue_fu_busy: u64,
+    /// Cycles commit had nothing in flight (ROB empty: the front end
+    /// starved the back end).
+    pub commit_rob_empty: u64,
+    /// Cycles commit waited on an incomplete or too-recent head
+    /// instruction (long-latency work blocking retirement).
+    pub commit_head_wait: u64,
+    /// Extra load-latency cycles from L1D misses served by L2.
+    pub load_l2_fill: u64,
+    /// Extra load-latency cycles from loads that went to memory.
+    pub load_mem_fill: u64,
+}
+
+impl PipelineStalls {
+    /// Stable `(name, value)` rows, in pipeline order — the taxonomy
+    /// the metrics registry and report tables use.
+    pub fn rows(&self) -> [(&'static str, u64); 10] {
+        [
+            ("fetch_bmisp_recovery", self.fetch_bmisp_recovery),
+            ("fetch_imiss_l2_fill", self.fetch_imiss_l2_fill),
+            ("fetch_imiss_mem_fill", self.fetch_imiss_mem_fill),
+            ("fetch_queue_full", self.fetch_queue_full),
+            ("dispatch_window_full", self.dispatch_window_full),
+            ("issue_fu_busy", self.issue_fu_busy),
+            ("commit_rob_empty", self.commit_rob_empty),
+            ("commit_head_wait", self.commit_head_wait),
+            ("load_l2_fill", self.load_l2_fill),
+            ("load_mem_fill", self.load_mem_fill),
+        ]
+    }
+
+    /// Inverse of [`PipelineStalls::rows`]: rebuild from values in the
+    /// same order (used by telemetry layers that store the counters in
+    /// a metrics registry).
+    pub fn from_row_values(v: [u64; 10]) -> PipelineStalls {
+        PipelineStalls {
+            fetch_bmisp_recovery: v[0],
+            fetch_imiss_l2_fill: v[1],
+            fetch_imiss_mem_fill: v[2],
+            fetch_queue_full: v[3],
+            dispatch_window_full: v[4],
+            issue_fu_busy: v[5],
+            commit_rob_empty: v[6],
+            commit_head_wait: v[7],
+            load_l2_fill: v[8],
+            load_mem_fill: v[9],
+        }
+    }
+
+    /// Fold another run's stall counts into this one.
+    pub fn absorb(&mut self, other: &PipelineStalls) {
+        self.fetch_bmisp_recovery += other.fetch_bmisp_recovery;
+        self.fetch_imiss_l2_fill += other.fetch_imiss_l2_fill;
+        self.fetch_imiss_mem_fill += other.fetch_imiss_mem_fill;
+        self.fetch_queue_full += other.fetch_queue_full;
+        self.dispatch_window_full += other.dispatch_window_full;
+        self.issue_fu_busy += other.issue_fu_busy;
+        self.commit_rob_empty += other.commit_rob_empty;
+        self.commit_head_wait += other.commit_head_wait;
+        self.load_l2_fill += other.load_l2_fill;
+        self.load_mem_fill += other.load_mem_fill;
+    }
+
+    /// Sum over every cause (a coarse "how stalled was this run").
+    pub fn total(&self) -> u64 {
+        self.rows().iter().map(|(_, v)| v).sum()
+    }
+}
+
 /// Result of simulating one trace.
 #[derive(Debug, Clone, Default)]
 pub struct SimResult {
@@ -88,6 +181,8 @@ pub struct SimResult {
     pub records: Vec<ExecRecord>,
     /// Aggregate event counts.
     pub counts: EventCounts,
+    /// Per-cause pipeline stall counters.
+    pub stalls: PipelineStalls,
 }
 
 impl SimResult {
@@ -209,7 +304,7 @@ mod tests {
                 commit: 5,
                 ..ExecRecord::default()
             }],
-            counts: EventCounts::default(),
+            ..SimResult::default()
         };
         assert!(res.check_invariants(&t).is_err());
         res.records[0].fetch = 1;
@@ -233,7 +328,7 @@ mod tests {
                 src_producers: [Some(0), None], // self-reference
                 ..ExecRecord::default()
             }],
-            counts: EventCounts::default(),
+            ..SimResult::default()
         };
         assert!(res.check_invariants(&t).is_err());
     }

@@ -90,6 +90,8 @@ fn main() {
         "re-simulated icost(dmiss, win) = {} cycles (graph said {ic})",
         answers[1]
     );
+    // The telemetry includes what the simulated machine was doing: every
+    // idealized run's pipeline stalls, counted per cause.
     println!("\nrunner telemetry:\n{report}");
 
     // Asking again is free: the cache answers without simulating.
@@ -98,4 +100,10 @@ fn main() {
         "repeat query: {} simulations, {} cache hits",
         again.sims_run, again.cache_hits
     );
+
+    // 7. With ICOST_TRACE_FILE set, everything above was also recorded as
+    //    spans — write the Chrome trace (load it at ui.perfetto.dev).
+    if let Ok(Some(path)) = uarch_obs::flush_global() {
+        println!("\ntrace written to {}", path.display());
+    }
 }
