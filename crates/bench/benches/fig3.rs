@@ -71,6 +71,7 @@ fn warmed_sweep(
 }
 
 fn main() {
+    let _flush = uarch_obs::flush_guard();
     let n = bench_insts();
     let windows = [64usize, 128, 256];
     let mut shape = Shape::new();

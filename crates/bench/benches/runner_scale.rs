@@ -10,15 +10,19 @@
 //! speedup comes entirely from dedup/cache reuse; with more cores the
 //! parallel waves stack on top.
 //!
-//! The runner pass is executed twice — span tracing off, then on — to
-//! bound the observability overhead: the instrumented run must stay
-//! within a few percent of the bare one. Set `ICOST_TRACE_FILE` to also
-//! get the Chrome trace of the instrumented pass.
+//! The runner pass is executed twice — span tracing and the run ledger
+//! off, then both on — to bound the observability overhead: the
+//! instrumented run must stay within a few percent of the bare one.
+//! Set `ICOST_TRACE_FILE` to also get the Chrome trace of the
+//! instrumented pass; the ledger of that pass is parsed back and
+//! structurally checked.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use icost::{icost, MultiSimOracle};
 use icost_bench::{workload, Shape};
+use uarch_obs::ledger::{parse_ledger, Ledger, LedgerRecord, Provenance, LEDGER_FILE_ENV};
 use uarch_obs::{flush_global, global, install_global, Tracer};
 use uarch_runner::{Query, RunReport, Runner};
 use uarch_trace::{EventClass, EventSet, MachineConfig};
@@ -44,9 +48,22 @@ fn runner_sweep(
 }
 
 fn main() {
+    let _flush = uarch_obs::flush_guard();
     // Own the global tracer so the two passes below can toggle recording;
     // if the environment already initialized it, toggle that one instead.
     install_global(Tracer::enabled());
+
+    // Same for the ledger: honor ICOST_LEDGER_FILE, default to a fresh
+    // temp file so the instrumented pass always exercises (and the
+    // checks below always validate) the real file-append path.
+    let ledger_path: PathBuf = std::env::var(LEDGER_FILE_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            std::env::temp_dir().join(format!("runner_scale_{}.jsonl", std::process::id()))
+        });
+    let _ = std::fs::remove_file(&ledger_path);
+    uarch_obs::ledger::install_global(Ledger::to_path(&ledger_path).expect("open ledger file"));
+    uarch_obs::ledger::global().set_enabled(false);
 
     // A deliberately modest trace: the sweep below runs >100 serial
     // simulations of it. Scale with ICOST_BENCH_INSTS as usual.
@@ -102,10 +119,13 @@ fn main() {
     );
 
     // Runner path again, observability on: identical work (fresh cache),
-    // every span recorded. The delta bounds the instrumentation cost.
+    // every span recorded, every run and job appended to the ledger.
+    // The delta bounds the full instrumentation cost.
     global().set_enabled(true);
+    uarch_obs::ledger::global().set_enabled(true);
     let (traced_answers, traced_report, traced_wall) = runner_sweep(&cfg, &w.trace, &rounds);
     global().set_enabled(false);
+    uarch_obs::ledger::global().set_enabled(false);
     println!(
         "runner:  {:>4} simulations in {traced_wall:>10.3?}  (tracing on, {} events)\n",
         traced_report.sims_run,
@@ -150,8 +170,40 @@ fn main() {
     // fault.
     let delta = traced_wall.saturating_sub(runner_wall);
     shape.check(
-        "metrics + tracing overhead under 3% (or < 50ms absolute)",
+        "metrics + tracing + ledger overhead under 3% (or < 50ms absolute)",
         overhead < 0.03 || delta < Duration::from_millis(50),
     );
+
+    // Structural checks on the ledger the instrumented pass wrote.
+    let _ = uarch_obs::ledger::global().flush();
+    let ledger_text = std::fs::read_to_string(&ledger_path).unwrap_or_default();
+    match parse_ledger(&ledger_text) {
+        Ok(records) => {
+            let headers = records
+                .iter()
+                .filter(|r| matches!(r, LedgerRecord::Run(_)))
+                .count();
+            let computed = records
+                .iter()
+                .filter(
+                    |r| matches!(r, LedgerRecord::Job(j) if j.provenance == Provenance::Computed),
+                )
+                .count();
+            shape.check(
+                "ledger has one run header per Runner::run",
+                headers == rounds.len(),
+            );
+            shape.check(
+                "ledger computed-job records match the telemetry sims_run",
+                computed as u64 == traced_report.sims_run,
+            );
+        }
+        Err(e) => {
+            println!("ledger parse error: {e}");
+            shape.check("ledger parses cleanly", false);
+        }
+    }
+    println!("ledger written to {}\n", ledger_path.display());
+
     std::process::exit(i32::from(!shape.finish("Runner scaling")));
 }

@@ -18,6 +18,7 @@ use uarch_trace::{EventClass, EventSet, MachineConfig};
 const BENCHES: [&str; 3] = ["gcc", "parser", "twolf"];
 
 fn main() {
+    let _flush = uarch_obs::flush_guard();
     let n = bench_insts();
     let cfg = MachineConfig::table6().with_dl1_latency(4);
     let mut shape = Shape::new();

@@ -7,6 +7,7 @@ use icost_bench::{graph_oracle, observe_workload, workload};
 use uarch_trace::{EventClass, MachineConfig};
 
 fn main() {
+    let _flush = uarch_obs::flush_guard();
     let n: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())

@@ -11,6 +11,7 @@ use uarch_sim::{Idealization, Simulator};
 use uarch_trace::{EventClass, EventSet, MachineConfig};
 
 fn main() {
+    let _flush = uarch_obs::flush_guard();
     let cfg = MachineConfig::table6().with_dl1_latency(4);
     let classes = [EventClass::Win, EventClass::Bmisp, EventClass::Bw];
     for name in ["gcc", "parser", "twolf", "vortex"] {

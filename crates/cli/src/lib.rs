@@ -1,0 +1,525 @@
+//! Library core of the `icost-obs` regression CLI: aggregate a run
+//! ledger (the JSONL stream `uarch-runner` appends under
+//! `ICOST_LEDGER_FILE`) into a [`LedgerSummary`], compare two summaries
+//! with [`diff`], and export a summary as a benchmark-baseline JSON
+//! document.
+//!
+//! Everything here is deterministic over the ledger *content*: object
+//! keys render sorted, job records aggregate the same way regardless of
+//! thread interleaving, and timestamps never enter the summary — so two
+//! ledgers of the same run always summarize and diff identically.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use uarch_obs::json::Value;
+use uarch_obs::ledger::{parse_ledger, LedgerRecord, Provenance};
+
+/// Aggregated view of one ledger file: run/job counts, provenance
+/// split, total simulated cycles and wall time, stall taxonomy sums,
+/// and the per-set result hashes used for cross-run identity checks.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LedgerSummary {
+    /// `run` header records seen.
+    pub runs: u64,
+    /// Queries declared across all run headers.
+    pub queries: u64,
+    /// Job records (answered simulation jobs) seen.
+    pub jobs: u64,
+    /// Jobs answered by actually simulating (`provenance: computed`).
+    pub computed: u64,
+    /// Jobs answered from the in-memory cache.
+    pub memory_hits: u64,
+    /// Jobs answered from the disk cache.
+    pub disk_hits: u64,
+    /// Simulated cycles summed over computed jobs.
+    pub cycles: u64,
+    /// Wall microseconds summed over every job record.
+    pub wall_us: u64,
+    /// Worker-thread budget(s) seen in run headers (machine-dependent;
+    /// informational only, never gated on).
+    pub threads: BTreeSet<u64>,
+    /// Simulation-context fingerprints seen in run headers.
+    pub ctxs: BTreeSet<String>,
+    /// Stall cycles by taxonomy row, summed over computed jobs.
+    pub stalls: BTreeMap<String, u64>,
+    /// Result hashes by idealization set (normally one hash per set; a
+    /// set maps to several only when the ledger mixes contexts).
+    pub hashes: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl LedgerSummary {
+    /// Summarize parsed ledger records.
+    pub fn from_records(records: &[LedgerRecord]) -> LedgerSummary {
+        let mut s = LedgerSummary::default();
+        for record in records {
+            match record {
+                LedgerRecord::Run(h) => {
+                    s.runs += 1;
+                    s.queries += h.queries;
+                    s.threads.insert(h.threads);
+                    s.ctxs.insert(h.ctx.clone());
+                }
+                LedgerRecord::Job(j) => {
+                    s.jobs += 1;
+                    s.wall_us += j.wall_us;
+                    match j.provenance {
+                        Provenance::Computed => {
+                            s.computed += 1;
+                            s.cycles += j.cycles;
+                            for (name, v) in &j.stalls {
+                                *s.stalls.entry(name.clone()).or_insert(0) += v;
+                            }
+                        }
+                        Provenance::Memory => s.memory_hits += 1,
+                        Provenance::Disk => s.disk_hits += 1,
+                    }
+                    s.hashes
+                        .entry(j.set.clone())
+                        .or_default()
+                        .insert(j.hash.clone());
+                }
+            }
+        }
+        s
+    }
+
+    /// Parse ledger text (JSONL) and summarize it.
+    pub fn from_text(text: &str) -> Result<LedgerSummary, String> {
+        Ok(LedgerSummary::from_records(&parse_ledger(text)?))
+    }
+
+    /// Percentage of jobs answered without simulating, in `[0, 100]`;
+    /// `None` for an empty ledger.
+    pub fn reuse_pct(&self) -> Option<f64> {
+        if self.jobs == 0 {
+            return None;
+        }
+        Some(100.0 * (self.memory_hits + self.disk_hits) as f64 / self.jobs as f64)
+    }
+
+    /// The gateable numeric metrics, in stable order. `wall_us` is the
+    /// only one compared under the separate wall tolerance.
+    pub fn metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("runs", self.runs as f64),
+            ("queries", self.queries as f64),
+            ("jobs", self.jobs as f64),
+            ("sims_computed", self.computed as f64),
+            ("memory_hits", self.memory_hits as f64),
+            ("disk_hits", self.disk_hits as f64),
+            ("cycles", self.cycles as f64),
+            ("wall_us", self.wall_us as f64),
+            ("reuse_pct", self.reuse_pct().unwrap_or(0.0)),
+        ]
+    }
+
+    /// Render as an aligned two-column table (plus stall rows when any
+    /// were recorded).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let mut row = |k: &str, v: String| out.push_str(&format!("  {k:<18} {v:>16}\n"));
+        for (name, v) in self.metrics() {
+            if name == "reuse_pct" {
+                match self.reuse_pct() {
+                    Some(p) => row(name, format!("{p:.1}%")),
+                    None => row(name, "-".into()),
+                }
+            } else {
+                row(name, fmt_num(v));
+            }
+        }
+        row("contexts", self.ctxs.len().to_string());
+        let threads: Vec<String> = self.threads.iter().map(u64::to_string).collect();
+        row("threads", threads.join(","));
+        if !self.stalls.is_empty() {
+            out.push_str("  stall cycles by cause:\n");
+            for (name, v) in &self.stalls {
+                out.push_str(&format!("    {name:<20} {v:>12}\n"));
+            }
+        }
+        out
+    }
+
+    /// The summary as a JSON value (sorted keys, deterministic render).
+    pub fn to_value(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        for (name, v) in self.metrics() {
+            obj.insert(name.to_string(), Value::Num(v));
+        }
+        obj.insert(
+            "ctxs".into(),
+            Value::Arr(self.ctxs.iter().cloned().map(Value::Str).collect()),
+        );
+        obj.insert(
+            "threads".into(),
+            Value::Arr(self.threads.iter().map(|&t| Value::Num(t as f64)).collect()),
+        );
+        obj.insert(
+            "stalls".into(),
+            Value::Obj(
+                self.stalls
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Value::Num(v as f64)))
+                    .collect(),
+            ),
+        );
+        Value::Obj(obj)
+    }
+
+    /// Render as compact JSON.
+    pub fn to_json(&self) -> String {
+        self.to_value().render()
+    }
+
+    /// Render as a benchmark-baseline document (`BENCH_<tag>.json`
+    /// convention): the summary under a tag and source label.
+    /// Timestamps are deliberately absent so re-exports of the same
+    /// ledger are byte-identical.
+    pub fn to_bench_json(&self, tag: &str, source: &str) -> String {
+        let mut obj = BTreeMap::new();
+        obj.insert("tag".into(), Value::Str(tag.into()));
+        obj.insert("source".into(), Value::Str(source.into()));
+        obj.insert("summary".into(), self.to_value());
+        let mut out = Value::Obj(obj).render();
+        out.push('\n');
+        out
+    }
+}
+
+/// Table-friendly number: integers render bare, fractions to 2 places.
+fn fmt_num(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// One compared metric in a [`DiffReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Metric name (see [`LedgerSummary::metrics`]).
+    pub name: &'static str,
+    /// Baseline value.
+    pub base: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Whether this delta exceeds its tolerance in the bad direction.
+    pub regression: bool,
+    /// Whether the metric is gated at all (`false` = informational).
+    pub gated: bool,
+}
+
+impl MetricDelta {
+    /// Relative change `new/base - 1`, or `None` when the baseline is 0.
+    pub fn rel_change(&self) -> Option<f64> {
+        (self.base != 0.0).then(|| self.new / self.base - 1.0)
+    }
+}
+
+/// Result of comparing a candidate ledger against a baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Per-metric deltas, in [`LedgerSummary::metrics`] order.
+    pub deltas: Vec<MetricDelta>,
+    /// Sets whose result hashes diverge between the two ledgers
+    /// (checked only when both ledgers cover the same contexts —
+    /// different contexts legitimately hash differently).
+    pub hash_mismatches: Vec<String>,
+    /// Whether the context sets matched (enabling the hash check).
+    pub ctxs_match: bool,
+}
+
+impl DiffReport {
+    /// Count of regressed metrics plus hash mismatches.
+    pub fn regressions(&self) -> usize {
+        self.deltas.iter().filter(|d| d.regression).count() + self.hash_mismatches.len()
+    }
+
+    /// Human-readable comparison table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  {:<14} {:>14} {:>14} {:>9}  {}\n",
+            "metric", "base", "new", "change", "verdict"
+        ));
+        for d in &self.deltas {
+            let change = match d.rel_change() {
+                Some(c) => format!("{:+.1}%", 100.0 * c),
+                None if d.new == 0.0 => "=".into(),
+                None => "new".into(),
+            };
+            let verdict = if d.regression {
+                "REGRESSION"
+            } else if !d.gated {
+                "info"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "  {:<14} {:>14} {:>14} {:>9}  {}\n",
+                d.name,
+                fmt_num(d.base),
+                fmt_num(d.new),
+                change,
+                verdict
+            ));
+        }
+        if self.ctxs_match {
+            if self.hash_mismatches.is_empty() {
+                out.push_str("  result hashes: all matching sets agree\n");
+            } else {
+                for set in &self.hash_mismatches {
+                    out.push_str(&format!(
+                        "  result hash MISMATCH for set {set} (same context, different result)\n"
+                    ));
+                }
+            }
+        } else {
+            out.push_str("  result hashes: skipped (different simulation contexts)\n");
+        }
+        out
+    }
+
+    /// The diff as JSON (sorted keys, deterministic).
+    pub fn to_json(&self) -> String {
+        let mut obj = BTreeMap::new();
+        let mut deltas = BTreeMap::new();
+        for d in &self.deltas {
+            let mut m = BTreeMap::new();
+            m.insert("base".to_string(), Value::Num(d.base));
+            m.insert("new".to_string(), Value::Num(d.new));
+            m.insert("regression".to_string(), Value::Bool(d.regression));
+            m.insert("gated".to_string(), Value::Bool(d.gated));
+            deltas.insert(d.name.to_string(), Value::Obj(m));
+        }
+        obj.insert("deltas".to_string(), Value::Obj(deltas));
+        obj.insert(
+            "hash_mismatches".to_string(),
+            Value::Arr(
+                self.hash_mismatches
+                    .iter()
+                    .cloned()
+                    .map(Value::Str)
+                    .collect(),
+            ),
+        );
+        obj.insert("ctxs_match".to_string(), Value::Bool(self.ctxs_match));
+        obj.insert(
+            "regressions".to_string(),
+            Value::Num(self.regressions() as f64),
+        );
+        Value::Obj(obj).render()
+    }
+}
+
+/// Tolerances for [`diff`], as relative fractions (`0.1` = 10% slack).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Slack for work metrics (`sims_computed`, `cycles`, `reuse_pct`).
+    pub work: f64,
+    /// Slack for `wall_us` — wall time crosses machines in CI, so this
+    /// is typically much larger than `work`.
+    pub wall: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Tolerance {
+        Tolerance {
+            work: 0.0,
+            wall: 10.0,
+        }
+    }
+}
+
+/// Compare `new` against `base`.
+///
+/// Gated metrics and their bad directions: `sims_computed` up,
+/// `cycles` up, `wall_us` up (under the wall tolerance), `reuse_pct`
+/// down. Everything else (`runs`, `queries`, `jobs`, hit counts) is
+/// reported for context but never regresses on its own — batch shape
+/// legitimately changes when the workload under test changes.
+/// Result hashes are compared per set when both ledgers cover the same
+/// simulation contexts; a divergent hash there means the same
+/// idealization produced a different result, which is always a
+/// regression.
+pub fn diff(base: &LedgerSummary, new: &LedgerSummary, tol: Tolerance) -> DiffReport {
+    let base_metrics = base.metrics();
+    let new_metrics = new.metrics();
+    let mut deltas = Vec::with_capacity(base_metrics.len());
+    for ((name, b), (_, n)) in base_metrics.into_iter().zip(new_metrics) {
+        let (gated, regression) = match name {
+            "sims_computed" | "cycles" => (true, n > b * (1.0 + tol.work) + 1e-9),
+            "wall_us" => (true, n > b * (1.0 + tol.wall) + 1e-9),
+            "reuse_pct" => (true, n < b * (1.0 - tol.work) - 1e-9),
+            _ => (false, false),
+        };
+        deltas.push(MetricDelta {
+            name,
+            base: b,
+            new: n,
+            regression,
+            gated,
+        });
+    }
+    let ctxs_match = !base.ctxs.is_empty() && base.ctxs == new.ctxs;
+    let mut hash_mismatches = Vec::new();
+    if ctxs_match {
+        for (set, base_hashes) in &base.hashes {
+            if let Some(new_hashes) = new.hashes.get(set) {
+                if base_hashes.is_disjoint(new_hashes) {
+                    hash_mismatches.push(set.clone());
+                }
+            }
+        }
+    }
+    DiffReport {
+        deltas,
+        hash_mismatches,
+        ctxs_match,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_obs::ledger::{JobRecord, RunHeader};
+
+    fn job(run: u64, set: &str, provenance: Provenance, cycles: u64, hash: &str) -> LedgerRecord {
+        LedgerRecord::Job(JobRecord {
+            run,
+            set: set.into(),
+            provenance,
+            cycles,
+            wall_us: 10,
+            hash: hash.into(),
+            stalls: BTreeMap::new(),
+        })
+    }
+
+    fn header(run: u64, ctx: &str) -> LedgerRecord {
+        LedgerRecord::Run(RunHeader {
+            run,
+            ctx: ctx.into(),
+            queries: 2,
+            threads: 8,
+            insts: 100,
+            ts_ms: 0,
+        })
+    }
+
+    fn sample() -> LedgerSummary {
+        LedgerSummary::from_records(&[
+            header(1, "ctx-a"),
+            job(1, "(none)", Provenance::Computed, 100, "h0"),
+            job(1, "dmiss", Provenance::Computed, 80, "h1"),
+            job(1, "dmiss", Provenance::Memory, 80, "h1"),
+            job(1, "win", Provenance::Disk, 90, "h2"),
+        ])
+    }
+
+    #[test]
+    fn summary_aggregates_by_provenance() {
+        let s = sample();
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.jobs, 4);
+        assert_eq!(s.computed, 2);
+        assert_eq!(s.memory_hits, 1);
+        assert_eq!(s.disk_hits, 1);
+        assert_eq!(s.cycles, 180, "cycles sum over computed jobs only");
+        assert_eq!(s.wall_us, 40);
+        assert_eq!(s.reuse_pct(), Some(50.0));
+        assert_eq!(s.hashes["dmiss"].len(), 1);
+    }
+
+    #[test]
+    fn summary_json_is_valid_and_sorted() {
+        let s = sample();
+        let doc = uarch_obs::json::parse(&s.to_json()).expect("valid JSON");
+        assert_eq!(doc.get("jobs").and_then(Value::as_num), Some(4.0));
+        assert_eq!(s.to_json(), s.to_json(), "deterministic render");
+        let bench = s.to_bench_json("PR3", "ledger.jsonl");
+        let doc = uarch_obs::json::parse(&bench).expect("bench JSON valid");
+        assert_eq!(doc.get("tag").and_then(Value::as_str), Some("PR3"));
+        assert_eq!(
+            doc.get("summary")
+                .and_then(|v| v.get("cycles"))
+                .and_then(Value::as_num),
+            Some(180.0)
+        );
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let s = sample();
+        let d = diff(&s, &s, Tolerance::default());
+        assert_eq!(d.regressions(), 0, "{}", d.to_table());
+        assert!(d.ctxs_match);
+        assert!(uarch_obs::json::parse(&d.to_json()).is_ok());
+    }
+
+    #[test]
+    fn diff_flags_bad_directions_and_respects_tolerance() {
+        let base = sample();
+        let worse = LedgerSummary {
+            computed: 4,
+            cycles: 400,
+            ..base.clone()
+        };
+        let d = diff(&base, &worse, Tolerance::default());
+        let regressed: Vec<_> = d
+            .deltas
+            .iter()
+            .filter(|m| m.regression)
+            .map(|m| m.name)
+            .collect();
+        assert!(regressed.contains(&"sims_computed"));
+        assert!(regressed.contains(&"cycles"));
+        // Generous tolerance forgives the same deltas.
+        let lax = Tolerance {
+            work: 2.0,
+            wall: 10.0,
+        };
+        assert_eq!(diff(&base, &worse, lax).regressions(), 0);
+        // Better-direction movement never regresses.
+        let better = LedgerSummary {
+            computed: 1,
+            cycles: 90,
+            ..base.clone()
+        };
+        assert_eq!(diff(&base, &better, Tolerance::default()).regressions(), 0);
+    }
+
+    #[test]
+    fn hash_mismatch_is_a_regression_only_within_matching_ctxs() {
+        let base = sample();
+        let mut altered = LedgerSummary::from_records(&[
+            header(1, "ctx-a"),
+            job(1, "(none)", Provenance::Computed, 100, "h0"),
+            job(1, "dmiss", Provenance::Computed, 80, "DIFFERENT"),
+            job(1, "dmiss", Provenance::Memory, 80, "DIFFERENT"),
+            job(1, "win", Provenance::Disk, 90, "h2"),
+        ]);
+        let d = diff(&base, &altered, Tolerance::default());
+        assert_eq!(d.hash_mismatches, vec!["dmiss".to_string()]);
+        assert_eq!(d.regressions(), 1);
+        // Different context: hashes legitimately differ, no gate.
+        altered.ctxs = ["ctx-b".to_string()].into_iter().collect();
+        let d = diff(&base, &altered, Tolerance::default());
+        assert!(!d.ctxs_match);
+        assert!(d.hash_mismatches.is_empty());
+        assert_eq!(d.regressions(), 0);
+    }
+
+    #[test]
+    fn from_text_reports_parse_errors() {
+        assert!(LedgerSummary::from_text("not json\n").is_err());
+        let s = LedgerSummary::from_text("").unwrap();
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.reuse_pct(), None);
+    }
+}

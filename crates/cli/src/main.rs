@@ -1,0 +1,161 @@
+//! `icost-obs` — regression tracking over run ledgers.
+//!
+//! ```text
+//! icost-obs summarize <ledger.jsonl> [--json]
+//! icost-obs diff <base.jsonl> <new.jsonl> [--tolerance F] [--wall-tolerance F] [--json]
+//! icost-obs bench-export <ledger.jsonl> --tag TAG [--out FILE]
+//! ```
+//!
+//! Exit codes: `0` success / no regressions, `1` regressions found by
+//! `diff`, `2` usage or I/O error.
+
+use std::process::ExitCode;
+
+use icost_obs_cli::{diff, LedgerSummary, Tolerance};
+
+const USAGE: &str = "\
+icost-obs — regression tracking over interaction-cost run ledgers
+
+USAGE:
+    icost-obs summarize <ledger.jsonl> [--json]
+    icost-obs diff <base.jsonl> <new.jsonl> [--tolerance F] [--wall-tolerance F] [--json]
+    icost-obs bench-export <ledger.jsonl> --tag TAG [--out FILE]
+
+COMMANDS:
+    summarize     Aggregate a ledger into run/job/provenance/cycle totals
+    diff          Compare a candidate ledger against a baseline; exit 1
+                  when a gated metric regresses beyond tolerance
+    bench-export  Write the summary as BENCH_<TAG>.json (or --out FILE)
+
+OPTIONS:
+    --json             Emit JSON instead of the aligned table
+    --tolerance F      Relative slack for work metrics (default 0.0;
+                       0.1 allows +10% sims/cycles, -10% reuse)
+    --wall-tolerance F Relative slack for wall time (default 10.0 —
+                       wall clocks differ wildly across machines)
+    --tag TAG          Benchmark tag for bench-export (required)
+    --out FILE         Output path for bench-export (default BENCH_<TAG>.json)
+";
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("icost-obs: {msg}");
+    ExitCode::from(2)
+}
+
+fn load_summary(path: &str) -> Result<LedgerSummary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    LedgerSummary::from_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Pull `--flag VALUE` out of `args`, parsing the value.
+fn take_opt<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Result<Option<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    args.remove(i);
+    let raw = args.remove(i);
+    raw.parse::<T>()
+        .map(Some)
+        .map_err(|e| format!("bad value {raw:?} for {flag}: {e}"))
+}
+
+/// Pull a bare `--flag` out of `args`.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let command = args.remove(0);
+    match command.as_str() {
+        "summarize" => {
+            let json = take_flag(&mut args, "--json");
+            let [path] = args.as_slice() else {
+                return fail("summarize takes exactly one ledger path (see --help)");
+            };
+            match load_summary(path) {
+                Ok(s) if json => println!("{}", s.to_json()),
+                Ok(s) => print!("{}", s.to_table()),
+                Err(e) => return fail(e),
+            }
+            ExitCode::SUCCESS
+        }
+        "diff" => {
+            let json = take_flag(&mut args, "--json");
+            let mut tol = Tolerance::default();
+            match take_opt::<f64>(&mut args, "--tolerance") {
+                Ok(Some(t)) => tol.work = t,
+                Ok(None) => {}
+                Err(e) => return fail(e),
+            }
+            match take_opt::<f64>(&mut args, "--wall-tolerance") {
+                Ok(Some(t)) => tol.wall = t,
+                Ok(None) => {}
+                Err(e) => return fail(e),
+            }
+            let [base_path, new_path] = args.as_slice() else {
+                return fail("diff takes a baseline and a candidate ledger (see --help)");
+            };
+            let (base, new) = match (load_summary(base_path), load_summary(new_path)) {
+                (Ok(b), Ok(n)) => (b, n),
+                (Err(e), _) | (_, Err(e)) => return fail(e),
+            };
+            let report = diff(&base, &new, tol);
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.to_table());
+            }
+            if report.regressions() > 0 {
+                eprintln!(
+                    "icost-obs: {} regression(s) against {base_path}",
+                    report.regressions()
+                );
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        "bench-export" => {
+            let tag = match take_opt::<String>(&mut args, "--tag") {
+                Ok(Some(t)) => t,
+                Ok(None) => return fail("bench-export requires --tag TAG"),
+                Err(e) => return fail(e),
+            };
+            let out = match take_opt::<String>(&mut args, "--out") {
+                Ok(o) => o.unwrap_or_else(|| format!("BENCH_{tag}.json")),
+                Err(e) => return fail(e),
+            };
+            let [path] = args.as_slice() else {
+                return fail("bench-export takes exactly one ledger path (see --help)");
+            };
+            let summary = match load_summary(path) {
+                Ok(s) => s,
+                Err(e) => return fail(e),
+            };
+            let doc = summary.to_bench_json(&tag, path);
+            if let Err(e) = std::fs::write(&out, doc) {
+                return fail(format!("cannot write {out}: {e}"));
+            }
+            eprintln!("icost-obs: wrote {out}");
+            ExitCode::SUCCESS
+        }
+        other => fail(format!("unknown command {other:?} (see --help)")),
+    }
+}

@@ -3,9 +3,11 @@
 //! The exporters in this crate hand-generate their JSON (the formats
 //! are fixed and flat), but tests and CI need to *validate* what was
 //! written without external crates. This module is that validator: a
-//! strict recursive-descent parser over the JSON grammar (RFC 8259
-//! subset: no `\u` surrogate-pair recombination — escapes are kept
-//! verbatim) producing a [`Value`] tree.
+//! strict recursive-descent parser over the full RFC 8259 grammar
+//! (including `\uXXXX` escapes with surrogate-pair recombination)
+//! producing a [`Value`] tree, plus [`Value::render`] to go back to
+//! text — which is what makes quote→parse→render round-trips testable
+//! property-style.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -19,8 +21,8 @@ pub enum Value {
     Bool(bool),
     /// Any JSON number, held as `f64`.
     Num(f64),
-    /// A string (escape sequences decoded, except `\u` which is kept
-    /// as-is).
+    /// A string (all escape sequences decoded, including `\uXXXX` and
+    /// surrogate pairs).
     Str(String),
     /// An array.
     Arr(Vec<Value>),
@@ -64,6 +66,53 @@ impl Value {
     /// Member `key` of this object, if present.
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_obj().and_then(|m| m.get(key))
+    }
+
+    /// Render back to compact JSON text (object keys in sorted order,
+    /// so equal values always render identically).
+    ///
+    /// Numbers use Rust's shortest-round-trip `f64` formatting; a
+    /// non-finite number (which JSON cannot represent) renders as
+    /// `null`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(n) if n.is_finite() => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Num(_) => out.push_str("null"),
+            Value::Str(s) => out.push_str(&quote(s)),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&quote(k));
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
     }
 }
 
@@ -223,16 +272,25 @@ impl Parser<'_> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        // Keep \uXXXX escapes verbatim; validating hex
-                        // digits is enough for a format check.
-                        let mut hex = String::new();
-                        for _ in 0..4 {
-                            match self.bump() {
-                                Some(d) if d.is_ascii_hexdigit() => hex.push(d as char),
-                                _ => return Err("bad \\u escape".into()),
+                        let hi = self.hex4()?;
+                        let ch = if (0xD800..=0xDBFF).contains(&hi) {
+                            // High surrogate: a low surrogate escape must
+                            // follow immediately.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err("unpaired high surrogate".into());
                             }
-                        }
-                        let _ = write!(out, "\\u{hex}");
+                            let lo = self.hex4()?;
+                            if !(0xDC00..=0xDFFF).contains(&lo) {
+                                return Err("invalid low surrogate".into());
+                            }
+                            let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(cp).ok_or("bad surrogate pair")?
+                        } else if (0xDC00..=0xDFFF).contains(&hi) {
+                            return Err("unpaired low surrogate".into());
+                        } else {
+                            char::from_u32(hi).ok_or("bad \\u escape")?
+                        };
+                        out.push(ch);
                     }
                     other => return Err(format!("bad escape {other:?}")),
                 },
@@ -252,6 +310,19 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            match self.bump() {
+                Some(d) if d.is_ascii_hexdigit() => {
+                    v = v * 16 + (d as char).to_digit(16).expect("hex digit");
+                }
+                _ => return Err("bad \\u escape".into()),
+            }
+        }
+        Ok(v)
     }
 
     fn number(&mut self) -> Result<Value, String> {
@@ -304,7 +375,14 @@ mod tests {
 
     #[test]
     fn quote_roundtrips_through_parse() {
-        for s in ["plain", "with \"quotes\"", "tab\tnl\nback\\slash", "héllo"] {
+        for s in [
+            "plain",
+            "with \"quotes\"",
+            "tab\tnl\nback\\slash",
+            "héllo",
+            "\u{1}\u{1f}",
+            "emoji \u{1F600} pair",
+        ] {
             let quoted = quote(s);
             assert_eq!(parse(&quoted).unwrap().as_str(), Some(s), "{quoted}");
         }
@@ -314,6 +392,26 @@ mod tests {
     fn control_chars_are_escaped() {
         let q = quote("\u{1}");
         assert_eq!(q, "\"\\u0001\"");
-        assert!(parse(&q).is_ok());
+        assert_eq!(parse(&q).unwrap().as_str(), Some("\u{1}"));
+    }
+
+    #[test]
+    fn unicode_escapes_decode_with_surrogate_pairs() {
+        assert_eq!(parse(r#""\u0041""#).unwrap().as_str(), Some("A"));
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap().as_str(),
+            Some("\u{1F600}")
+        );
+        assert!(parse(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(parse(r#""\ude00""#).is_err(), "lone low surrogate");
+        assert!(parse(r#""\ud83d\u0041""#).is_err(), "bad low surrogate");
+    }
+
+    #[test]
+    fn render_roundtrips_values() {
+        let text = r#"{"a": [1, 2.5, -3], "b": {"c": true, "d": null}, "e": "x\ny"}"#;
+        let v = parse(text).expect("valid");
+        let rendered = v.render();
+        assert_eq!(parse(&rendered).expect("render is valid JSON"), v);
     }
 }

@@ -1,0 +1,474 @@
+//! The run ledger: durable, diffable per-run telemetry as JSONL.
+//!
+//! The metrics registry and span tracer answer "what is this process
+//! doing right now"; the ledger answers the cross-run question — *did
+//! PR N make the runner slower?* Every `uarch-runner` run appends one
+//! [`RunHeader`] record (run id, context fingerprint, query count) plus
+//! one [`JobRecord`] per simulation job it answered (wall time, cache
+//! provenance, result hash, stall summary) to the file named by
+//! [`LEDGER_FILE_ENV`]. The format is line-delimited JSON: append-only,
+//! `cat`-able, and parseable by the `icost-obs` CLI for summaries,
+//! regression diffs, and bench-trajectory exports.
+//!
+//! Overhead discipline mirrors the tracer: a disabled [`Ledger`] costs
+//! one relaxed atomic load per check and never allocates; an enabled
+//! one writes through a buffered, lock-protected sink and is flushed
+//! once per run (and by [`crate::FlushGuard`] on drop/panic), keeping
+//! the enabled overhead under the `runner_scale` bench's 3% budget.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::{self, quote, Value};
+
+/// Environment variable naming the ledger output file. Setting it
+/// enables the [`global`] ledger.
+pub const LEDGER_FILE_ENV: &str = "ICOST_LEDGER_FILE";
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+pub fn unix_time_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Which cache tier answered a simulation job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Freshly simulated by this process.
+    Computed,
+    /// Answered by an in-memory entry this process computed earlier.
+    Memory,
+    /// Answered by an entry the on-disk cache layer contributed.
+    Disk,
+}
+
+impl Provenance {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Provenance::Computed => "computed",
+            Provenance::Memory => "memory",
+            Provenance::Disk => "disk",
+        }
+    }
+
+    /// Inverse of [`Provenance::as_str`].
+    pub fn parse(s: &str) -> Result<Provenance, String> {
+        match s {
+            "computed" => Ok(Provenance::Computed),
+            "memory" => Ok(Provenance::Memory),
+            "disk" => Ok(Provenance::Disk),
+            other => Err(format!("unknown provenance {other:?}")),
+        }
+    }
+}
+
+/// One run's header record: what was asked, of what context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunHeader {
+    /// Process-unique run id; every job record carries it back.
+    pub run: u64,
+    /// Simulation-context fingerprint (config + trace + warm sets),
+    /// rendered as the cache layer's 16-hex-digit context id.
+    pub ctx: String,
+    /// Number of queries in the batch.
+    pub queries: u64,
+    /// Worker threads available to the run.
+    pub threads: u64,
+    /// Dynamic instructions in the analyzed trace.
+    pub insts: u64,
+    /// Wall-clock start, milliseconds since the Unix epoch.
+    pub ts_ms: u64,
+}
+
+/// One answered simulation job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// The run this job belongs to (see [`RunHeader::run`]).
+    pub run: u64,
+    /// Display form of the idealized event set (e.g. `dmiss+win`).
+    pub set: String,
+    /// Which tier answered: computed, memory, or disk.
+    pub provenance: Provenance,
+    /// Simulated cycles (the cached value for cache-served jobs).
+    pub cycles: u64,
+    /// Wall time to answer this job, in microseconds.
+    pub wall_us: u64,
+    /// Stable fingerprint of `(set, cycles)` — equal answers hash
+    /// equally across runs, machines, and cache tiers.
+    pub hash: String,
+    /// Nonzero pipeline-stall rows of the simulation, name-sorted.
+    /// Empty for cache-served jobs (no simulation ran).
+    pub stalls: BTreeMap<String, u64>,
+}
+
+/// One parsed (or to-be-written) ledger line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerRecord {
+    /// A run header.
+    Run(RunHeader),
+    /// A job record.
+    Job(JobRecord),
+}
+
+impl LedgerRecord {
+    /// Serialize as one JSONL line (no trailing newline). Field order
+    /// is fixed; this string is the stable wire format the CLI and the
+    /// golden tests parse.
+    pub fn to_json_line(&self) -> String {
+        match self {
+            LedgerRecord::Run(h) => format!(
+                "{{\"kind\":\"run\",\"run\":{},\"ctx\":{},\"queries\":{},\"threads\":{},\"insts\":{},\"ts_ms\":{}}}",
+                h.run,
+                quote(&h.ctx),
+                h.queries,
+                h.threads,
+                h.insts,
+                h.ts_ms,
+            ),
+            LedgerRecord::Job(j) => {
+                let mut line = format!(
+                    "{{\"kind\":\"job\",\"run\":{},\"set\":{},\"provenance\":\"{}\",\"cycles\":{},\"wall_us\":{},\"hash\":{}",
+                    j.run,
+                    quote(&j.set),
+                    j.provenance.as_str(),
+                    j.cycles,
+                    j.wall_us,
+                    quote(&j.hash),
+                );
+                if !j.stalls.is_empty() {
+                    line.push_str(",\"stalls\":{");
+                    for (i, (name, v)) in j.stalls.iter().enumerate() {
+                        // BTreeMap iteration keeps the wire format
+                        // name-sorted and therefore deterministic.
+                        if i > 0 {
+                            line.push(',');
+                        }
+                        line.push_str(&format!("{}:{v}", quote(name)));
+                    }
+                    line.push('}');
+                }
+                line.push('}');
+                line
+            }
+        }
+    }
+
+    /// Parse one JSONL line back into a record.
+    pub fn parse(line: &str) -> Result<LedgerRecord, String> {
+        let doc = json::parse(line)?;
+        let kind = doc
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("missing \"kind\"")?;
+        match kind {
+            "run" => Ok(LedgerRecord::Run(RunHeader {
+                run: field_u64(&doc, "run")?,
+                ctx: field_str(&doc, "ctx")?,
+                queries: field_u64(&doc, "queries")?,
+                threads: field_u64(&doc, "threads")?,
+                insts: field_u64(&doc, "insts")?,
+                ts_ms: field_u64(&doc, "ts_ms")?,
+            })),
+            "job" => {
+                let stalls = match doc.get("stalls") {
+                    None => BTreeMap::new(),
+                    Some(v) => v
+                        .as_obj()
+                        .ok_or("\"stalls\" is not an object")?
+                        .iter()
+                        .map(|(k, v)| {
+                            v.as_num()
+                                .map(|n| (k.clone(), n as u64))
+                                .ok_or_else(|| format!("stall {k:?} is not a number"))
+                        })
+                        .collect::<Result<_, _>>()?,
+                };
+                Ok(LedgerRecord::Job(JobRecord {
+                    run: field_u64(&doc, "run")?,
+                    set: field_str(&doc, "set")?,
+                    provenance: Provenance::parse(&field_str(&doc, "provenance")?)?,
+                    cycles: field_u64(&doc, "cycles")?,
+                    wall_us: field_u64(&doc, "wall_us")?,
+                    hash: field_str(&doc, "hash")?,
+                    stalls,
+                }))
+            }
+            other => Err(format!("unknown record kind {other:?}")),
+        }
+    }
+}
+
+fn field_u64(doc: &Value, name: &str) -> Result<u64, String> {
+    doc.get(name)
+        .and_then(Value::as_num)
+        .map(|n| n as u64)
+        .ok_or_else(|| format!("missing or non-numeric {name:?}"))
+}
+
+fn field_str(doc: &Value, name: &str) -> Result<String, String> {
+    doc.get(name)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string {name:?}"))
+}
+
+/// Parse a whole ledger document (one record per non-empty line).
+/// Errors carry the 1-based line number.
+pub fn parse_ledger(text: &str) -> Result<Vec<LedgerRecord>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| LedgerRecord::parse(line).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+#[derive(Debug)]
+enum Sink {
+    /// Disabled or never opened: records vanish.
+    None,
+    /// Buffered append to a file.
+    File(BufWriter<File>),
+    /// In-memory capture, for tests.
+    Memory(Vec<u8>),
+}
+
+#[derive(Debug)]
+struct LedgerInner {
+    enabled: AtomicBool,
+    sink: Mutex<Sink>,
+    next_run: AtomicU64,
+    appended: AtomicU64,
+}
+
+/// A shared ledger writer. Cloning hands out another handle to the same
+/// buffered sink.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    inner: Arc<LedgerInner>,
+}
+
+impl Ledger {
+    fn with_sink(enabled: bool, sink: Sink) -> Ledger {
+        Ledger {
+            inner: Arc::new(LedgerInner {
+                enabled: AtomicBool::new(enabled),
+                sink: Mutex::new(sink),
+                next_run: AtomicU64::new(1),
+                appended: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A ledger that drops every record at the cost of one atomic load.
+    pub fn disabled() -> Ledger {
+        Ledger::with_sink(false, Sink::None)
+    }
+
+    /// An enabled ledger buffering records in memory (tests and
+    /// benches; read back with [`Ledger::buffered_text`]).
+    pub fn in_memory() -> Ledger {
+        Ledger::with_sink(true, Sink::Memory(Vec::new()))
+    }
+
+    /// An enabled ledger appending to `path` (parent directories are
+    /// created; the file is opened in append mode so sequential
+    /// processes extend one history).
+    pub fn to_path(path: impl AsRef<Path>) -> io::Result<Ledger> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Ledger::with_sink(true, Sink::File(BufWriter::new(file))))
+    }
+
+    /// Whether records are currently written.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off at runtime (the overhead bench runs one
+    /// pass each way).
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// A fresh process-unique run id (dense from 1 per ledger handle
+    /// group).
+    pub fn next_run_id(&self) -> u64 {
+        self.inner.next_run.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Append one record (buffered; call [`Ledger::flush`] to make it
+    /// durable). No-op when disabled.
+    pub fn append(&self, record: &LedgerRecord) {
+        if !self.is_enabled() {
+            return;
+        }
+        let line = record.to_json_line();
+        let mut sink = self.inner.sink.lock().expect("ledger sink poisoned");
+        let result = match &mut *sink {
+            Sink::None => Ok(()),
+            Sink::File(w) => writeln!(w, "{line}"),
+            Sink::Memory(buf) => writeln!(buf, "{line}"),
+        };
+        if result.is_ok() {
+            self.inner.appended.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records appended so far (whether or not flushed).
+    pub fn appended(&self) -> u64 {
+        self.inner.appended.load(Ordering::Relaxed)
+    }
+
+    /// Flush buffered records to the underlying file. No-op for
+    /// disabled or in-memory ledgers.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut sink = self.inner.sink.lock().expect("ledger sink poisoned");
+        match &mut *sink {
+            Sink::File(w) => w.flush(),
+            _ => Ok(()),
+        }
+    }
+
+    /// The in-memory capture, if this is a [`Ledger::in_memory`]
+    /// ledger.
+    pub fn buffered_text(&self) -> Option<String> {
+        let sink = self.inner.sink.lock().expect("ledger sink poisoned");
+        match &*sink {
+            Sink::Memory(buf) => Some(String::from_utf8_lossy(buf).into_owned()),
+            _ => None,
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Ledger> = OnceLock::new();
+
+/// The process-wide ledger every `Runner` run appends to.
+///
+/// Initialized lazily: appends to the file named by [`LEDGER_FILE_ENV`]
+/// if it is set at first use, disabled otherwise (one relaxed atomic
+/// load per check). Tests that want a deterministic ledger should call
+/// [`install_global`] before any instrumented code runs.
+pub fn global() -> &'static Ledger {
+    GLOBAL.get_or_init(|| match std::env::var_os(LEDGER_FILE_ENV) {
+        Some(path) => Ledger::to_path(PathBuf::from(path)).unwrap_or_else(|_| Ledger::disabled()),
+        None => Ledger::disabled(),
+    })
+}
+
+/// Install `ledger` as the process-wide ledger. Returns `false` (and
+/// changes nothing) if the global ledger was already initialized.
+pub fn install_global(ledger: Ledger) -> bool {
+    GLOBAL.set(ledger).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> RunHeader {
+        RunHeader {
+            run: 3,
+            ctx: "00aa11bb22cc33dd".into(),
+            queries: 2,
+            threads: 8,
+            insts: 900,
+            ts_ms: 1_722_945_600_000,
+        }
+    }
+
+    fn job() -> JobRecord {
+        JobRecord {
+            run: 3,
+            set: "dmiss+win".into(),
+            provenance: Provenance::Computed,
+            cycles: 4567,
+            wall_us: 123,
+            hash: "0123456789abcdef".into(),
+            stalls: [
+                ("load_mem_fill".to_string(), 7),
+                ("issue_fu_busy".to_string(), 2),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    #[test]
+    fn records_roundtrip_through_jsonl() {
+        for record in [LedgerRecord::Run(header()), LedgerRecord::Job(job())] {
+            let line = record.to_json_line();
+            assert_eq!(LedgerRecord::parse(&line).expect("parses"), record);
+        }
+    }
+
+    #[test]
+    fn disabled_ledger_drops_records() {
+        let l = Ledger::disabled();
+        l.append(&LedgerRecord::Run(header()));
+        assert_eq!(l.appended(), 0);
+    }
+
+    #[test]
+    fn in_memory_ledger_captures_lines() {
+        let l = Ledger::in_memory();
+        let l2 = l.clone();
+        l.append(&LedgerRecord::Run(header()));
+        l2.append(&LedgerRecord::Job(job()));
+        assert_eq!(l.appended(), 2, "handles share one sink");
+        let text = l.buffered_text().expect("memory sink");
+        let records = parse_ledger(&text).expect("valid JSONL");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], LedgerRecord::Run(header()));
+        assert_eq!(records[1], LedgerRecord::Job(job()));
+    }
+
+    #[test]
+    fn file_ledger_appends_across_handles() {
+        let path = std::env::temp_dir().join(format!("ledger-test-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let l = Ledger::to_path(&path).expect("open");
+            l.append(&LedgerRecord::Run(header()));
+            l.flush().expect("flush");
+        }
+        {
+            // A second opener (as a later process would) extends it.
+            let l = Ledger::to_path(&path).expect("reopen");
+            l.append(&LedgerRecord::Job(job()));
+            l.flush().expect("flush");
+        }
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(parse_ledger(&text).expect("valid").len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_ledger("{\"kind\":\"run\"}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let ok_then_bad = format!("{}\nnot json\n", LedgerRecord::Run(header()).to_json_line());
+        let err = parse_ledger(&ok_then_bad).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn run_ids_are_dense_and_unique() {
+        let l = Ledger::in_memory();
+        assert_eq!(l.next_run_id(), 1);
+        assert_eq!(l.clone().next_run_id(), 2);
+        assert_eq!(l.next_run_id(), 3);
+    }
+}

@@ -14,6 +14,14 @@
 //!   (`chrome://tracing` / Perfetto-loadable) JSON exporter. The
 //!   process-wide [`global`] tracer switches on when `ICOST_TRACE_FILE`
 //!   is set; [`flush_global`] writes the file.
+//! * [`ledger`] — the durable run ledger: JSONL records (run headers +
+//!   per-job provenance/wall/hash/stall rows) appended to
+//!   `ICOST_LEDGER_FILE` through a buffered, lock-protected writer, so
+//!   runs are diffable across processes and PRs (`icost-obs diff`).
+//! * [`CounterSampler`] — a sampler thread that snapshots metrics
+//!   registries into Chrome counter (`ph:"C"`) events, rendering
+//!   `sim.stall.*`, cache hit rates, and pool occupancy as Perfetto
+//!   time-series tracks next to the spans.
 //! * [`json`] — a minimal JSON value model and parser, used to validate
 //!   exported snapshots and traces in tests and CI without external
 //!   crates.
@@ -31,8 +39,36 @@
 #![forbid(unsafe_code)]
 
 pub mod json;
+pub mod ledger;
 mod registry;
+mod sampler;
 mod span;
 
 pub use registry::{Counter, Gauge, Histogram, Registry, Snapshot, SnapshotValue};
+pub use sampler::{CounterSampler, COUNTER_INTERVAL_ENV, DEFAULT_COUNTER_INTERVAL};
 pub use span::{flush_global, global, install_global, Span, TraceEvent, Tracer, TRACE_FILE_ENV};
+
+/// RAII guard that flushes the global trace and ledger when dropped.
+///
+/// Take one at the top of `main` (benches, examples, services):
+/// because drop runs during unwinding too, `ICOST_TRACE_FILE` and
+/// `ICOST_LEDGER_FILE` end up valid on disk even when the run panics
+/// mid-span — without it, a panic between the last explicit flush and
+/// process exit loses the whole trace.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately flushes nothing later; bind it with `let _guard = ...`"]
+pub struct FlushGuard(());
+
+/// Create a [`FlushGuard`]. Flushing twice is safe (later flushes
+/// rewrite the longer trace / extend the ledger), so an explicit
+/// [`flush_global`] at the end of a run can coexist with the guard.
+pub fn flush_guard() -> FlushGuard {
+    FlushGuard(())
+}
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        let _ = flush_global();
+        let _ = ledger::global().flush();
+    }
+}

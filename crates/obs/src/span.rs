@@ -35,6 +35,7 @@ enum Phase {
     Begin,
     End,
     Instant,
+    Counter,
 }
 
 impl Phase {
@@ -43,18 +44,19 @@ impl Phase {
             Phase::Begin => 'B',
             Phase::End => 'E',
             Phase::Instant => 'i',
+            Phase::Counter => 'C',
         }
     }
 }
 
-/// One recorded trace event (a `B`, `E`, or instant).
+/// One recorded trace event (a `B`, `E`, instant, or counter sample).
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
-    /// Span or marker name.
+    /// Span, marker, or counter-track name.
     pub name: Cow<'static, str>,
     /// Category (Chrome groups and colors by it).
     pub cat: &'static str,
-    /// `'B'`, `'E'`, or `'i'`.
+    /// `'B'`, `'E'`, `'i'`, or `'C'`.
     pub phase: char,
     /// Microseconds since the tracer's epoch.
     pub ts_us: u64,
@@ -62,6 +64,10 @@ pub struct TraceEvent {
     pub tid: u64,
     /// Extra `args` key/value pairs (values rendered as JSON strings).
     pub args: Vec<(&'static str, String)>,
+    /// Counter sample value (`'C'` events only): rendered as the
+    /// numeric `args.value` series Perfetto plots as a track. Must be
+    /// finite.
+    pub value: Option<f64>,
 }
 
 #[derive(Debug)]
@@ -131,6 +137,17 @@ impl Tracer {
         name: Cow<'static, str>,
         args: Vec<(&'static str, String)>,
     ) {
+        self.record_valued(phase, cat, name, args, None);
+    }
+
+    fn record_valued(
+        &self,
+        phase: Phase,
+        cat: &'static str,
+        name: Cow<'static, str>,
+        args: Vec<(&'static str, String)>,
+        value: Option<f64>,
+    ) {
         let ev = TraceEvent {
             name,
             cat,
@@ -138,6 +155,7 @@ impl Tracer {
             ts_us: self.inner.epoch.elapsed().as_micros() as u64,
             tid: self.thread_track(),
             args,
+            value,
         };
         self.inner
             .events
@@ -179,6 +197,17 @@ impl Tracer {
             return;
         }
         self.record(Phase::Instant, cat, name.into(), Vec::new());
+    }
+
+    /// Record one sample of the counter track `name` (Chrome `ph:"C"`).
+    /// Repeated samples under one name render as a time-series track in
+    /// Perfetto alongside the spans. Non-finite values are dropped
+    /// (JSON cannot carry them).
+    pub fn counter(&self, cat: &'static str, name: impl Into<Cow<'static, str>>, value: f64) {
+        if !self.is_enabled() || !value.is_finite() {
+            return;
+        }
+        self.record_valued(Phase::Counter, cat, name.into(), Vec::new(), Some(value));
     }
 
     /// Number of events recorded so far.
@@ -225,7 +254,9 @@ impl Tracer {
             if ev.phase == 'i' {
                 out.push_str(", \"s\": \"t\"");
             }
-            if !ev.args.is_empty() {
+            if let Some(v) = ev.value {
+                out.push_str(&format!(", \"args\": {{\"value\": {v}}}"));
+            } else if !ev.args.is_empty() {
                 out.push_str(", \"args\": {");
                 for (j, (k, v)) in ev.args.iter().enumerate() {
                     if j > 0 {
@@ -368,6 +399,32 @@ mod tests {
         assert_eq!(
             events[0].get("name").unwrap().as_str(),
             Some("span \"quoted\" name")
+        );
+    }
+
+    #[test]
+    fn counter_events_render_numeric_value_args() {
+        let t = Tracer::enabled();
+        t.counter("metrics", "runner.sims_run", 7.0);
+        t.counter("metrics", "runner.reuse_pct", 62.5);
+        t.counter("metrics", "bad", f64::NAN); // dropped, keeps JSON valid
+        let doc = crate::json::parse(&t.export_json()).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(
+            events[0]
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(|v| v.as_num()),
+            Some(7.0)
+        );
+        assert_eq!(
+            events[1]
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(|v| v.as_num()),
+            Some(62.5)
         );
     }
 

@@ -1,0 +1,217 @@
+//! Property and golden tests for the JSON layer and the ledger wire
+//! format: arbitrary strings survive quote→parse (escapes, control
+//! characters, astral-plane unicode), arbitrary values survive
+//! render→parse, deep nesting parses without surprises, and ledger
+//! records have pinned golden renderings that round-trip.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use uarch_obs::json::{parse, quote, Value};
+use uarch_obs::ledger::{parse_ledger, JobRecord, LedgerRecord, Provenance, RunHeader};
+
+/// Arbitrary unicode strings, biased toward the troublesome ranges:
+/// ASCII control characters, quotes/backslashes, and astral-plane
+/// characters that need surrogate pairs in `\uXXXX` escapes.
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u32>(), 0..48).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| match c % 7 {
+                // Control characters (escaped as \uXXXX on the wire).
+                0 => char::from_u32(c % 0x20).unwrap(),
+                // The two characters with dedicated escapes.
+                1 => '"',
+                2 => '\\',
+                // Astral plane: forces surrogate-pair decoding.
+                3 => char::from_u32(0x1_0000 + (c % 0x1_0000)).unwrap_or('\u{1F600}'),
+                // Anything valid at all (surrogate gaps replaced).
+                _ => char::from_u32(c % 0x11_0000).unwrap_or('\u{FFFD}'),
+            })
+            .collect()
+    })
+}
+
+/// Arbitrary JSON values: integer-valued numbers (exact in `f64`),
+/// strings from [`arb_string`], bools, nulls, and nested arrays and
+/// objects built from a flat seed.
+fn arb_value() -> impl Strategy<Value = Value> {
+    (
+        proptest::collection::vec(any::<i32>(), 1..6),
+        proptest::collection::vec(arb_string(), 1..6),
+        any::<u32>(),
+    )
+        .prop_map(|(nums, strs, shape)| {
+            let leaves: Vec<Value> = nums
+                .iter()
+                .map(|&n| Value::Num(n as f64))
+                .chain(strs.iter().cloned().map(Value::Str))
+                .chain([Value::Bool(shape & 1 == 0), Value::Null])
+                .collect();
+            match shape % 3 {
+                0 => Value::Arr(leaves),
+                1 => Value::Obj(
+                    strs.iter()
+                        .cloned()
+                        .zip(leaves.clone())
+                        .collect::<BTreeMap<_, _>>(),
+                ),
+                _ => Value::Obj(
+                    [
+                        ("items".to_string(), Value::Arr(leaves)),
+                        (
+                            "nested".to_string(),
+                            Value::Obj(
+                                [("inner".to_string(), Value::Num(f64::from(shape % 1000)))]
+                                    .into_iter()
+                                    .collect(),
+                            ),
+                        ),
+                    ]
+                    .into_iter()
+                    .collect(),
+                ),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quoted_strings_parse_back_identically(s in arb_string()) {
+        let quoted = quote(&s);
+        let parsed = parse(&quoted).expect("quote() output is valid JSON");
+        prop_assert_eq!(parsed, Value::Str(s));
+    }
+
+    #[test]
+    fn rendered_values_parse_back_identically(v in arb_value()) {
+        let rendered = v.render();
+        let parsed = parse(&rendered).expect("render() output is valid JSON");
+        prop_assert_eq!(&parsed, &v);
+        // And the render is a fixed point: parse∘render∘parse∘render
+        // yields the same text.
+        prop_assert_eq!(parsed.render(), rendered);
+    }
+
+    #[test]
+    fn strings_embedded_in_objects_roundtrip(k in arb_string(), s in arb_string()) {
+        let v = Value::Obj([(k, Value::Str(s))].into_iter().collect());
+        prop_assert_eq!(parse(&v.render()).expect("valid"), v);
+    }
+}
+
+#[test]
+fn deeply_nested_documents_parse() {
+    let depth = 200;
+    let mut text = String::new();
+    for _ in 0..depth {
+        text.push('[');
+    }
+    text.push('0');
+    for _ in 0..depth {
+        text.push(']');
+    }
+    let mut v = &parse(&text).expect("deep array parses");
+    for _ in 0..depth {
+        v = &v.as_arr().expect("array level")[0];
+    }
+    assert_eq!(v.as_num(), Some(0.0));
+
+    let mut obj = String::new();
+    for _ in 0..depth {
+        obj.push_str("{\"k\":");
+    }
+    obj.push_str("true");
+    for _ in 0..depth {
+        obj.push('}');
+    }
+    let parsed = parse(&obj).expect("deep object parses");
+    assert_eq!(parse(&parsed.render()), Ok(parsed));
+}
+
+/// The exact ledger wire lines. These strings are the cross-process
+/// interface `icost-obs` and CI baselines depend on — change them
+/// knowingly, in lockstep with DESIGN.md §9.
+#[test]
+fn ledger_records_have_golden_renderings() {
+    let header = LedgerRecord::Run(RunHeader {
+        run: 1,
+        ctx: "00c0ffee00c0ffee".into(),
+        queries: 3,
+        threads: 8,
+        insts: 900,
+        ts_ms: 1_700_000_000_000,
+    });
+    assert_eq!(
+        header.to_json_line(),
+        r#"{"kind":"run","run":1,"ctx":"00c0ffee00c0ffee","queries":3,"threads":8,"insts":900,"ts_ms":1700000000000}"#
+    );
+
+    let job = LedgerRecord::Job(JobRecord {
+        run: 1,
+        set: "dmiss+win".into(),
+        provenance: Provenance::Computed,
+        cycles: 4567,
+        wall_us: 123,
+        hash: "a1b2c3d4e5f60718".into(),
+        stalls: [
+            ("issue_fu_busy".to_string(), 2),
+            ("load_mem_fill".to_string(), 7),
+        ]
+        .into_iter()
+        .collect(),
+    });
+    assert_eq!(
+        job.to_json_line(),
+        r#"{"kind":"job","run":1,"set":"dmiss+win","provenance":"computed","cycles":4567,"wall_us":123,"hash":"a1b2c3d4e5f60718","stalls":{"issue_fu_busy":2,"load_mem_fill":7}}"#
+    );
+
+    // Hits omit the stalls member entirely.
+    let hit = LedgerRecord::Job(JobRecord {
+        run: 2,
+        set: "dmiss".into(),
+        provenance: Provenance::Disk,
+        cycles: 4567,
+        wall_us: 4,
+        hash: "a1b2c3d4e5f60718".into(),
+        stalls: BTreeMap::new(),
+    });
+    assert_eq!(
+        hit.to_json_line(),
+        r#"{"kind":"job","run":2,"set":"dmiss","provenance":"disk","cycles":4567,"wall_us":4,"hash":"a1b2c3d4e5f60718"}"#
+    );
+
+    // All three golden lines parse back to the records they came from.
+    let text = format!(
+        "{}\n{}\n{}\n",
+        header.to_json_line(),
+        job.to_json_line(),
+        hit.to_json_line()
+    );
+    assert_eq!(parse_ledger(&text), Ok(vec![header, job, hit]));
+}
+
+#[test]
+fn ledger_parse_errors_carry_line_numbers() {
+    let good = LedgerRecord::Run(RunHeader {
+        run: 1,
+        ctx: "c".into(),
+        queries: 1,
+        threads: 1,
+        insts: 1,
+        ts_ms: 0,
+    });
+    let text = format!("{}\nnot json at all\n", good.to_json_line());
+    let err = parse_ledger(&text).expect_err("bad line rejected");
+    assert!(err.contains("line 2"), "error names the line: {err}");
+
+    let unknown = r#"{"kind":"mystery","run":1}"#;
+    let err = parse_ledger(unknown).expect_err("unknown kind rejected");
+    assert!(err.contains("mystery"), "error names the kind: {err}");
+
+    // Blank lines are tolerated (appends may race a reader mid-line is
+    // the one thing we never produce; trailing newline always is).
+    assert_eq!(parse_ledger("\n\n"), Ok(vec![]));
+}

@@ -20,17 +20,29 @@
 //!
 //! [`report`]: ParallelMultiSimOracle::report
 
-use std::time::Instant;
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
 
 use icost::CostOracle;
+use uarch_obs::ledger::{JobRecord, Ledger, LedgerRecord, Provenance};
 use uarch_obs::{global, Registry};
 use uarch_sim::{Idealization, PipelineStalls, Simulator};
 use uarch_trace::{EventSet, MachineConfig, Trace};
 
 use crate::cache::SimCache;
-use crate::fingerprint::{context_id, ContextId};
+use crate::fingerprint::{context_id, ContextId, StableHasher};
 use crate::pool::{default_threads, parallel_map};
 use crate::report::{Metrics, RunReport};
+
+/// Stable fingerprint of one job's answer: equal `(set, cycles)` pairs
+/// hash equally across runs, machines, and cache tiers — the identity
+/// the `icost-obs diff` regression gate compares.
+fn result_hash(set: EventSet, cycles: u64) -> String {
+    let mut h = StableHasher::default();
+    set.bits().hash(&mut h);
+    cycles.hash(&mut h);
+    format!("{:016x}", h.finish())
+}
 
 /// A parallel, memoized multi-simulation oracle over one
 /// `(trace, config, warm sets)` context.
@@ -44,6 +56,11 @@ pub struct ParallelMultiSimOracle<'a> {
     threads: usize,
     cache: SimCache,
     metrics: Metrics,
+    ledger: Ledger,
+    /// Run id under which this oracle's jobs are ledgered; `None` when
+    /// the global ledger is disabled (the off path never reaches the
+    /// ledger again).
+    ledger_run: Option<u64>,
 }
 
 impl<'a> ParallelMultiSimOracle<'a> {
@@ -62,6 +79,8 @@ impl<'a> ParallelMultiSimOracle<'a> {
         warm_code: &'a [u64],
     ) -> ParallelMultiSimOracle<'a> {
         let threads = default_threads();
+        let ledger = uarch_obs::ledger::global().clone();
+        let ledger_run = ledger.is_enabled().then(|| ledger.next_run_id());
         ParallelMultiSimOracle {
             config,
             trace,
@@ -71,6 +90,8 @@ impl<'a> ParallelMultiSimOracle<'a> {
             threads,
             cache: SimCache::new(),
             metrics: Metrics::new(threads),
+            ledger,
+            ledger_run,
         }
     }
 
@@ -92,6 +113,43 @@ impl<'a> ParallelMultiSimOracle<'a> {
     /// This oracle's simulation-context fingerprint.
     pub fn context(&self) -> ContextId {
         self.ctx
+    }
+
+    /// The run id this oracle's jobs are ledgered under, when the
+    /// global run ledger is enabled. `Runner::run` writes the matching
+    /// run-header record.
+    pub fn ledger_run_id(&self) -> Option<u64> {
+        self.ledger_run
+    }
+
+    /// Append one job record to the run ledger (no-op when disabled).
+    fn ledger_job(
+        &self,
+        set: EventSet,
+        provenance: Provenance,
+        cycles: u64,
+        wall: Duration,
+        stalls: Option<&PipelineStalls>,
+    ) {
+        let Some(run) = self.ledger_run else { return };
+        let stalls = stalls
+            .map(|s| {
+                s.rows()
+                    .iter()
+                    .filter(|(_, v)| *v > 0)
+                    .map(|(name, v)| (name.to_string(), *v))
+                    .collect()
+            })
+            .unwrap_or_default();
+        self.ledger.append(&LedgerRecord::Job(JobRecord {
+            run,
+            set: set.to_string(),
+            provenance,
+            cycles,
+            wall_us: wall.as_micros() as u64,
+            hash: result_hash(set, cycles),
+            stalls,
+        }));
     }
 
     /// The live metrics registry the oracle's counters live in
@@ -157,15 +215,26 @@ impl<'a> ParallelMultiSimOracle<'a> {
     /// Cycles under idealization of `set`, via cache or simulation.
     fn cycles(&mut self, set: EventSet) -> u64 {
         self.metrics.jobs_requested.inc();
+        let probe_start = self.ledger_run.map(|_| Instant::now());
         let (hit, from_disk) = self.probe(set);
         if let Some(cycles) = hit {
             self.count_hit(from_disk);
+            if let Some(start) = probe_start {
+                let tier = if from_disk {
+                    Provenance::Disk
+                } else {
+                    Provenance::Memory
+                };
+                self.ledger_job(set, tier, cycles, start.elapsed(), None);
+            }
             return cycles;
         }
         let start = Instant::now();
         let (cycles, stalls) = self.simulate(set);
-        Metrics::add_wall(&self.metrics.sim_wall_us, start.elapsed());
+        let wall = start.elapsed();
+        Metrics::add_wall(&self.metrics.sim_wall_us, wall);
         self.record_sim(set, cycles, &stalls);
+        self.ledger_job(set, Provenance::Computed, cycles, wall, Some(&stalls));
         cycles
     }
 }
@@ -200,9 +269,18 @@ impl CostOracle for ParallelMultiSimOracle<'_> {
                     self.metrics.jobs_deduped.inc();
                     continue;
                 }
+                let probe_start = self.ledger_run.map(|_| Instant::now());
                 let (hit, from_disk) = self.probe(set);
-                if hit.is_some() {
+                if let Some(cycles) = hit {
                     self.count_hit(from_disk);
+                    if let Some(start) = probe_start {
+                        let tier = if from_disk {
+                            Provenance::Disk
+                        } else {
+                            Provenance::Memory
+                        };
+                        self.ledger_job(set, tier, cycles, start.elapsed(), None);
+                    }
                 } else {
                     jobs.push(set);
                 }
@@ -220,11 +298,16 @@ impl CostOracle for ParallelMultiSimOracle<'_> {
             } else {
                 tracer.span("runner", "wave")
             };
-            parallel_map(&jobs, self.threads, |&set| self.simulate(set))
+            parallel_map(&jobs, self.threads, |&set| {
+                let job_start = Instant::now();
+                let (cycles, stalls) = self.simulate(set);
+                (cycles, stalls, job_start.elapsed())
+            })
         };
         Metrics::add_wall(&self.metrics.sim_wall_us, sim_start.elapsed());
-        for (&set, (cycles, stalls)) in jobs.iter().zip(&results) {
+        for (&set, (cycles, stalls, wall)) in jobs.iter().zip(&results) {
             self.record_sim(set, *cycles, stalls);
+            self.ledger_job(set, Provenance::Computed, *cycles, *wall, Some(stalls));
         }
     }
 }

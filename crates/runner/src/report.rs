@@ -190,6 +190,23 @@ impl RunReport {
         Some(reused as f64 / answered as f64)
     }
 
+    /// Per-tier breakdown of [`RunReport::reuse_rate`]: the fractions of
+    /// answered requests served by in-memory hits, disk hits, and dedup
+    /// collapses respectively (each in `[0, 1]`; they sum to the merged
+    /// reuse rate). `None` before any requests.
+    pub fn reuse_split(&self) -> Option<(f64, f64, f64)> {
+        let answered = self.jobs_deduped + self.cache_hits + self.disk_hits + self.sims_run;
+        if answered == 0 {
+            return None;
+        }
+        let frac = |n: u64| n as f64 / answered as f64;
+        Some((
+            frac(self.cache_hits),
+            frac(self.disk_hits),
+            frac(self.jobs_deduped),
+        ))
+    }
+
     /// Publish every counter into `registry` (adding to whatever is
     /// already there, so absorbing several reports accumulates).
     pub fn publish(&self, registry: &Registry) {
@@ -258,8 +275,11 @@ impl RunReport {
         row("threads", self.threads.to_string());
         row("expand wall", format!("{:.3?}", self.expand_wall));
         row("simulate wall", format!("{:.3?}", self.sim_wall));
-        if let Some(r) = self.reuse_rate() {
+        if let (Some(r), Some((mem, disk, dedup))) = (self.reuse_rate(), self.reuse_split()) {
             row("reuse rate", format!("{:.1}%", 100.0 * r));
+            row("  reuse from memory", format!("{:.1}%", 100.0 * mem));
+            row("  reuse from disk", format!("{:.1}%", 100.0 * disk));
+            row("  reuse from dedup", format!("{:.1}%", 100.0 * dedup));
         }
         if self.stalls.total() > 0 {
             out.push_str("  simulated-machine stalls by cause:\n");
@@ -314,6 +334,27 @@ mod tests {
         let mut all_disk = RunReport::new(1);
         all_disk.disk_hits = 4;
         assert_eq!(all_disk.reuse_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn reuse_split_separates_tiers_and_sums_to_rate() {
+        let mut r = RunReport::new(1);
+        r.cache_hits = 3;
+        r.disk_hits = 2;
+        r.jobs_deduped = 1;
+        r.sims_run = 4;
+        let (mem, disk, dedup) = r.reuse_split().unwrap();
+        assert!((mem - 0.3).abs() < 1e-9);
+        assert!((disk - 0.2).abs() < 1e-9);
+        assert!((dedup - 0.1).abs() < 1e-9);
+        assert!((mem + disk + dedup - r.reuse_rate().unwrap()).abs() < 1e-9);
+        assert_eq!(RunReport::new(1).reuse_split(), None);
+        // The table carries the split rows, not just the merged rate.
+        let t = r.to_table();
+        assert!(t.contains("reuse from memory"));
+        assert!(t.contains("reuse from disk"));
+        assert!(t.contains("reuse from dedup"));
+        assert!(t.contains("30.0%") && t.contains("20.0%") && t.contains("10.0%"));
     }
 
     #[test]

@@ -12,6 +12,8 @@ use std::io;
 use std::path::PathBuf;
 
 use icost::{icost, icost_of_sets, CostOracle};
+use uarch_obs::ledger::{unix_time_ms, LedgerRecord, RunHeader};
+use uarch_obs::CounterSampler;
 use uarch_trace::{EventSet, MachineConfig, Trace};
 
 use crate::cache::SimCache;
@@ -181,13 +183,36 @@ impl Runner {
             tracer.span("runner", "runner.run")
         };
         let mut oracle = self.oracle_warmed(config, trace, warm_data, warm_code);
+        let ledger = uarch_obs::ledger::global();
+        if let Some(run) = oracle.ledger_run_id() {
+            ledger.append(&LedgerRecord::Run(RunHeader {
+                run,
+                ctx: oracle.context().to_string(),
+                queries: queries.len() as u64,
+                threads: self.threads as u64,
+                insts: trace.len() as u64,
+                ts_ms: unix_time_ms(),
+            }));
+        }
+        let sampler = tracer.is_enabled().then(|| {
+            CounterSampler::start(
+                tracer.clone(),
+                vec![oracle.metrics().clone(), self.cache.metrics().clone()],
+                CounterSampler::interval_from_env(),
+            )
+        });
         let wanted: Vec<EventSet> = {
             let _sp = tracer.span("runner", "expand");
             queries.iter().flat_map(Query::required_sets).collect()
         };
         oracle.prefetch(&wanted);
         let answers = queries.iter().map(|q| q.answer(&mut oracle)).collect();
-        (answers, oracle.take_report())
+        // Stop sampling before take_report resets the registries, so the
+        // closing counter sample carries the run's final values, not zeros.
+        drop(sampler);
+        let report = oracle.take_report();
+        let _ = ledger.flush();
+        (answers, report)
     }
 }
 

@@ -12,6 +12,8 @@ use uarch_sim::{Idealization, Simulator};
 use uarch_trace::{EventClass, EventSet, MachineConfig, Reg, TraceBuilder};
 
 fn main() {
+    // Flush ICOST_TRACE_FILE / ICOST_LEDGER_FILE even if a step panics.
+    let _flush = uarch_obs::flush_guard();
     // 1. Describe a microexecution: a hot loop with two independent
     //    missing loads per iteration (they overlap in the memory system).
     let mut b = TraceBuilder::new();
