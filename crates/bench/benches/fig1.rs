@@ -6,6 +6,7 @@
 
 use icost::{icost, render_bar_chart, traditional_breakdown, Breakdown, CostOracle, GraphOracle};
 use icost_bench::{observe, Shape};
+use uarch_runner::LatticeGraphOracle;
 use uarch_trace::{EventClass, EventSet, MachineConfig};
 use uarch_workloads::{parallel_misses, serial_misses_parallel_alu};
 
@@ -24,7 +25,7 @@ fn main() {
     println!("traditional single-cause breakdown (Figure 1a, 'old method'):");
     print!("{}", trad.to_table());
     println!();
-    let mut oracle = GraphOracle::new(&graph);
+    let mut oracle = LatticeGraphOracle::new(&graph);
     let classes = [EventClass::Dmiss, EventClass::Dl1, EventClass::ShortAlu];
     let b = Breakdown::full(&mut oracle, &classes);
     println!("parallel-miss kernel, full power-set breakdown:");
@@ -52,7 +53,7 @@ fn main() {
     // cover chain ⇒ icost(dmiss, shalu) < 0.
     let t2 = serial_misses_parallel_alu(120, 110);
     let (_, graph2) = observe(&t2, &cfg);
-    let mut oracle2 = GraphOracle::new(&graph2);
+    let mut oracle2 = LatticeGraphOracle::new(&graph2);
     let pair = EventSet::from([EventClass::Dmiss, EventClass::ShortAlu]);
     let serial_icost = icost(&mut oracle2, pair);
     let dmiss_cost = oracle2.cost(EventSet::single(EventClass::Dmiss));
@@ -96,7 +97,24 @@ fn main() {
         (singleton_sum - base2).unsigned_abs() > (base2 / 20) as u64,
     );
 
-    // (5) The graph-cost analysis agrees with ground-truth re-simulation
+    // (5) The lane-batched oracle behind every breakdown above is
+    // bit-identical to per-set graph evaluation across the full 8-event
+    // lattice, on both kernels.
+    let full_lattice: Vec<EventSet> = (0u16..256).map(|b| EventSet::from_bits(b as u8)).collect();
+    let mut exact = true;
+    for (lattice, g) in [(&mut oracle, &graph), (&mut oracle2, &graph2)] {
+        let mut scalar = GraphOracle::new(g);
+        lattice.prefetch(&full_lattice);
+        exact &= full_lattice
+            .iter()
+            .all(|&s| lattice.cost(s) == scalar.cost(s));
+    }
+    shape.check(
+        "lane-batched oracle matches per-set GraphOracle on the full lattice",
+        exact,
+    );
+
+    // (6) The graph-cost analysis agrees with ground-truth re-simulation
     // on the serial sign.
     let mut multi = icost::MultiSimOracle::new(&cfg, &t2);
     let multi_icost = icost(&mut multi, pair);

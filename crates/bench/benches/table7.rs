@@ -11,7 +11,7 @@ use icost::{icost, Breakdown, CostOracle, GraphOracle};
 use icost_bench::{bench_insts, multisim_oracle, workload, Shape};
 use shotgun::{collect_samples, ProfilerOracle, SamplerConfig};
 use uarch_graph::DepGraph;
-use uarch_runner::RunReport;
+use uarch_runner::{LatticeGraphOracle, RunReport};
 use uarch_sim::{Idealization, Simulator};
 use uarch_trace::{EventClass, EventSet, MachineConfig};
 
@@ -25,6 +25,7 @@ fn main() {
     println!("Table 7 — profiler accuracy vs full graph vs multisim ({n} insts/benchmark)\n");
 
     let mut engine_report = RunReport::new(0);
+    let mut lattice_exact = true;
     let mut graph_errs: Vec<f64> = Vec::new();
     let mut prof_errs: Vec<f64> = Vec::new();
     let mut graph_pp: Vec<f64> = Vec::new();
@@ -40,7 +41,7 @@ fn main() {
         // runner — the whole singleton+pair lattice lands as one
         // deduplicated parallel wave instead of serial one-at-a-time runs.
         let mut multi = multisim_oracle(&w, &cfg);
-        let mut full = GraphOracle::new(&graph);
+        let mut full = LatticeGraphOracle::new(&graph);
         let samples = collect_samples(&w.trace, &result, &SamplerConfig::default());
         let mut prof = ProfilerOracle::new(&samples, &w.program, &cfg, 16, 7);
 
@@ -66,10 +67,19 @@ fn main() {
                 EventSet::from([EventClass::Dl1, c]),
             ));
         }
-        // Everything the loop below will ask of the ground-truth oracle,
-        // posed up front as one batch.
+        // Everything the loop below will ask of the oracles, posed up
+        // front as one batch: a parallel simulation wave for the ground
+        // truth, lane-batched sweeps for the graph, and batched fragment
+        // scoring (one multi-lane sweep per fragment) for the profiler.
         let wanted: Vec<EventSet> = sets.iter().flat_map(|(_, s)| s.subsets()).collect();
         multi.prefetch(&wanted);
+        full.prefetch(&wanted);
+        prof.prefetch(&wanted);
+
+        // The lane-batched path must agree with per-set graph evaluation
+        // *exactly* — it is the same model, batched, not a new estimate.
+        let mut scalar = GraphOracle::new(&graph);
+        lattice_exact &= wanted.iter().all(|&s| full.cost(s) == scalar.cost(s));
 
         for (label, set) in &sets {
             let (m, f, p) = if set.len() == 1 {
@@ -129,6 +139,10 @@ fn main() {
         "profiler reconstructs usable fragments for all three benchmarks",
         true, // reaching this point means no panic on empty ensembles
     );
+    shape.check(
+        "lane-batched fullgraph oracle matches per-set GraphOracle exactly",
+        lattice_exact,
+    );
 
     // Table-layout sanity: the same breakdown through the Breakdown API.
     let w = workload("gcc", n, icost_bench::DEFAULT_SEED);
@@ -139,7 +153,7 @@ fn main() {
         (r, g)
     };
     let _ = result;
-    let mut oracle = GraphOracle::new(&graph);
+    let mut oracle = LatticeGraphOracle::new(&graph);
     let b = Breakdown::with_focus(&mut oracle, &EventClass::ALL, EventClass::Dl1);
     shape.check("breakdown table carries all 17 rows", b.rows.len() == 17);
     if let Ok(Some(path)) = uarch_obs::flush_global() {

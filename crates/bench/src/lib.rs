@@ -13,9 +13,11 @@ pub mod paper;
 
 use std::sync::OnceLock;
 
-use icost::{Breakdown, CostOracle, GraphOracle};
+use icost::{Breakdown, CostOracle};
 use uarch_graph::DepGraph;
-use uarch_runner::{context_id, CachedOracle, ParallelMultiSimOracle, Runner, SimCache};
+use uarch_runner::{
+    context_id, CachedOracle, LatticeGraphOracle, ParallelMultiSimOracle, Runner, SimCache,
+};
 use uarch_sim::{Idealization, SimResult, Simulator};
 use uarch_trace::{EventClass, MachineConfig, Trace};
 use uarch_workloads::{generate, BenchProfile, Workload};
@@ -94,16 +96,22 @@ pub fn multisim_oracle<'a>(
     harness_runner().oracle_warmed(config, &w.trace, &w.warm_data, &w.warm_code)
 }
 
-/// Cached graph oracle over an already-built dependence graph. The cache
-/// context is tagged `"graph"` so approximate graph results can never
-/// alias the multisim ground truth for the same workload.
+/// Cached lane-batched graph oracle over an already-built dependence
+/// graph: breakdown prefetch batches run [`MAX_LANES`]
+/// (uarch_graph::MAX_LANES) subsets per instruction sweep. The cache
+/// context is keyed by the *workload* that produced the graph (stable
+/// across rebuilds) and tagged `"graph"` so approximate graph results can
+/// never alias the multisim ground truth for the same workload.
 pub fn graph_oracle<'g>(
     graph: &'g DepGraph,
     w: &Workload,
     config: &MachineConfig,
-) -> CachedOracle<GraphOracle<'g>> {
+) -> CachedOracle<LatticeGraphOracle<'g>> {
     let ctx = context_id(config, &w.trace, &w.warm_data, &w.warm_code).tagged("graph");
-    CachedOracle::new(GraphOracle::new(graph), ctx, shared_cache().clone())
+    let inner = LatticeGraphOracle::new(graph)
+        .with_threads(harness_runner().threads())
+        .with_context(ctx);
+    CachedOracle::new(inner, ctx, shared_cache().clone())
 }
 
 /// Graph-based Table-4-style breakdown for one generated workload.

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use uarch_graph::DepGraph;
+use uarch_graph::{DepGraph, LaneScratch};
 use uarch_sim::{Idealization, Simulator};
 use uarch_trace::{EventSet, MachineConfig, Trace};
 
@@ -40,12 +40,15 @@ pub trait CostOracle {
 }
 
 /// The fast oracle: graph re-evaluation under per-edge idealization
-/// (paper Section 3). One O(n) pass per distinct set, memoized.
+/// (paper Section 3). One O(n) pass per distinct set, memoized; batches
+/// announced via [`CostOracle::prefetch`] (every `Breakdown` does this)
+/// run through the lane-batched kernel, many sets per pass.
 #[derive(Debug)]
 pub struct GraphOracle<'g> {
     graph: &'g DepGraph,
     memo: HashMap<EventSet, i64>,
     baseline: u64,
+    scratch: LaneScratch,
 }
 
 impl<'g> GraphOracle<'g> {
@@ -55,6 +58,7 @@ impl<'g> GraphOracle<'g> {
             graph,
             memo: HashMap::new(),
             baseline: graph.evaluate(EventSet::EMPTY),
+            scratch: LaneScratch::new(),
         }
     }
 
@@ -79,6 +83,22 @@ impl CostOracle for GraphOracle<'_> {
 
     fn baseline(&mut self) -> u64 {
         self.baseline
+    }
+
+    fn prefetch(&mut self, sets: &[EventSet]) {
+        let mut jobs: Vec<EventSet> = Vec::new();
+        for &s in sets {
+            if !s.is_empty() && !self.memo.contains_key(&s) && !jobs.contains(&s) {
+                jobs.push(s);
+            }
+        }
+        if jobs.is_empty() {
+            return;
+        }
+        let times = self.graph.eval_many_with(&jobs, &mut self.scratch);
+        for (s, t) in jobs.into_iter().zip(times) {
+            self.memo.insert(s, self.baseline as i64 - t as i64);
+        }
     }
 }
 

@@ -5,31 +5,57 @@
 //! *which* edges form the critical path, and how much slack each
 //! instruction has before it would join it.
 
-use std::collections::BTreeMap;
-
+use crate::eval::NodeTimes;
 use crate::model::{DepGraph, EdgeKind};
 use uarch_trace::{EventClass, EventSet};
 
 /// Aggregated critical-path composition: cycles and edge counts per edge
 /// class, from one backward walk of the binding constraints.
+///
+/// Stored as fixed `[u64; 12]` arrays indexed by [`EdgeKind::index`]
+/// (Table 3 order) — per-class lookups are branch-free array reads and a
+/// summary is two cache lines, with no per-query map allocation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CritPathSummary {
     /// Cycles of critical-path length attributed to each edge class.
-    pub cycles: BTreeMap<EdgeKind, u64>,
+    cycles: [u64; EdgeKind::ALL.len()],
     /// Number of critical edges of each class.
-    pub counts: BTreeMap<EdgeKind, u64>,
+    counts: [u64; EdgeKind::ALL.len()],
     /// Total critical-path length (the final commit time).
     pub total: u64,
 }
 
 impl CritPathSummary {
+    /// Cycles of critical-path length attributed to `kind`.
+    pub fn cycles(&self, kind: EdgeKind) -> u64 {
+        self.cycles[kind.index()]
+    }
+
+    /// Number of critical edges of class `kind`.
+    pub fn count(&self, kind: EdgeKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total cycles attributed to edges (the critical-path length minus
+    /// the pipeline-fill anchor).
+    pub fn attributed(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
     /// Fraction of the critical path attributed to `kind` (0..=1).
     pub fn fraction(&self, kind: EdgeKind) -> f64 {
         if self.total == 0 {
             0.0
         } else {
-            *self.cycles.get(&kind).unwrap_or(&0) as f64 / self.total as f64
+            self.cycles(kind) as f64 / self.total as f64
         }
+    }
+
+    /// `(kind, cycles, count)` per edge class, Table 3 order.
+    pub fn iter(&self) -> impl Iterator<Item = (EdgeKind, u64, u64)> + '_ {
+        EdgeKind::ALL
+            .iter()
+            .map(move |&k| (k, self.cycles(k), self.count(k)))
     }
 }
 
@@ -67,7 +93,10 @@ impl DepGraph {
     /// criticality work.
     pub fn critical_path(&self, ideal: EventSet) -> CritPathSummary {
         let _sp = uarch_obs::global().span("graph", "graph.critpath");
-        let times = self.node_times(ideal);
+        self.with_node_times(ideal, |times| self.critical_path_from(ideal, times))
+    }
+
+    fn critical_path_from(&self, ideal: EventSet, times: &[NodeTimes]) -> CritPathSummary {
         let mut summary = CritPathSummary::default();
         let n = self.insts.len();
         if n == 0 {
@@ -206,7 +235,10 @@ impl DepGraph {
     /// Global slack of each instruction's completion under the baseline
     /// graph: a backward (latest-time) pass over all edges.
     pub fn slack(&self) -> SlackReport {
-        let times = self.node_times(EventSet::EMPTY);
+        self.with_node_times(EventSet::EMPTY, |times| self.slack_from(times))
+    }
+
+    fn slack_from(&self, times: &[NodeTimes]) -> SlackReport {
         let n = self.insts.len();
         if n == 0 {
             return SlackReport::default();
@@ -283,8 +315,8 @@ impl DepGraph {
 }
 
 fn record(summary: &mut CritPathSummary, kind: EdgeKind, cycles: u64) {
-    *summary.cycles.entry(kind).or_insert(0) += cycles;
-    *summary.counts.entry(kind).or_insert(0) += 1;
+    summary.cycles[kind.index()] += cycles;
+    summary.counts[kind.index()] += 1;
 }
 
 #[cfg(test)]
@@ -325,8 +357,8 @@ mod tests {
         let s = g.critical_path(EventSet::EMPTY);
         assert_eq!(s.total, g.evaluate(EventSet::EMPTY));
         // 50 EP edges of 1 cycle each dominate.
-        assert_eq!(s.cycles[&EdgeKind::EP], 50);
-        assert!(s.counts[&EdgeKind::PR] >= 49);
+        assert_eq!(s.cycles(EdgeKind::EP), 50);
+        assert!(s.count(EdgeKind::PR) >= 49);
         assert!(s.fraction(EdgeKind::EP) > 0.5);
     }
 
@@ -351,9 +383,8 @@ mod tests {
         });
         let g = DepGraph::from_parts(insts, params());
         let s = g.critical_path(EventSet::EMPTY);
-        let attributed: u64 = s.cycles.values().sum();
         // Total = anchor (front-end depth) + attributed edge latencies.
-        assert_eq!(attributed + g.params().front_end_depth, s.total);
+        assert_eq!(s.attributed() + g.params().front_end_depth, s.total);
     }
 
     #[test]
@@ -390,7 +421,7 @@ mod tests {
     fn critical_path_respects_idealization() {
         let g = chain(50, 1);
         let s = g.critical_path(EventSet::single(EventClass::ShortAlu));
-        assert_eq!(s.cycles.get(&EdgeKind::EP).copied().unwrap_or(0), 0);
+        assert_eq!(s.cycles(EdgeKind::EP), 0);
         assert_eq!(s.total, g.evaluate(EventSet::single(EventClass::ShortAlu)));
     }
 

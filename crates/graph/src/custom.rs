@@ -109,11 +109,7 @@ impl DepGraph {
         if !any {
             return self.evaluate(ideal);
         }
-        DepGraph {
-            insts: adjusted,
-            params: self.params,
-        }
-        .evaluate(ideal)
+        self.adjusted(adjusted).evaluate(ideal)
     }
 
     /// Cost (cycles saved) of idealizing the instructions selected by
@@ -172,11 +168,7 @@ impl DepGraph {
                 g
             })
             .collect();
-        DepGraph {
-            insts: adjusted,
-            params: self.params,
-        }
-        .node_times(ideal)
+        self.adjusted(adjusted).node_times(ideal)
     }
 }
 

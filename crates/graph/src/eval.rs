@@ -42,9 +42,18 @@ impl DepGraph {
 
     /// Full node-time reconstruction under `ideal` (one forward pass).
     pub fn node_times(&self, ideal: EventSet) -> Vec<NodeTimes> {
+        let mut times = Vec::new();
+        self.node_times_into(ideal, &mut times);
+        times
+    }
+
+    /// Like [`DepGraph::node_times`], but reuses `times` (cleared and
+    /// refilled) so repeated queries don't reallocate.
+    pub fn node_times_into(&self, ideal: EventSet, times: &mut Vec<NodeTimes>) {
         let p = &self.params;
         let n = self.insts.len();
-        let mut times: Vec<NodeTimes> = Vec::with_capacity(n);
+        times.clear();
+        times.reserve(n);
 
         let keep_imiss = !ideal.contains(EventClass::Imiss);
         let keep_bw = !ideal.contains(EventClass::Bw);
@@ -118,7 +127,23 @@ impl DepGraph {
 
             times.push(NodeTimes { d, r, e, p: pt, c });
         }
-        times
+    }
+
+    /// Run `f` over the node times under `ideal`, computed into the
+    /// graph's resident scratch buffer. If another thread holds the
+    /// scratch, falls back to a local allocation rather than blocking.
+    pub(crate) fn with_node_times<T>(
+        &self,
+        ideal: EventSet,
+        f: impl FnOnce(&[NodeTimes]) -> T,
+    ) -> T {
+        match self.times_scratch.try_lock() {
+            Ok(mut guard) => {
+                self.node_times_into(ideal, &mut guard);
+                f(&guard)
+            }
+            Err(_) => f(&self.node_times(ideal)),
+        }
     }
 
     /// The cost of idealizing `set`: baseline critical-path length minus

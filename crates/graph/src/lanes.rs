@@ -1,0 +1,535 @@
+//! Lane-batched lattice evaluation: many event subsets per graph sweep.
+//!
+//! [`DepGraph::evaluate`] answers one `t(S)` query per O(n) pass, so an
+//! 8-event icost breakdown walks the same instruction stream 256 times.
+//! This module evaluates up to [`MAX_LANES`] subsets *simultaneously*:
+//! each instruction carries W node-time lanes in flat SoA buffers, and
+//! the per-class keep decisions become branch-free masked arithmetic —
+//! `keep ? x : 0` is `x & mask` with `mask ∈ {0, u64::MAX}`, and a
+//! conditional `max` candidate is `t.max(cand & mask)` (sound because
+//! node times are non-negative, so a masked-out candidate of 0 never
+//! wins). All adds are exact u64 adds and every lane performs the same
+//! max comparisons as the scalar recurrence, so results are
+//! **bit-identical** to [`DepGraph::evaluate`] per lane.
+//!
+//! Memory shape: only the `P` (completion) lane array is kept for the
+//! whole stream, because `PR`/`PP` producer edges may reach arbitrarily
+//! far back. The `D` and `C` histories are only ever consulted at fixed
+//! window distances (`DD`/`FBW` at `i-1`/`i-fetch_width`; `CC`/`CBW`/`CD`
+//! at `i-1`/`i-commit_width`/`i-rob_size`), so they live in ring buffers
+//! of exactly that depth. The rings plus the trailing `P` rows form the
+//! **chunk frontier**: a sweep can stop at any instruction boundary and
+//! resume later (or in a different cache-blocked pass) with bit-identical
+//! results — [`DepGraph::eval_many_chunked`] stitches chunks of the
+//! instruction range through that frontier, keeping the per-chunk working
+//! set (instruction data + lane rows) inside the cache.
+//!
+//! All buffers live in a reusable [`LaneScratch`], so a steady-state
+//! query batch performs no per-query allocation.
+
+use crate::model::{DepGraph, GraphParams};
+use uarch_trace::{EventClass, EventSet};
+
+/// Maximum subsets evaluated per sweep. Lane state for one instruction is
+/// `3 × 8 × MAX_LANES` bytes of hot rows; 16 keeps that inside two cache
+/// lines per array while amortizing the per-instruction decode 16 ways.
+pub const MAX_LANES: usize = 16;
+
+/// Default instruction-chunk length for frontier-stitched sweeps: with
+/// ~104 B of `GraphInst` and `8 × MAX_LANES` B of completion lanes per
+/// instruction, 2048 instructions keep a chunk's working set under
+/// ~0.5 MiB — comfortably L2-resident.
+pub const DEFAULT_CHUNK: usize = 2048;
+
+/// Per-lane keep masks for the eight event classes: `u64::MAX` when the
+/// class is *kept* (not idealized), `0` when idealized. Precomputed once
+/// per lane outside the instruction loop.
+#[derive(Debug, Clone, Copy, Default)]
+struct LaneMasks {
+    imiss: u64,
+    bw: u64,
+    win: u64,
+    bmisp: u64,
+    dl1: u64,
+    dmiss: u64,
+    shalu: u64,
+    lgalu: u64,
+}
+
+impl LaneMasks {
+    fn new(ideal: EventSet) -> LaneMasks {
+        let keep = |c: EventClass| if ideal.contains(c) { 0 } else { u64::MAX };
+        LaneMasks {
+            imiss: keep(EventClass::Imiss),
+            bw: keep(EventClass::Bw),
+            win: keep(EventClass::Win),
+            bmisp: keep(EventClass::Bmisp),
+            dl1: keep(EventClass::Dl1),
+            dmiss: keep(EventClass::Dmiss),
+            shalu: keep(EventClass::ShortAlu),
+            lgalu: keep(EventClass::LongAlu),
+        }
+    }
+}
+
+/// Reusable SoA buffers for lane-batched sweeps. One scratch serves any
+/// number of [`DepGraph::eval_many`] calls (on any graph); buffers are
+/// resized on demand and retained across calls.
+#[derive(Debug, Default)]
+pub struct LaneScratch {
+    /// Completion-time lanes for the whole stream: `n × W`, row-major by
+    /// instruction. `PR`/`PP` edges read arbitrary earlier rows.
+    p_lanes: Vec<u64>,
+    /// Dispatch-time ring: `fetch_width × W` (`DD` reads `i-1`, `FBW`
+    /// reads `i-fetch_width`).
+    d_ring: Vec<u64>,
+    /// Commit-time ring: `max(rob_size, commit_width) × W` (`CC`, `CBW`,
+    /// `CD` reads).
+    c_ring: Vec<u64>,
+}
+
+impl LaneScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> LaneScratch {
+        LaneScratch::default()
+    }
+
+    fn reset(&mut self, n: usize, w: usize, params: &GraphParams) {
+        self.p_lanes.clear();
+        self.p_lanes.resize(n * w, 0);
+        self.d_ring.clear();
+        self.d_ring.resize(params.fetch_width * w, 0);
+        self.c_ring.clear();
+        self.c_ring
+            .resize(params.rob_size.max(params.commit_width) * w, 0);
+    }
+}
+
+/// [`LaneMasks`] transposed to struct-of-arrays: the inner lane loops
+/// load each class's masks as one contiguous `[u64; W]` vector instead of
+/// gathering a 64-byte-strided field out of an array of structs — the
+/// difference between the autovectorizer emitting packed loads and
+/// scalarizing the whole recurrence.
+struct MaskSoA<const W: usize> {
+    imiss: [u64; W],
+    bw: [u64; W],
+    win: [u64; W],
+    bmisp: [u64; W],
+    dl1: [u64; W],
+    dmiss: [u64; W],
+    shalu: [u64; W],
+    lgalu: [u64; W],
+}
+
+impl<const W: usize> MaskSoA<W> {
+    fn new(masks: &[LaneMasks; W]) -> MaskSoA<W> {
+        let mut m = MaskSoA {
+            imiss: [0; W],
+            bw: [0; W],
+            win: [0; W],
+            bmisp: [0; W],
+            dl1: [0; W],
+            dmiss: [0; W],
+            shalu: [0; W],
+            lgalu: [0; W],
+        };
+        for (l, mask) in masks.iter().enumerate() {
+            m.imiss[l] = mask.imiss;
+            m.bw[l] = mask.bw;
+            m.win[l] = mask.win;
+            m.bmisp[l] = mask.bmisp;
+            m.dl1[l] = mask.dl1;
+            m.dmiss[l] = mask.dmiss;
+            m.shalu[l] = mask.shalu;
+            m.lgalu[l] = mask.lgalu;
+        }
+        m
+    }
+}
+
+/// Advance a ring slot: equivalent to `(s + 1) % len` without the integer
+/// division the hot loop would otherwise pay once per window edge per
+/// instruction.
+#[inline]
+fn bump(s: usize, len: usize) -> usize {
+    let s = s + 1;
+    if s == len {
+        0
+    } else {
+        s
+    }
+}
+
+/// One frontier-stitched pass over `insts[lo..hi)` with `W` lanes.
+///
+/// On entry the rings and `p_lanes[..lo*W]` hold the state left by the
+/// sweep of `[0, lo)`; on exit they hold the state of `[0, hi)`. Rows are
+/// written only after every read of the same ring slot, so window reads
+/// at distance exactly `fetch_width`/`rob_size`/`commit_width` see the
+/// not-yet-overwritten old value.
+fn sweep_chunk<const W: usize>(
+    graph: &DepGraph,
+    masks: &[LaneMasks; W],
+    scratch: &mut LaneScratch,
+    lo: usize,
+    hi: usize,
+) {
+    let insts = graph.insts.as_slice();
+    let p = &graph.params;
+    let fw = p.fetch_width;
+    let cw = p.commit_width;
+    let rob = p.rob_size;
+    let rc = rob.max(cw);
+    let m = MaskSoA::<W>::new(masks);
+    let row = |buf: &[u64], slot: usize| -> [u64; W] { buf[slot * W..][..W].try_into().unwrap() };
+
+    // Ring cursors, advanced instead of recomputed: one `%` each at chunk
+    // entry, zero integer divisions inside the loop.
+    let mut sd = lo % fw; // d_ring slot of instruction i (DD prev at i−1, FBW old at i−fw)
+    let mut sc = lo % rc; // c_ring slot of instruction i (CC prev at i−1)
+    let mut s_cd = if lo >= rob { (lo - rob) % rc } else { 0 }; // CD read: (i−rob) % rc
+    let mut s_cbw = if lo >= cw { (lo - cw) % rc } else { 0 }; // CBW read: (i−cw) % rc
+
+    for i in lo..hi {
+        let gi = &insts[i];
+
+        // D node: DD (in-order dispatch, I-miss latency), FBW, CD, PD.
+        let prev_d: [u64; W] = if i == 0 {
+            [p.front_end_depth; W]
+        } else {
+            let prev = if sd == 0 { fw - 1 } else { sd - 1 };
+            row(&scratch.d_ring, prev)
+        };
+        let mut d = [0u64; W];
+        for l in 0..W {
+            d[l] = prev_d[l] + (gi.dd_latency & m.imiss[l]);
+        }
+        if i >= fw {
+            // Slot sd still holds d[i - fw].
+            let old = row(&scratch.d_ring, sd);
+            for l in 0..W {
+                d[l] = d[l].max((old[l] + 1) & m.bw[l]);
+            }
+        }
+        if i >= rob {
+            let old = row(&scratch.c_ring, s_cd);
+            s_cd = bump(s_cd, rc);
+            for l in 0..W {
+                d[l] = d[l].max(old[l] & m.win[l]);
+            }
+        }
+        if i > 0 && insts[i - 1].mispredicted {
+            // The recovery refetch runs through any I-miss of the first
+            // correct-path instruction (same as the scalar path).
+            let pp: [u64; W] = row(&scratch.p_lanes, i - 1);
+            for l in 0..W {
+                d[l] = d[l].max((pp[l] + p.misp_loop + (gi.dd_latency & m.imiss[l])) & m.bmisp[l]);
+            }
+        }
+        scratch.d_ring[sd * W..][..W].copy_from_slice(&d);
+        sd = bump(sd, fw);
+
+        // R node: DR constant plus PR data dependences (bubble dropped
+        // when the producer's ALU class is idealized).
+        let mut r = [0u64; W];
+        for l in 0..W {
+            r[l] = d[l] + p.dispatch_to_ready;
+        }
+        for pe in gi.producers.iter().flatten() {
+            let prod: [u64; W] = row(&scratch.p_lanes, pe.producer as usize);
+            match pe.bubble_class {
+                Some(EventClass::ShortAlu) => {
+                    for l in 0..W {
+                        r[l] = r[l].max(prod[l] + (pe.bubble & m.shalu[l]));
+                    }
+                }
+                Some(EventClass::LongAlu) => {
+                    for l in 0..W {
+                        r[l] = r[l].max(prod[l] + (pe.bubble & m.lgalu[l]));
+                    }
+                }
+                _ => {
+                    for l in 0..W {
+                        r[l] = r[l].max(prod[l] + pe.bubble);
+                    }
+                }
+            }
+        }
+
+        // E node (RE contention) and P node (decomposed EP plus PP
+        // sharing), fused: E is never read downstream.
+        let mut pt = [0u64; W];
+        for l in 0..W {
+            let e = r[l] + (gi.re_latency & m.bw[l]);
+            let ep = gi.ep_base
+                + (gi.ep_dl1 & m.dl1[l])
+                + (gi.ep_dmiss & m.dmiss[l])
+                + (gi.ep_shalu & m.shalu[l])
+                + (gi.ep_lgalu & m.lgalu[l]);
+            pt[l] = e + ep;
+        }
+        if let Some(pp) = gi.pp_producer {
+            let prod: [u64; W] = row(&scratch.p_lanes, pp as usize);
+            for l in 0..W {
+                pt[l] = pt[l].max(prod[l] & m.dmiss[l]);
+            }
+        }
+        scratch.p_lanes[i * W..][..W].copy_from_slice(&pt);
+
+        // C node: PC constant, CC in-order, CBW pacing.
+        let mut c = [0u64; W];
+        for l in 0..W {
+            c[l] = pt[l] + p.complete_to_commit;
+        }
+        if i > 0 {
+            let prev = if sc == 0 { rc - 1 } else { sc - 1 };
+            let old = row(&scratch.c_ring, prev);
+            for l in 0..W {
+                c[l] = c[l].max(old[l]);
+            }
+        }
+        if i >= cw {
+            let old = row(&scratch.c_ring, s_cbw);
+            s_cbw = bump(s_cbw, rc);
+            for l in 0..W {
+                c[l] = c[l].max((old[l] + 1) & m.bw[l]);
+            }
+        }
+        scratch.c_ring[sc * W..][..W].copy_from_slice(&c);
+        sc = bump(sc, rc);
+    }
+}
+
+/// Sweep a whole group of ≤ `W` subsets (masks padded to `W`) and return
+/// the final commit time of each lane.
+fn eval_group<const W: usize>(
+    graph: &DepGraph,
+    masks: &[LaneMasks; W],
+    chunk: usize,
+    scratch: &mut LaneScratch,
+) -> [u64; W] {
+    let n = graph.insts.len();
+    if n == 0 {
+        return [0; W];
+    }
+    scratch.reset(n, W, &graph.params);
+    let chunk = chunk.max(1);
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + chunk).min(n);
+        sweep_chunk::<W>(graph, masks, scratch, lo, hi);
+        lo = hi;
+    }
+    let rc = graph.params.rob_size.max(graph.params.commit_width);
+    scratch.c_ring[((n - 1) % rc) * W..][..W]
+        .try_into()
+        .unwrap()
+}
+
+/// Dispatch one group (≤ [`MAX_LANES`] subsets) at the narrowest
+/// monomorphized lane width that fits, padding spare lanes with the last
+/// subset (their outputs are discarded).
+fn eval_group_dyn(
+    graph: &DepGraph,
+    sets: &[EventSet],
+    chunk: usize,
+    scratch: &mut LaneScratch,
+    out: &mut Vec<u64>,
+) {
+    debug_assert!(!sets.is_empty() && sets.len() <= MAX_LANES);
+    let g = sets.len();
+    let width = g.next_power_of_two();
+    let mut masks = [LaneMasks::default(); MAX_LANES];
+    for (l, m) in masks.iter_mut().enumerate().take(width) {
+        *m = LaneMasks::new(sets[l.min(g - 1)]);
+    }
+    let finals: &[u64] = &match width {
+        1 => eval_group::<1>(graph, masks[..1].try_into().unwrap(), chunk, scratch).to_vec(),
+        2 => eval_group::<2>(graph, masks[..2].try_into().unwrap(), chunk, scratch).to_vec(),
+        4 => eval_group::<4>(graph, masks[..4].try_into().unwrap(), chunk, scratch).to_vec(),
+        8 => eval_group::<8>(graph, masks[..8].try_into().unwrap(), chunk, scratch).to_vec(),
+        _ => eval_group::<16>(graph, &masks, chunk, scratch).to_vec(),
+    };
+    out.extend_from_slice(&finals[..g]);
+}
+
+impl DepGraph {
+    /// Critical-path length under each subset in `sets`, batched
+    /// [`MAX_LANES`] lanes per instruction sweep. Bit-identical to calling
+    /// [`DepGraph::evaluate`] per set, in `ceil(len/MAX_LANES)` passes
+    /// instead of `len`.
+    pub fn eval_many(&self, sets: &[EventSet]) -> Vec<u64> {
+        let mut scratch = LaneScratch::new();
+        self.eval_many_with(sets, &mut scratch)
+    }
+
+    /// [`DepGraph::eval_many`] with a caller-held [`LaneScratch`], so
+    /// repeated batches reuse the lane buffers.
+    pub fn eval_many_with(&self, sets: &[EventSet], scratch: &mut LaneScratch) -> Vec<u64> {
+        self.eval_many_chunked(sets, DEFAULT_CHUNK, scratch)
+    }
+
+    /// [`DepGraph::eval_many`] with an explicit instruction-chunk length:
+    /// each sweep advances `chunk` instructions at a time, carrying the
+    /// D/P/C frontier (dispatch/commit rings + completion lanes) across
+    /// the boundary so `DD`/`FBW`/`CD`/`CC`/`CBW` window edges straddling
+    /// a chunk edge resolve exactly as in an unchunked pass.
+    pub fn eval_many_chunked(
+        &self,
+        sets: &[EventSet],
+        chunk: usize,
+        scratch: &mut LaneScratch,
+    ) -> Vec<u64> {
+        if sets.is_empty() {
+            return Vec::new();
+        }
+        let _sp = uarch_obs::global().span_with(
+            "graph",
+            "graph.eval_many",
+            vec![("sets", sets.len().to_string())],
+        );
+        let mut out = Vec::with_capacity(sets.len());
+        for group in sets.chunks(MAX_LANES) {
+            eval_group_dyn(self, group, chunk, scratch, &mut out);
+        }
+        out
+    }
+
+    /// Batched [`DepGraph::cost`]: one extra baseline lane, then
+    /// `cost(S) = t(∅) − t(S)` per set.
+    pub fn cost_many(&self, sets: &[EventSet]) -> Vec<i64> {
+        let base = self.evaluate(EventSet::EMPTY) as i64;
+        self.eval_many(sets)
+            .into_iter()
+            .map(|t| base - t as i64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GraphInst, GraphParams, ProducerEdge};
+    use uarch_trace::MachineConfig;
+
+    fn params() -> GraphParams {
+        GraphParams::from(&MachineConfig::table6())
+    }
+
+    /// A graph exercising every edge class: a mispredicted branch, loads
+    /// with shared misses, ALU chains with bubbles, enough length to arm
+    /// the FBW/CD/CBW window edges.
+    fn busy_graph(n: usize) -> DepGraph {
+        let mut insts = Vec::with_capacity(n);
+        for i in 0..n as u32 {
+            let mut gi = GraphInst {
+                ep_shalu: 1,
+                ..GraphInst::default()
+            };
+            match i % 7 {
+                0 => {
+                    gi.ep_shalu = 0;
+                    gi.ep_dl1 = 2;
+                    gi.ep_dmiss = if i % 14 == 0 { 110 } else { 0 };
+                    if i >= 14 && i % 14 == 7 {
+                        gi.pp_producer = Some(i - 7);
+                    }
+                }
+                1 => gi.mispredicted = true,
+                2 => gi.dd_latency = 12,
+                3 => {
+                    gi.ep_shalu = 0;
+                    gi.ep_lgalu = 7;
+                    gi.re_latency = 2;
+                }
+                _ => {}
+            }
+            if i > 0 {
+                gi.producers[0] = Some(ProducerEdge {
+                    producer: i - 1,
+                    bubble: 1,
+                    bubble_class: Some(uarch_trace::EventClass::ShortAlu),
+                });
+            }
+            if i > 3 {
+                gi.producers[1] = Some(ProducerEdge {
+                    producer: i - 4,
+                    bubble: 2,
+                    bubble_class: Some(uarch_trace::EventClass::LongAlu),
+                });
+            }
+            insts.push(gi);
+        }
+        DepGraph::from_parts(insts, params())
+    }
+
+    fn all_subsets() -> Vec<EventSet> {
+        (0u16..256).map(|b| EventSet::from_bits(b as u8)).collect()
+    }
+
+    #[test]
+    fn matches_scalar_on_full_lattice() {
+        let g = busy_graph(300);
+        let sets = all_subsets();
+        let batched = g.eval_many(&sets);
+        for (s, b) in sets.iter().zip(&batched) {
+            assert_eq!(*b, g.evaluate(*s), "set {s}");
+        }
+    }
+
+    #[test]
+    fn every_lane_width_is_exact() {
+        let g = busy_graph(150);
+        let sets = all_subsets();
+        for width in 1..=MAX_LANES {
+            let batch: Vec<EventSet> = sets.iter().copied().take(width).collect();
+            let got = g.eval_many(&batch);
+            let want: Vec<u64> = batch.iter().map(|&s| g.evaluate(s)).collect();
+            assert_eq!(got, want, "width {width}");
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_cross_window_edges() {
+        let g = busy_graph(200);
+        let sets = all_subsets();
+        let want: Vec<u64> = sets.iter().map(|&s| g.evaluate(s)).collect();
+        let mut scratch = LaneScratch::new();
+        // Chunk lengths around 1, the fetch/commit widths, the ROB size,
+        // and non-divisors of the stream length.
+        for chunk in [1usize, 2, 3, 4, 7, 63, 64, 65, 100, 199, 200, 1000] {
+            let got = g.eval_many_chunked(&sets, chunk, &mut scratch);
+            assert_eq!(got, want, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_and_empty_batch() {
+        let g = DepGraph::from_parts(vec![], params());
+        assert_eq!(g.eval_many(&all_subsets()), vec![0u64; 256]);
+        let g2 = busy_graph(10);
+        assert!(g2.eval_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn cost_many_matches_cost() {
+        let g = busy_graph(120);
+        let sets = all_subsets();
+        let costs = g.cost_many(&sets);
+        for (s, c) in sets.iter().zip(&costs) {
+            assert_eq!(*c, g.cost(*s), "set {s}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_graphs() {
+        let mut scratch = LaneScratch::new();
+        for n in [5usize, 80, 33] {
+            let g = busy_graph(n);
+            let sets = [EventSet::EMPTY, EventSet::ALL];
+            let got = g.eval_many_with(&sets, &mut scratch);
+            assert_eq!(got[0], g.evaluate(EventSet::EMPTY));
+            assert_eq!(got[1], g.evaluate(EventSet::ALL));
+        }
+    }
+}

@@ -57,10 +57,12 @@ mod build;
 mod critpath;
 mod custom;
 mod eval;
+mod lanes;
 mod model;
 
 pub use build::decompose_ep;
 pub use critpath::{CritPathSummary, SlackReport};
 pub use custom::InstIdealization;
 pub use eval::NodeTimes;
+pub use lanes::{LaneScratch, DEFAULT_CHUNK, MAX_LANES};
 pub use model::{DepGraph, EdgeKind, GraphInst, GraphParams, NodeKind, ProducerEdge};

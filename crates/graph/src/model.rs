@@ -74,6 +74,13 @@ impl EdgeKind {
         EdgeKind::CBW,
     ];
 
+    /// Position of this kind in [`EdgeKind::ALL`] (Table 3 order) — the
+    /// index used by the fixed-size per-class arrays in
+    /// [`crate::CritPathSummary`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Table 3 name.
     pub fn name(self) -> &'static str {
         match self {
@@ -100,7 +107,7 @@ impl std::fmt::Display for EdgeKind {
 }
 
 /// One source operand's `PR` edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct ProducerEdge {
     /// Dynamic index of the producing instruction.
     pub producer: u32,
@@ -114,7 +121,7 @@ pub struct ProducerEdge {
 /// Per-instruction graph data. The `EP` latency is stored *decomposed by
 /// category* so that idealizing an [`EventClass`] is a constant-time latency
 /// adjustment during evaluation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct GraphInst {
     /// `DD` latency into this instruction's `D` node (I-cache/ITLB delay;
     /// removed by `imiss`).
@@ -155,7 +162,7 @@ impl GraphInst {
 
 /// Static machine parameters the graph model needs (a snapshot of the
 /// relevant [`MachineConfig`] fields).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GraphParams {
     /// Fetch bandwidth (`FBW` edge distance).
     pub fetch_width: usize,
@@ -189,10 +196,27 @@ impl From<&MachineConfig> for GraphParams {
 
 /// The dependence graph of one microexecution (or of a profiler-assembled
 /// fragment).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DepGraph {
     pub(crate) insts: Vec<GraphInst>,
     pub(crate) params: GraphParams,
+    /// Reusable node-time buffer for `critical_path`/`slack`: those
+    /// analyses re-derive the same full node-time vector per query, so the
+    /// allocation is kept with the graph instead of being remade each call.
+    /// A `Mutex` (not `RefCell`) so `&DepGraph` stays `Sync` and can be
+    /// shared across the lane-kernel worker threads; contention falls back
+    /// to a local allocation, it never blocks.
+    pub(crate) times_scratch: std::sync::Mutex<Vec<crate::NodeTimes>>,
+}
+
+impl Clone for DepGraph {
+    fn clone(&self) -> DepGraph {
+        DepGraph {
+            insts: self.insts.clone(),
+            params: self.params,
+            times_scratch: std::sync::Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl DepGraph {
@@ -218,7 +242,22 @@ impl DepGraph {
                 assert!((pp as usize) < i, "inst {i}: pp producer {pp} not earlier");
             }
         }
-        DepGraph { insts, params }
+        DepGraph {
+            insts,
+            params,
+            times_scratch: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Same instruction data under the same parameters, skipping the
+    /// producer-ordering re-validation (used by the custom-idealization
+    /// paths, which only ever *remove* latencies/edges).
+    pub(crate) fn adjusted(&self, insts: Vec<GraphInst>) -> DepGraph {
+        DepGraph {
+            insts,
+            params: self.params,
+            times_scratch: std::sync::Mutex::new(Vec::new()),
+        }
     }
 
     /// Number of instructions in the graph.

@@ -117,6 +117,32 @@ impl CostOracle for ProfilerOracle {
     fn baseline(&mut self) -> u64 {
         self.baseline
     }
+
+    /// Batched fragment scoring: one lane-batched sweep per fragment
+    /// answers the whole announced set list, instead of one sweep per
+    /// (fragment, set) pair.
+    fn prefetch(&mut self, sets: &[EventSet]) {
+        let mut jobs: Vec<EventSet> = Vec::new();
+        for &s in sets {
+            if !s.is_empty() && !self.memo.contains_key(&s) && !jobs.contains(&s) {
+                jobs.push(s);
+            }
+        }
+        if jobs.is_empty() {
+            return;
+        }
+        let mut sums = vec![0u64; jobs.len()];
+        let mut scratch = uarch_graph::LaneScratch::new();
+        for f in &self.fragments {
+            let times = f.graph.eval_many_with(&jobs, &mut scratch);
+            for (acc, t) in sums.iter_mut().zip(times) {
+                *acc += t;
+            }
+        }
+        for (s, idealized) in jobs.into_iter().zip(sums) {
+            self.memo.insert(s, self.baseline as i64 - idealized as i64);
+        }
+    }
 }
 
 #[cfg(test)]

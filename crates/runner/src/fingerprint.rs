@@ -109,6 +109,17 @@ impl std::fmt::Display for ContextId {
     }
 }
 
+/// Fingerprint a dependence-graph analysis context: the graph's
+/// per-instruction node data and evaluation parameters, tagged `"graph"`
+/// so lane-kernel results never alias ground-truth simulation entries
+/// keyed by [`context_id`].
+pub fn graph_context_id(graph: &uarch_graph::DepGraph) -> ContextId {
+    let mut h = StableHasher::default();
+    graph.insts().hash(&mut h);
+    graph.params().hash(&mut h);
+    ContextId(h.finish()).tagged("graph")
+}
+
 /// Fingerprint a full simulation context.
 pub fn context_id(
     config: &MachineConfig,

@@ -41,13 +41,15 @@
 
 mod cache;
 mod fingerprint;
+mod lattice;
 mod oracle;
 mod pool;
 mod report;
 mod run;
 
 pub use cache::{SimCache, CACHE_MAX_BYTES_ENV};
-pub use fingerprint::{context_id, ContextId, StableHasher};
+pub use fingerprint::{context_id, graph_context_id, ContextId, StableHasher};
+pub use lattice::LatticeGraphOracle;
 pub use oracle::{CachedOracle, ParallelMultiSimOracle};
 pub use pool::{default_threads, parallel_map};
 pub use report::RunReport;

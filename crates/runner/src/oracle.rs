@@ -37,7 +37,7 @@ use crate::report::{Metrics, RunReport};
 /// Stable fingerprint of one job's answer: equal `(set, cycles)` pairs
 /// hash equally across runs, machines, and cache tiers — the identity
 /// the `icost-obs diff` regression gate compares.
-fn result_hash(set: EventSet, cycles: u64) -> String {
+pub(crate) fn result_hash(set: EventSet, cycles: u64) -> String {
     let mut h = StableHasher::default();
     set.bits().hash(&mut h);
     cycles.hash(&mut h);

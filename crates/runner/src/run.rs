@@ -12,12 +12,14 @@ use std::io;
 use std::path::PathBuf;
 
 use icost::{icost, icost_of_sets, CostOracle};
+use uarch_graph::DepGraph;
 use uarch_obs::ledger::{unix_time_ms, LedgerRecord, RunHeader};
 use uarch_obs::CounterSampler;
 use uarch_trace::{EventSet, MachineConfig, Trace};
 
 use crate::cache::SimCache;
-use crate::oracle::ParallelMultiSimOracle;
+use crate::lattice::LatticeGraphOracle;
+use crate::oracle::{CachedOracle, ParallelMultiSimOracle};
 use crate::pool::default_threads;
 use crate::report::RunReport;
 
@@ -147,6 +149,44 @@ impl Runner {
             .with_cache(self.cache.clone())
     }
 
+    /// A lane-batched dependence-graph oracle over `graph`, wired to this
+    /// runner's thread budget and wrapped in its content-addressed cache
+    /// (keyed by the graph-content fingerprint, tagged `"graph"`). Equal
+    /// graphs analyzed through the same runner — or a shared disk cache —
+    /// reuse each other's sweeps.
+    pub fn graph_oracle<'g>(&self, graph: &'g DepGraph) -> CachedOracle<LatticeGraphOracle<'g>> {
+        let inner = LatticeGraphOracle::new(graph).with_threads(self.threads);
+        let ctx = inner.context();
+        CachedOracle::new(inner, ctx, self.cache.clone())
+    }
+
+    /// [`Runner::run`] against a dependence graph instead of ground-truth
+    /// re-simulation: same query semantics and the same one-wave prefetch
+    /// expansion, with the answers produced by the lane-batched kernel
+    /// (bit-identical to per-set `DepGraph::evaluate`).
+    pub fn run_graph(&self, graph: &DepGraph, queries: &[Query]) -> (Vec<i64>, RunReport) {
+        let tracer = uarch_obs::global();
+        let _run_sp = if tracer.is_enabled() {
+            tracer.span_with(
+                "runner",
+                "runner.run_graph",
+                vec![("queries", queries.len().to_string())],
+            )
+        } else {
+            tracer.span("runner", "runner.run_graph")
+        };
+        let mut oracle = self.graph_oracle(graph);
+        let wanted: Vec<EventSet> = {
+            let _sp = tracer.span("runner", "expand");
+            queries.iter().flat_map(Query::required_sets).collect()
+        };
+        oracle.prefetch(&wanted);
+        let answers = queries.iter().map(|q| q.answer(&mut oracle)).collect();
+        let report = oracle.report().clone();
+        let _ = uarch_obs::ledger::global().flush();
+        (answers, report)
+    }
+
     /// Evaluate a batch of queries against one context.
     ///
     /// All queries' required sets are expanded up front and pushed
@@ -269,6 +309,38 @@ mod tests {
         assert_eq!(first, second);
         assert_eq!(r1.sims_run, 4);
         assert_eq!(r2.sims_run, 0, "everything answered from the cache");
+        assert!(r2.cache_hits > 0);
+    }
+
+    #[test]
+    fn run_graph_matches_serial_graph_oracle() {
+        let cfg = MachineConfig::table6();
+        let t = kernel();
+        let res = uarch_sim::Simulator::new(&cfg).run(&t, uarch_sim::Idealization::none());
+        let graph = DepGraph::build(&t, &res, &cfg);
+        let d = EventSet::single(EventClass::Dmiss);
+        let w = EventSet::single(EventClass::Win);
+        let queries = vec![
+            Query::Cost(d),
+            Query::Icost(d.union(w)),
+            Query::IcostOfUnits(vec![d, w]),
+        ];
+        let runner = Runner::new().with_threads(2);
+        let (got, _) = runner.run_graph(&graph, &queries);
+
+        let mut serial = icost::GraphOracle::new(&graph);
+        let expect = vec![
+            serial.cost(d),
+            icost(&mut serial, d.union(w)),
+            icost_of_sets(&mut serial, &[d, w]),
+        ];
+        assert_eq!(got, expect);
+
+        // Same runner, same graph content: the shared cache answers the
+        // whole second batch without touching the kernel.
+        let (second, r2) = runner.run_graph(&graph, &queries);
+        assert_eq!(second, expect);
+        assert_eq!(r2.sims_run, 0, "all answers from the shared cache");
         assert!(r2.cache_hits > 0);
     }
 

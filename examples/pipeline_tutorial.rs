@@ -112,11 +112,11 @@ fn main() {
     }
     let crit = graph.critical_path(EventSet::EMPTY);
     println!("\ncritical-path composition (cycles per edge class):");
-    for (kind, cycles) in &crit.cycles {
-        if *cycles > 0 {
+    for (kind, cycles, _count) in crit.iter() {
+        if cycles > 0 {
             println!(
                 "  {kind:<4} {cycles:>8} ({:.1}%)",
-                100.0 * crit.fraction(*kind)
+                100.0 * crit.fraction(kind)
             );
         }
     }

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use icost::{icost, render_bar_chart, Breakdown, CostOracle, GraphOracle, Interaction};
+use icost::{icost, render_bar_chart, Breakdown, CostOracle, Interaction};
 use uarch_graph::DepGraph;
 use uarch_sim::{Idealization, Simulator};
 use uarch_trace::{EventClass, EventSet, MachineConfig, Reg, TraceBuilder};
@@ -36,9 +36,14 @@ fn main() {
     );
 
     // 3. Build the dependence graph and ask it questions — each answer
-    //    would otherwise need a full re-simulation.
+    //    would otherwise need a full re-simulation. The runner's graph
+    //    oracle batches whole query lattices through the lane-batched
+    //    kernel (up to 16 subsets per instruction sweep), memoizes them
+    //    in the shared content-addressed cache, and records each graph
+    //    job in the run ledger alongside the simulation jobs below.
     let graph = DepGraph::build(&trace, &result, &config);
-    let mut oracle = GraphOracle::new(&graph);
+    let runner = uarch_runner::Runner::new();
+    let mut oracle = runner.graph_oracle(&graph);
 
     let dmiss = EventSet::single(EventClass::Dmiss);
     let win = EventSet::single(EventClass::Win);
@@ -74,7 +79,6 @@ fn main() {
     //    batched through the runner — the power-set lattice is expanded
     //    into distinct simulation jobs, deduplicated, executed in
     //    parallel and memoized in a content-addressed cache.
-    let runner = uarch_runner::Runner::new();
     let (answers, report) = runner.run(
         &config,
         &trace,

@@ -129,9 +129,8 @@ proptest! {
     #[test]
     fn critical_path_accounts_for_total(graph in arb_graph()) {
         let s = graph.critical_path(EventSet::EMPTY);
-        let attributed: u64 = s.cycles.values().sum();
         prop_assert_eq!(
-            attributed + graph.params().front_end_depth,
+            s.attributed() + graph.params().front_end_depth,
             s.total
         );
     }
