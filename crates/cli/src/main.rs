@@ -4,14 +4,17 @@
 //! icost-obs summarize <ledger.jsonl> [--json]
 //! icost-obs diff <base.jsonl> <new.jsonl> [--tolerance F] [--wall-tolerance F] [--json]
 //! icost-obs bench-export <ledger.jsonl> --tag TAG [--out FILE]
+//! icost-obs serve [--addr HOST:PORT] [--workload NAME] [--insts N] [--threads N] [--workers N]
 //! ```
 //!
 //! Exit codes: `0` success / no regressions, `1` regressions found by
 //! `diff`, `2` usage or I/O error.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use icost_obs_cli::{diff, LedgerSummary, Tolerance};
+use uarch_serve::{ServeContext, ServeHost, Server};
 
 const USAGE: &str = "\
 icost-obs — regression tracking over interaction-cost run ledgers
@@ -20,12 +23,20 @@ USAGE:
     icost-obs summarize <ledger.jsonl> [--json]
     icost-obs diff <base.jsonl> <new.jsonl> [--tolerance F] [--wall-tolerance F] [--json]
     icost-obs bench-export <ledger.jsonl> --tag TAG [--out FILE]
+    icost-obs serve [--addr HOST:PORT] [--workload NAME] [--insts N]
+                    [--threads N] [--workers N]
 
 COMMANDS:
     summarize     Aggregate a ledger into run/job/provenance/cycle totals
     diff          Compare a candidate ledger against a baseline; exit 1
                   when a gated metric regresses beyond tolerance
     bench-export  Write the summary as BENCH_<TAG>.json (or --out FILE)
+    serve         Run the live telemetry server: GET /metrics (Prometheus),
+                  /healthz, /readyz, /events (SSE ledger stream), and
+                  POST /query (JSON cost(S) batches). Listens on --addr,
+                  the ICOST_SERVE_ADDR env var, or 127.0.0.1:7117; runs
+                  until killed. Set ICOST_LEDGER_FILE to also persist the
+                  streamed records.
 
 OPTIONS:
     --json             Emit JSON instead of the aligned table
@@ -35,6 +46,11 @@ OPTIONS:
                        wall clocks differ wildly across machines)
     --tag TAG          Benchmark tag for bench-export (required)
     --out FILE         Output path for bench-export (default BENCH_<TAG>.json)
+    --addr HOST:PORT   serve listen address (port 0 picks a free port)
+    --workload NAME    serve benchmark profile (default mcf)
+    --insts N          serve trace length in instructions (default 20000)
+    --threads N        serve simulation worker threads (default: cores)
+    --workers N        serve HTTP accept-pool size (default 4)
 ";
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
@@ -156,6 +172,75 @@ fn main() -> ExitCode {
             eprintln!("icost-obs: wrote {out}");
             ExitCode::SUCCESS
         }
+        "serve" => {
+            let addr = match take_opt::<String>(&mut args, "--addr") {
+                Ok(Some(a)) => a,
+                Ok(None) => std::env::var(uarch_serve::SERVE_ADDR_ENV)
+                    .unwrap_or_else(|_| uarch_serve::DEFAULT_ADDR.to_string()),
+                Err(e) => return fail(e),
+            };
+            let workload = match take_opt::<String>(&mut args, "--workload") {
+                Ok(w) => w.unwrap_or_else(|| "mcf".to_string()),
+                Err(e) => return fail(e),
+            };
+            let insts = match take_opt::<usize>(&mut args, "--insts") {
+                Ok(n) => n.unwrap_or(20_000),
+                Err(e) => return fail(e),
+            };
+            let threads = match take_opt::<usize>(&mut args, "--threads") {
+                Ok(t) => t,
+                Err(e) => return fail(e),
+            };
+            let workers = match take_opt::<usize>(&mut args, "--workers") {
+                Ok(w) => w.unwrap_or(uarch_serve::DEFAULT_WORKERS),
+                Err(e) => return fail(e),
+            };
+            if !args.is_empty() {
+                return fail(format!("unexpected arguments {args:?} (see --help)"));
+            }
+            serve(&addr, &workload, insts, threads, workers)
+        }
         other => fail(format!("unknown command {other:?} (see --help)")),
+    }
+}
+
+/// Build the serving host for one generated workload and block forever
+/// (the server runs until the process is killed).
+fn serve(
+    addr: &str,
+    workload: &str,
+    insts: usize,
+    threads: Option<usize>,
+    workers: usize,
+) -> ExitCode {
+    let Some(profile) = uarch_workloads::BenchProfile::by_name(workload) else {
+        return fail(format!("unknown workload {workload:?}"));
+    };
+    let _guard = uarch_obs::flush_guard();
+    let w = uarch_workloads::generate(profile, insts, 2003);
+    let mut ctx = ServeContext::new(
+        w.name.clone(),
+        uarch_trace::MachineConfig::table6(),
+        w.trace,
+    );
+    ctx.warm_data = w.warm_data;
+    ctx.warm_code = w.warm_code;
+    let mut runner = uarch_runner::Runner::new();
+    if let Some(threads) = threads {
+        runner = runner.with_threads(threads);
+    }
+    eprintln!("icost-obs: building dependence graph for {workload} ({insts} insts)");
+    let host = Arc::new(ServeHost::new(runner, ctx));
+    let server = match Server::start(host, addr, workers) {
+        Ok(server) => server,
+        Err(e) => return fail(format!("cannot bind {addr}: {e}")),
+    };
+    // Machine-readable startup line: tests and scripts parse the bound
+    // address from stdout (port 0 resolves to the actual port).
+    println!("listening on {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
     }
 }

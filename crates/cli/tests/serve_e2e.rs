@@ -1,0 +1,180 @@
+//! End-to-end test of `icost-obs serve`: a real server process with a
+//! file-backed ledger, a raw-socket client, and the acceptance check
+//! that SSE-streamed records are byte-equivalent to the
+//! `ICOST_LEDGER_FILE` lines for the same run.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_icost-obs");
+
+struct ServerProcess {
+    child: Child,
+    addr: SocketAddr,
+    ledger_path: PathBuf,
+}
+
+impl ServerProcess {
+    /// Spawn `icost-obs serve` on an ephemeral port with a fresh ledger
+    /// file, and parse the bound address from its startup line.
+    fn spawn() -> ServerProcess {
+        let dir = std::env::temp_dir().join(format!("icost-serve-e2e-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ledger_path = dir.join("serve.jsonl");
+        let _ = std::fs::remove_file(&ledger_path);
+        let mut child = Command::new(BIN)
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workload",
+                "gzip",
+                "--insts",
+                "3000",
+                "--threads",
+                "2",
+            ])
+            .env("ICOST_LEDGER_FILE", &ledger_path)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn icost-obs serve");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = lines
+            .next()
+            .expect("startup line")
+            .expect("readable stdout")
+            .strip_prefix("listening on ")
+            .expect("startup line format")
+            .parse()
+            .expect("socket address");
+        ServerProcess {
+            child,
+            addr,
+            ledger_path,
+        }
+    }
+}
+
+impl Drop for ServerProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Send one request, return `(status, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn serve_process_answers_scrapes_and_streams_the_ledger() {
+    let server = ServerProcess::spawn();
+    let addr = server.addr;
+
+    // Probes come up with the server.
+    let (status, health) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{health}");
+    assert!(health.contains("\"workload\":\"gzip\""), "{health}");
+    let (status, _) = request(addr, "GET", "/readyz", "");
+    assert_eq!(status, 200);
+
+    // Subscribe to /events BEFORE the batch so every record streams.
+    let mut events = TcpStream::connect(addr).expect("connect events");
+    events
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .unwrap();
+    events
+        .write_all(b"GET /events HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("request events");
+    let mut streamed = String::new();
+    read_until(&mut events, &mut streamed, |s| s.contains("\r\n\r\n"));
+    let head_end = streamed.find("\r\n\r\n").unwrap() + 4;
+    let head: String = streamed.drain(..head_end).collect();
+    assert!(head.contains("text/event-stream"), "{head}");
+
+    // The quickstart batch.
+    let batch = r#"{"queries":[{"cost":"dmiss"},{"icost":"dmiss+win"}]}"#;
+    let (status, body) = request(addr, "POST", "/query", batch);
+    assert_eq!(status, 200, "{body}");
+    let doc = uarch_obs::json::parse(&body).expect("response is JSON");
+    assert_eq!(
+        doc.get("answers").and_then(|v| v.as_arr()).map(<[_]>::len),
+        Some(2)
+    );
+
+    // The scrape carries runner and stall series and passes the checker.
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    uarch_obs::prom::check(&metrics).expect("exposition parses");
+    for needle in ["runner_sims_run", "sim_stall_", "ledger_records"] {
+        assert!(metrics.contains(needle), "missing {needle} in:\n{metrics}");
+    }
+
+    // Acceptance: the SSE stream is byte-equivalent to the ledger file.
+    // run_warmed flushes the ledger at batch end, so the file is
+    // complete once the POST returned.
+    let ledger_text = std::fs::read_to_string(&server.ledger_path).expect("ledger file");
+    let ledger_lines: Vec<&str> = ledger_text.lines().collect();
+    assert!(ledger_lines.len() >= 2, "run header + jobs:\n{ledger_text}");
+    read_until(&mut events, &mut streamed, |s| {
+        data_lines(s).len() >= ledger_lines.len()
+    });
+    assert_eq!(
+        data_lines(&streamed),
+        ledger_lines,
+        "SSE records must match the ICOST_LEDGER_FILE lines byte-for-byte"
+    );
+}
+
+/// The payloads of complete `data:` frames, in order.
+fn data_lines(streamed: &str) -> Vec<&str> {
+    streamed
+        .split("\n\n")
+        .filter_map(|frame| frame.trim_start_matches('\n').strip_prefix("data: "))
+        .collect()
+}
+
+/// Append socket bytes to `buf` until `done(buf)` or a 30s deadline.
+fn read_until(stream: &mut TcpStream, buf: &mut String, done: impl Fn(&str) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut chunk = [0u8; 4096];
+    while !done(buf) {
+        assert!(Instant::now() < deadline, "timed out; got:\n{buf}");
+        match stream.read(&mut chunk) {
+            Ok(0) => panic!("stream closed early; got:\n{buf}"),
+            Ok(n) => buf.push_str(&String::from_utf8_lossy(&chunk[..n])),
+            Err(_) => {} // read-timeout tick; re-check the predicate
+        }
+    }
+}

@@ -16,15 +16,17 @@
 //! once per run (and by [`crate::FlushGuard`] on drop/panic), keeping
 //! the enabled overhead under the `runner_scale` bench's 3% budget.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use crate::json::{self, quote, Value};
+use crate::registry::lock_unpoisoned;
+use crate::{Counter, Registry};
 
 /// Environment variable naming the ledger output file. Setting it
 /// enables the [`global`] ledger.
@@ -240,12 +242,84 @@ enum Sink {
     Memory(Vec<u8>),
 }
 
+/// Shared state of one live subscription (see [`Ledger::subscribe`]).
+#[derive(Debug)]
+struct SubscriberShared {
+    /// Bounded FIFO of record lines not yet consumed.
+    queue: Mutex<VecDeque<String>>,
+    cv: Condvar,
+    capacity: usize,
+    /// Lines this subscriber lost to the drop-oldest policy.
+    dropped: AtomicU64,
+}
+
+/// A live, bounded subscription to every record line a [`Ledger`]
+/// appends — the fan-out tee behind `uarch-serve`'s SSE endpoint.
+///
+/// Each subscriber owns an independent FIFO of at most `capacity`
+/// lines. A slow consumer never blocks the writer: when the queue is
+/// full the *oldest* unconsumed line is dropped, the loss counted on
+/// the subscriber ([`LedgerSubscriber::dropped`]) and on the ledger's
+/// `ledger.events.dropped` metric. Dropping the subscriber detaches it.
+#[derive(Debug)]
+pub struct LedgerSubscriber {
+    shared: Arc<SubscriberShared>,
+}
+
+impl LedgerSubscriber {
+    /// Pop the oldest pending line without waiting.
+    pub fn try_recv(&self) -> Option<String> {
+        lock_unpoisoned(&self.shared.queue).pop_front()
+    }
+
+    /// Pop the oldest pending line, waiting up to `timeout` for one to
+    /// arrive.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<String> {
+        let queue = lock_unpoisoned(&self.shared.queue);
+        let (mut queue, _) = self
+            .shared
+            .cv
+            .wait_timeout_while(queue, timeout, |q| q.is_empty())
+            .unwrap_or_else(|e| e.into_inner());
+        queue.pop_front()
+    }
+
+    /// Pop every pending line at once.
+    pub fn drain(&self) -> Vec<String> {
+        lock_unpoisoned(&self.shared.queue).drain(..).collect()
+    }
+
+    /// Lines currently queued.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.shared.queue).len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lines this subscriber lost to the drop-oldest policy.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+}
+
 #[derive(Debug)]
 struct LedgerInner {
     enabled: AtomicBool,
     sink: Mutex<Sink>,
     next_run: AtomicU64,
     appended: AtomicU64,
+    /// Live subscriptions, pruned lazily during fan-out.
+    subscribers: Mutex<Vec<Weak<SubscriberShared>>>,
+    /// Fast-path check so appends skip the subscriber lock entirely
+    /// while nobody is listening (the common batch-runner case).
+    subscriber_count: AtomicUsize,
+    /// `ledger.events.dropped` and `ledger.records` live here.
+    metrics: Registry,
+    events_dropped: Counter,
+    records: Counter,
 }
 
 /// A shared ledger writer. Cloning hands out another handle to the same
@@ -257,12 +331,18 @@ pub struct Ledger {
 
 impl Ledger {
     fn with_sink(enabled: bool, sink: Sink) -> Ledger {
+        let metrics = Registry::new();
         Ledger {
             inner: Arc::new(LedgerInner {
                 enabled: AtomicBool::new(enabled),
                 sink: Mutex::new(sink),
                 next_run: AtomicU64::new(1),
                 appended: AtomicU64::new(0),
+                subscribers: Mutex::new(Vec::new()),
+                subscriber_count: AtomicUsize::new(0),
+                events_dropped: metrics.counter("ledger.events.dropped"),
+                records: metrics.counter("ledger.records"),
+                metrics,
             }),
         }
     }
@@ -309,22 +389,87 @@ impl Ledger {
         self.inner.next_run.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Whether any live [`Ledger::subscribe`] stream is attached.
+    /// Producers that build records only when someone will read them
+    /// should gate on `is_enabled() || has_subscribers()` — subscribers
+    /// receive lines even when the sink is disabled.
+    pub fn has_subscribers(&self) -> bool {
+        self.inner.subscriber_count.load(Ordering::Relaxed) > 0
+    }
+
     /// Append one record (buffered; call [`Ledger::flush`] to make it
-    /// durable). No-op when disabled.
+    /// durable). Live subscribers receive the identical line the sink
+    /// writes — and still receive it when the sink is disabled, so SSE
+    /// streaming works without `ICOST_LEDGER_FILE`. With no sink and no
+    /// subscriber this stays a single relaxed atomic load.
     pub fn append(&self, record: &LedgerRecord) {
-        if !self.is_enabled() {
+        let has_subscribers = self.inner.subscriber_count.load(Ordering::Relaxed) > 0;
+        if !self.is_enabled() && !has_subscribers {
             return;
         }
         let line = record.to_json_line();
-        let mut sink = self.inner.sink.lock().expect("ledger sink poisoned");
-        let result = match &mut *sink {
-            Sink::None => Ok(()),
-            Sink::File(w) => writeln!(w, "{line}"),
-            Sink::Memory(buf) => writeln!(buf, "{line}"),
-        };
-        if result.is_ok() {
-            self.inner.appended.fetch_add(1, Ordering::Relaxed);
+        if self.is_enabled() {
+            let mut sink = lock_unpoisoned(&self.inner.sink);
+            let result = match &mut *sink {
+                Sink::None => Ok(()),
+                Sink::File(w) => writeln!(w, "{line}"),
+                Sink::Memory(buf) => writeln!(buf, "{line}"),
+            };
+            if result.is_ok() {
+                self.inner.appended.fetch_add(1, Ordering::Relaxed);
+                self.inner.records.inc();
+            }
         }
+        if has_subscribers {
+            self.fan_out(&line);
+        }
+    }
+
+    /// Subscribe to every line appended from now on, through a bounded
+    /// queue of `capacity` lines (clamped to at least 1). A slow reader
+    /// loses oldest-first — the writer never blocks on a subscriber.
+    pub fn subscribe(&self, capacity: usize) -> LedgerSubscriber {
+        let shared = Arc::new(SubscriberShared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+        });
+        let mut subscribers = lock_unpoisoned(&self.inner.subscribers);
+        subscribers.push(Arc::downgrade(&shared));
+        self.inner
+            .subscriber_count
+            .store(subscribers.len(), Ordering::Relaxed);
+        LedgerSubscriber { shared }
+    }
+
+    /// Deliver `line` to every live subscriber, pruning dead ones.
+    fn fan_out(&self, line: &str) {
+        let mut subscribers = lock_unpoisoned(&self.inner.subscribers);
+        subscribers.retain(|weak| {
+            let Some(shared) = weak.upgrade() else {
+                return false;
+            };
+            let mut queue = lock_unpoisoned(&shared.queue);
+            if queue.len() >= shared.capacity {
+                queue.pop_front();
+                shared.dropped.fetch_add(1, Ordering::Relaxed);
+                self.inner.events_dropped.inc();
+            }
+            queue.push_back(line.to_string());
+            shared.cv.notify_all();
+            true
+        });
+        self.inner
+            .subscriber_count
+            .store(subscribers.len(), Ordering::Relaxed);
+    }
+
+    /// The ledger's own metrics registry (`ledger.records`,
+    /// `ledger.events.dropped`) — registered on `uarch-serve`'s
+    /// `/metrics` next to the runner and cache registries.
+    pub fn metrics(&self) -> &Registry {
+        &self.inner.metrics
     }
 
     /// Records appended so far (whether or not flushed).
@@ -335,7 +480,7 @@ impl Ledger {
     /// Flush buffered records to the underlying file. No-op for
     /// disabled or in-memory ledgers.
     pub fn flush(&self) -> io::Result<()> {
-        let mut sink = self.inner.sink.lock().expect("ledger sink poisoned");
+        let mut sink = lock_unpoisoned(&self.inner.sink);
         match &mut *sink {
             Sink::File(w) => w.flush(),
             _ => Ok(()),
@@ -345,7 +490,7 @@ impl Ledger {
     /// The in-memory capture, if this is a [`Ledger::in_memory`]
     /// ledger.
     pub fn buffered_text(&self) -> Option<String> {
-        let sink = self.inner.sink.lock().expect("ledger sink poisoned");
+        let sink = lock_unpoisoned(&self.inner.sink);
         match &*sink {
             Sink::Memory(buf) => Some(String::from_utf8_lossy(buf).into_owned()),
             _ => None,
@@ -470,5 +615,62 @@ mod tests {
         assert_eq!(l.next_run_id(), 1);
         assert_eq!(l.clone().next_run_id(), 2);
         assert_eq!(l.next_run_id(), 3);
+    }
+
+    #[test]
+    fn subscribers_receive_the_exact_sink_lines() {
+        let l = Ledger::in_memory();
+        let sub = l.subscribe(16);
+        l.append(&LedgerRecord::Run(header()));
+        l.append(&LedgerRecord::Job(job()));
+        let lines = sub.drain();
+        let text = l.buffered_text().unwrap();
+        let sink_lines: Vec<String> = text.lines().map(str::to_string).collect();
+        assert_eq!(lines, sink_lines, "subscriber sees byte-identical lines");
+        assert_eq!(sub.dropped(), 0);
+        assert!(sub.is_empty());
+    }
+
+    #[test]
+    fn slow_subscriber_drops_oldest_and_counts_losses() {
+        let l = Ledger::in_memory();
+        let sub = l.subscribe(2);
+        for _ in 0..5 {
+            l.append(&LedgerRecord::Run(header()));
+        }
+        assert_eq!(sub.len(), 2, "queue stays bounded");
+        assert_eq!(sub.dropped(), 3, "oldest three dropped");
+        let snap = l.metrics().snapshot();
+        assert_eq!(snap.counter("ledger.events.dropped"), 3);
+        assert_eq!(snap.counter("ledger.records"), 5);
+    }
+
+    #[test]
+    fn disabled_ledger_still_feeds_subscribers() {
+        let l = Ledger::disabled();
+        let sub = l.subscribe(4);
+        l.append(&LedgerRecord::Run(header()));
+        assert_eq!(l.appended(), 0, "nothing written to a sink");
+        assert_eq!(sub.len(), 1, "subscriber still sees the line");
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let l = Ledger::in_memory();
+        let sub = l.subscribe(4);
+        drop(sub);
+        l.append(&LedgerRecord::Run(header()));
+        // Pruning happens inside fan_out; the count reflects it.
+        assert_eq!(l.inner.subscriber_count.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn recv_timeout_returns_pending_line_and_times_out_when_empty() {
+        let l = Ledger::in_memory();
+        let sub = l.subscribe(4);
+        l.append(&LedgerRecord::Run(header()));
+        assert!(sub.recv_timeout(Duration::from_millis(50)).is_some());
+        assert!(sub.recv_timeout(Duration::from_millis(10)).is_none());
+        assert!(sub.try_recv().is_none());
     }
 }

@@ -25,6 +25,10 @@
 //! * [`json`] — a minimal JSON value model and parser, used to validate
 //!   exported snapshots and traces in tests and CI without external
 //!   crates.
+//! * [`prom`] — Prometheus text-exposition rendering of registry
+//!   snapshots (name/label sanitization, cumulative `_bucket`/`_sum`/
+//!   `_count` expansion of the fixed-bucket histograms), used by the
+//!   `uarch-serve` `/metrics` endpoint.
 //!
 //! Everything is thread-safe and shared by handle: cloning a
 //! [`Registry`], [`Counter`], or [`Tracer`] hands out another reference
@@ -40,6 +44,7 @@
 
 pub mod json;
 pub mod ledger;
+pub mod prom;
 mod registry;
 mod sampler;
 mod span;

@@ -12,7 +12,16 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Acquire `m`, recovering from poisoning: the observability stores are
+/// sets of independent atomics or append-only buffers, so a panic in
+/// one recording thread never leaves them inconsistent — refusing all
+/// later snapshots (and wedging `/metrics`, the sampler stop path, or
+/// `flush_guard()`) would be strictly worse.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A monotonically increasing `u64` metric.
 #[derive(Debug, Clone, Default)]
@@ -216,8 +225,23 @@ impl Registry {
         }
     }
 
+    /// Fold the scalar metrics of `snap` into this registry: counters
+    /// add their value, gauges overwrite. Histograms are skipped (their
+    /// bucketed counts cannot be replayed through the recording API).
+    /// Used to aggregate short-lived per-run registries — e.g. a graph
+    /// oracle's `graph.*` counters — into a long-lived serving registry.
+    pub fn absorb_scalars(&self, snap: &Snapshot) {
+        for (name, value) in snap.entries() {
+            match value {
+                SnapshotValue::Counter(v) => self.counter(name).add(*v),
+                SnapshotValue::Gauge(v) => self.gauge(name).set(*v),
+                SnapshotValue::Histogram { .. } => {}
+            }
+        }
+    }
+
     fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
-        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut metrics = lock_unpoisoned(&self.metrics);
         metrics.entry(name.to_string()).or_insert_with(make).clone()
     }
 
@@ -225,7 +249,7 @@ impl Registry {
     /// same atomics), so this is how a long-lived component starts a
     /// fresh measurement interval.
     pub fn reset(&self) {
-        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let metrics = lock_unpoisoned(&self.metrics);
         for m in metrics.values() {
             match m {
                 Metric::Counter(c) => c.reset(),
@@ -237,10 +261,7 @@ impl Registry {
 
     /// Number of registered metrics.
     pub fn len(&self) -> usize {
-        self.metrics
-            .lock()
-            .expect("metrics registry poisoned")
-            .len()
+        lock_unpoisoned(&self.metrics).len()
     }
 
     /// Whether no metric has been registered.
@@ -250,7 +271,7 @@ impl Registry {
 
     /// A point-in-time, name-sorted copy of every metric's value.
     pub fn snapshot(&self) -> Snapshot {
-        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let metrics = lock_unpoisoned(&self.metrics);
         Snapshot {
             entries: metrics
                 .iter()
@@ -292,6 +313,50 @@ pub enum SnapshotValue {
     },
 }
 
+impl SnapshotValue {
+    /// Approximate quantile `q ∈ [0, 1]` of a histogram value, by
+    /// linear interpolation inside the bucket holding the target rank
+    /// (the classic fixed-bucket estimator Prometheus's
+    /// `histogram_quantile` uses). The overflow bucket has no upper
+    /// bound, so ranks landing there clamp to the last finite bound.
+    /// `None` for non-histograms, empty histograms, or `q` outside
+    /// `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let SnapshotValue::Histogram {
+            bounds,
+            counts,
+            count,
+            ..
+        } = self
+        else {
+            return None;
+        };
+        if *count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = (q * *count as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            let before = cumulative;
+            cumulative += c;
+            if (cumulative as f64) < rank {
+                continue;
+            }
+            let Some(&hi) = bounds.get(i) else {
+                // Overflow bucket: clamp to the last finite bound.
+                return Some(bounds.last().copied().unwrap_or(0) as f64);
+            };
+            let lo = if i == 0 { 0 } else { bounds[i - 1] };
+            if c == 0 {
+                return Some(hi as f64);
+            }
+            let frac = (rank - before as f64) / c as f64;
+            return Some(lo as f64 + (hi - lo) as f64 * frac);
+        }
+        Some(bounds.last().copied().unwrap_or(0) as f64)
+    }
+}
+
 /// A point-in-time copy of a [`Registry`], renderable as a table, JSON,
 /// or CSV. Entries are sorted by metric name, so every rendering is
 /// deterministic for a given set of values.
@@ -317,6 +382,20 @@ impl Snapshot {
             Some(SnapshotValue::Counter(v)) => *v,
             _ => 0,
         }
+    }
+
+    /// Convenience: the value of gauge `name` (0 if absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.get(name) {
+            Some(SnapshotValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Approximate quantile `q` of histogram `name`
+    /// (see [`SnapshotValue::quantile`]); `None` if absent or empty.
+    pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        self.get(name).and_then(|v| v.quantile(q))
     }
 
     /// Render as an aligned two-column table (histograms take one line
@@ -345,6 +424,11 @@ impl Snapshot {
                 } => {
                     row(&format!("{name}.count"), count.to_string());
                     row(&format!("{name}.sum"), sum.to_string());
+                    for (q, label) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+                        if let Some(est) = value.quantile(q) {
+                            row(&format!("{name}.{label}"), format!("~{}", est.round()));
+                        }
+                    }
                     for (i, c) in counts.iter().enumerate() {
                         let label = match bounds.get(i) {
                             Some(b) => format!("{name}[le={b}]"),
@@ -489,6 +573,52 @@ mod tests {
         assert_eq!(h.count(), 0);
         c.inc();
         assert_eq!(r.snapshot().counter("n"), 1);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat", &[10, 100, 1000]);
+        // 10 samples in [0,10], 10 in (10,100].
+        for _ in 0..10 {
+            h.record(5);
+            h.record(50);
+        }
+        let snap = r.snapshot();
+        // p50 at rank 10 = exactly the top of the first bucket.
+        assert_eq!(snap.quantile("lat", 0.5), Some(10.0));
+        // p100 tops out the occupied range.
+        assert_eq!(snap.quantile("lat", 1.0), Some(100.0));
+        // p75 = rank 15, 5/10 into the (10,100] bucket.
+        assert_eq!(snap.quantile("lat", 0.75), Some(55.0));
+        // Overflow clamps to the last finite bound.
+        h.record(u64::MAX);
+        assert_eq!(r.snapshot().quantile("lat", 1.0), Some(1000.0));
+        // Empty histograms and non-histograms answer None.
+        r.histogram("empty", &[1]);
+        let snap = r.snapshot();
+        assert_eq!(snap.quantile("empty", 0.5), None);
+        r.counter("c").inc();
+        assert_eq!(r.snapshot().quantile("c", 0.5), None);
+        // The table render carries the derived rows.
+        assert!(r.snapshot().to_table().contains("lat.p95"));
+    }
+
+    #[test]
+    fn poisoned_registry_recovers() {
+        let r = Registry::new();
+        r.counter("before").inc();
+        // A panic while the store lock is held (bad histogram bounds
+        // inside get-or-create) poisons the mutex; later callers must
+        // recover instead of propagating the panic forever.
+        let r2 = r.clone();
+        let result = std::panic::catch_unwind(move || {
+            let _ = r2.histogram("bad", &[10, 5]);
+        });
+        assert!(result.is_err(), "non-increasing bounds must panic");
+        r.counter("after").inc();
+        assert_eq!(r.snapshot().counter("before"), 1);
+        assert_eq!(r.snapshot().counter("after"), 1);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::registry::{Registry, SnapshotValue};
+use crate::registry::{lock_unpoisoned, Registry, SnapshotValue};
 use crate::span::Tracer;
 
 /// Environment variable overriding the sampling interval, in whole
@@ -65,11 +65,14 @@ impl CounterSampler {
             .spawn(move || {
                 loop {
                     Self::sample(&tracer, &registries);
-                    let guard = thread_stop.stopped.lock().expect("sampler lock");
+                    // Poison-recovering locks: a client thread that
+                    // panicked mid-snapshot must not wedge the stop
+                    // path (the flag itself is always consistent).
+                    let guard = lock_unpoisoned(&thread_stop.stopped);
                     let (guard, _) = thread_stop
                         .cv
                         .wait_timeout_while(guard, interval, |stopped| !*stopped)
-                        .expect("sampler wait");
+                        .unwrap_or_else(|e| e.into_inner());
                     if *guard {
                         break;
                     }
@@ -120,7 +123,7 @@ impl CounterSampler {
 
 impl Drop for CounterSampler {
     fn drop(&mut self) {
-        *self.stop.stopped.lock().expect("sampler lock") = true;
+        *lock_unpoisoned(&self.stop.stopped) = true;
         self.stop.cv.notify_all();
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();

@@ -24,6 +24,7 @@ use std::thread::ThreadId;
 use std::time::Instant;
 
 use crate::json::quote;
+use crate::registry::lock_unpoisoned;
 
 /// Environment variable naming the Chrome-trace output file. Setting it
 /// enables the [`global`] tracer.
@@ -124,7 +125,7 @@ impl Tracer {
 
     fn thread_track(&self) -> u64 {
         let id = std::thread::current().id();
-        let mut tids = self.inner.tids.lock().expect("tracer tids poisoned");
+        let mut tids = lock_unpoisoned(&self.inner.tids);
         *tids
             .entry(id)
             .or_insert_with(|| self.inner.next_tid.fetch_add(1, Ordering::Relaxed))
@@ -157,11 +158,7 @@ impl Tracer {
             args,
             value,
         };
-        self.inner
-            .events
-            .lock()
-            .expect("tracer events poisoned")
-            .push(ev);
+        lock_unpoisoned(&self.inner.events).push(ev);
     }
 
     /// Open a span; it ends (emits the `E` event) when the returned
@@ -212,11 +209,7 @@ impl Tracer {
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.inner
-            .events
-            .lock()
-            .expect("tracer events poisoned")
-            .len()
+        lock_unpoisoned(&self.inner.events).len()
     }
 
     /// Whether nothing has been recorded.
@@ -226,16 +219,12 @@ impl Tracer {
 
     /// A copy of the recorded events, in record order.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner
-            .events
-            .lock()
-            .expect("tracer events poisoned")
-            .clone()
+        lock_unpoisoned(&self.inner.events).clone()
     }
 
     /// Render the recorded events as a Chrome trace-event JSON document.
     pub fn export_json(&self) -> String {
-        let events = self.inner.events.lock().expect("tracer events poisoned");
+        let events = lock_unpoisoned(&self.inner.events);
         let mut out = String::with_capacity(64 + events.len() * 96);
         out.push_str("{\"traceEvents\": [\n");
         for (i, ev) in events.iter().enumerate() {

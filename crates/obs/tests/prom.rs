@@ -1,0 +1,128 @@
+//! Golden and property tests for the Prometheus exposition layer: a
+//! populated registry renders exactly the pinned document (counter,
+//! gauge, histogram expansion, label escaping, name sanitization), and
+//! arbitrary registries always render something the line-oriented
+//! checker accepts.
+
+use proptest::prelude::*;
+use uarch_obs::prom::{check, escape_label_value, render_registries, sanitize_name, Exposition};
+use uarch_obs::Registry;
+
+/// The pinned exposition for one registry with every metric kind and a
+/// label value that needs escaping. BTreeMap iteration makes family
+/// order deterministic, so this is a stable golden.
+#[test]
+fn golden_exposition_for_a_populated_registry() {
+    let registry = Registry::new();
+    registry.counter("runner.sims_run").add(7);
+    registry.gauge("pool/occupancy").set(-3);
+    let h = registry.histogram("sim.cycles", &[10, 100]);
+    h.record(5);
+    h.record(50);
+    h.record(500);
+
+    let mut exposition = Exposition::new();
+    exposition.add_snapshot(
+        &registry.snapshot(),
+        &[("registry", "runner"), ("host", "a\\b\"c\nd")],
+    );
+    let text = exposition.render();
+    let expected = "\
+# TYPE pool_occupancy gauge
+pool_occupancy{registry=\"runner\",host=\"a\\\\b\\\"c\\nd\"} -3
+# TYPE runner_sims_run counter
+runner_sims_run{registry=\"runner\",host=\"a\\\\b\\\"c\\nd\"} 7
+# TYPE sim_cycles histogram
+sim_cycles_bucket{registry=\"runner\",host=\"a\\\\b\\\"c\\nd\",le=\"10\"} 1
+sim_cycles_bucket{registry=\"runner\",host=\"a\\\\b\\\"c\\nd\",le=\"100\"} 2
+sim_cycles_bucket{registry=\"runner\",host=\"a\\\\b\\\"c\\nd\",le=\"+Inf\"} 3
+sim_cycles_sum{registry=\"runner\",host=\"a\\\\b\\\"c\\nd\"} 555
+sim_cycles_count{registry=\"runner\",host=\"a\\\\b\\\"c\\nd\"} 3
+# TYPE sim_cycles_p50 gauge
+sim_cycles_p50{registry=\"runner\",host=\"a\\\\b\\\"c\\nd\"} 55
+# TYPE sim_cycles_p95 gauge
+sim_cycles_p95{registry=\"runner\",host=\"a\\\\b\\\"c\\nd\"} 100
+# TYPE sim_cycles_p99 gauge
+sim_cycles_p99{registry=\"runner\",host=\"a\\\\b\\\"c\\nd\"} 100
+";
+    assert_eq!(text, expected, "golden mismatch; got:\n{text}");
+    check(&text).expect("golden passes the checker");
+}
+
+#[test]
+fn sanitization_goldens() {
+    assert_eq!(sanitize_name("runner.sims_run"), "runner_sims_run");
+    assert_eq!(sanitize_name("9lives"), "_9lives");
+    assert_eq!(sanitize_name("a-b c/d"), "a_b_c_d");
+    assert_eq!(escape_label_value("plain"), "plain");
+    assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+}
+
+/// Arbitrary metric names: printable-ish strings with characters the
+/// sanitizer must rewrite, plus occasional empties and leading digits.
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 1..24).prop_map(|bytes| {
+        bytes
+            .into_iter()
+            .map(|b| match b % 11 {
+                0 => '.',
+                1 => '-',
+                2 => ' ',
+                3 => '/',
+                4 => '0',
+                5 => '9',
+                _ => char::from(b'a' + (b % 26)),
+            })
+            .collect()
+    })
+}
+
+/// Arbitrary label values, biased toward the three escaped characters.
+fn arb_label_value() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..24).prop_map(|bytes| {
+        bytes
+            .into_iter()
+            .map(|b| match b % 7 {
+                0 => '\\',
+                1 => '"',
+                2 => '\n',
+                _ => char::from(b' ' + (b % 0x5e)),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn rendered_registries_always_pass_the_checker(
+        names in proptest::collection::vec(arb_name(), 1..8),
+        values in proptest::collection::vec(any::<u32>(), 1..8),
+        label in arb_label_value(),
+        instance in arb_name(),
+    ) {
+        let registry = Registry::new();
+        for (i, (name, v)) in names.iter().zip(&values).enumerate() {
+            // Rotate through the metric kinds; duplicate/kind-colliding
+            // sanitized names are exactly what the renderer must survive.
+            match i % 3 {
+                0 => registry.counter(&format!("c.{name}")).add(u64::from(*v)),
+                1 => registry.gauge(&format!("g.{name}")).set(i64::from(*v as i32)),
+                _ => registry
+                    .histogram(&format!("h.{name}"), &[10, 1_000, 100_000])
+                    .record(u64::from(*v)),
+            }
+        }
+        let text = render_registries(&[(label.as_str(), &registry), (instance.as_str(), &registry)]);
+        prop_assert!(check(&text).is_ok(), "checker rejected:\n{}", text);
+    }
+
+    #[test]
+    fn sanitized_names_are_always_valid(name in arb_name()) {
+        let s = sanitize_name(&name);
+        prop_assert!(!s.is_empty());
+        let mut chars = s.chars();
+        let first = chars.next().unwrap();
+        prop_assert!(first.is_ascii_alphabetic() || first == '_' || first == ':');
+        prop_assert!(chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+    }
+}

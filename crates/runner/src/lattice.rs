@@ -92,7 +92,8 @@ impl<'g> LatticeGraphOracle<'g> {
     /// fingerprinting the graph content.
     pub fn new(graph: &'g DepGraph) -> LatticeGraphOracle<'g> {
         let ledger = uarch_obs::ledger::global().clone();
-        let ledger_run = ledger.is_enabled().then(|| ledger.next_run_id());
+        let ledger_run =
+            (ledger.is_enabled() || ledger.has_subscribers()).then(|| ledger.next_run_id());
         LatticeGraphOracle {
             graph,
             ctx: graph_context_id(graph),

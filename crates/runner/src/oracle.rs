@@ -80,7 +80,8 @@ impl<'a> ParallelMultiSimOracle<'a> {
     ) -> ParallelMultiSimOracle<'a> {
         let threads = default_threads();
         let ledger = uarch_obs::ledger::global().clone();
-        let ledger_run = ledger.is_enabled().then(|| ledger.next_run_id());
+        let ledger_run =
+            (ledger.is_enabled() || ledger.has_subscribers()).then(|| ledger.next_run_id());
         ParallelMultiSimOracle {
             config,
             trace,

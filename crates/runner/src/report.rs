@@ -92,6 +92,12 @@ impl Metrics {
         for (slot, counter) in stall_values.iter_mut().zip(&self.stall_counters) {
             *slot = counter.get();
         }
+        let snap = self.registry.snapshot();
+        let quantile = |q: f64| {
+            snap.quantile("runner.sim_cycles", q)
+                .map(|v| v.round() as u64)
+                .unwrap_or(0)
+        };
         RunReport {
             queries: self.queries.get(),
             jobs_requested: self.jobs_requested.get(),
@@ -104,6 +110,9 @@ impl Metrics {
             threads: self.threads.get().max(0) as usize,
             expand_wall: Duration::from_micros(self.expand_wall_us.get()),
             sim_wall: Duration::from_micros(self.sim_wall_us.get()),
+            sim_cycles_p50: quantile(0.50),
+            sim_cycles_p95: quantile(0.95),
+            sim_cycles_p99: quantile(0.99),
             stalls: PipelineStalls::from_row_values(stall_values),
         }
     }
@@ -147,6 +156,14 @@ pub struct RunReport {
     pub expand_wall: Duration,
     /// Wall time spent inside simulation waves (parallel or inline).
     pub sim_wall: Duration,
+    /// Approximate median per-simulation cycle count, interpolated from
+    /// the fixed-bucket `runner.sim_cycles` histogram (0 before any
+    /// simulation).
+    pub sim_cycles_p50: u64,
+    /// Approximate 95th-percentile per-simulation cycle count.
+    pub sim_cycles_p95: u64,
+    /// Approximate 99th-percentile per-simulation cycle count.
+    pub sim_cycles_p99: u64,
     /// Simulated-machine pipeline stalls, summed over every simulation
     /// this report covers (idealized runs included).
     pub stalls: PipelineStalls,
@@ -174,6 +191,11 @@ impl RunReport {
         self.threads = self.threads.max(other.threads);
         self.expand_wall += other.expand_wall;
         self.sim_wall += other.sim_wall;
+        // Percentiles are not additive across batches; keep the
+        // pessimistic (larger) tail estimate.
+        self.sim_cycles_p50 = self.sim_cycles_p50.max(other.sim_cycles_p50);
+        self.sim_cycles_p95 = self.sim_cycles_p95.max(other.sim_cycles_p95);
+        self.sim_cycles_p99 = self.sim_cycles_p99.max(other.sim_cycles_p99);
         self.stalls.absorb(&other.stalls);
     }
 
@@ -237,6 +259,19 @@ impl RunReport {
         registry
             .counter("runner.sim_wall_us")
             .add(self.sim_wall.as_micros() as u64);
+        if self.sims_run > 0 {
+            // Gauges, not counters: a later batch's estimate replaces
+            // (does not sum with) the earlier one.
+            registry
+                .gauge("runner.sim_cycles_p50")
+                .set(self.sim_cycles_p50 as i64);
+            registry
+                .gauge("runner.sim_cycles_p95")
+                .set(self.sim_cycles_p95 as i64);
+            registry
+                .gauge("runner.sim_cycles_p99")
+                .set(self.sim_cycles_p99 as i64);
+        }
         for (name, v) in self.stalls.rows() {
             registry.counter(&format!("sim.stall.{name}")).add(v);
         }
@@ -275,6 +310,11 @@ impl RunReport {
         row("threads", self.threads.to_string());
         row("expand wall", format!("{:.3?}", self.expand_wall));
         row("simulate wall", format!("{:.3?}", self.sim_wall));
+        if self.sims_run > 0 && self.sim_cycles_p50 > 0 {
+            row("sim cycles p50", format!("~{}", self.sim_cycles_p50));
+            row("sim cycles p95", format!("~{}", self.sim_cycles_p95));
+            row("sim cycles p99", format!("~{}", self.sim_cycles_p99));
+        }
         if let (Some(r), Some((mem, disk, dedup))) = (self.reuse_rate(), self.reuse_split()) {
             row("reuse rate", format!("{:.1}%", 100.0 * r));
             row("  reuse from memory", format!("{:.1}%", 100.0 * mem));
@@ -401,6 +441,47 @@ mod tests {
         let r2 = m.report();
         assert_eq!(r2.sims_run, 0);
         assert_eq!(r2.threads, 3, "reset keeps the thread gauge");
+    }
+
+    #[test]
+    fn report_carries_sim_cycle_percentiles() {
+        let m = Metrics::new(1);
+        // 100 samples spread across the first bucket (bound 1_000): the
+        // estimates interpolate within it and order correctly.
+        for _ in 0..100 {
+            m.sims_run.inc();
+            m.sim_cycles.record(500);
+        }
+        let r = m.report();
+        assert!(r.sim_cycles_p50 > 0);
+        assert!(r.sim_cycles_p50 <= r.sim_cycles_p95);
+        assert!(r.sim_cycles_p95 <= r.sim_cycles_p99);
+        assert!(r.sim_cycles_p99 <= 1_000, "all samples in first bucket");
+        let t = r.to_table();
+        assert!(t.contains("sim cycles p50"), "table renders p50:\n{t}");
+        assert!(t.contains("sim cycles p99"));
+        // Publishing exposes the estimates as gauges.
+        let reg = r.to_registry();
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("runner.sim_cycles_p50"), r.sim_cycles_p50 as i64);
+        assert_eq!(snap.gauge("runner.sim_cycles_p99"), r.sim_cycles_p99 as i64);
+        // absorb keeps the larger tail estimate.
+        let mut a = r.clone();
+        let mut b = RunReport::new(1);
+        b.sim_cycles_p99 = 5_000_000;
+        a.absorb(&b);
+        assert_eq!(a.sim_cycles_p99, 5_000_000);
+        // A report with no simulations renders no percentile rows and
+        // publishes no gauges.
+        let empty = RunReport::new(1);
+        assert!(!empty.to_table().contains("sim cycles p50"));
+        assert_eq!(
+            empty
+                .to_registry()
+                .snapshot()
+                .gauge("runner.sim_cycles_p50"),
+            0
+        );
     }
 
     #[test]

@@ -1,0 +1,356 @@
+//! The serving host: one simulation context (config + trace + warm
+//! sets + prebuilt dependence graph) shared by every connection, plus
+//! the registries `/metrics` renders.
+//!
+//! Concurrency model: the host is immutable after construction except
+//! for its metrics registries and the ready flag, so request handlers
+//! borrow it through an `Arc` with no host-level lock. Concurrent
+//! `POST /query` batches serialize only where the underlying layers
+//! already do — the shared content-addressed [`SimCache`] — which is
+//! exactly what makes overlapping client queries cache hits instead of
+//! repeated simulations.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use icost::{icost, icost_of_sets, CostOracle};
+use uarch_graph::DepGraph;
+use uarch_obs::json::{self, Value};
+use uarch_obs::{prom, Counter, Gauge, Histogram, Registry};
+use uarch_runner::{Query, Runner};
+use uarch_sim::{Idealization, Simulator};
+use uarch_trace::{EventSet, MachineConfig, Trace};
+
+/// The simulation context a host serves: everything a `cost(S)` answer
+/// depends on.
+#[derive(Debug, Clone)]
+pub struct ServeContext {
+    /// Display name (workload name; surfaced in `/healthz`).
+    pub name: String,
+    /// The simulated machine.
+    pub config: MachineConfig,
+    /// The dynamic instruction trace under analysis.
+    pub trace: Trace,
+    /// Data addresses warmed before timing.
+    pub warm_data: Vec<u64>,
+    /// Code addresses warmed before timing.
+    pub warm_code: Vec<u64>,
+}
+
+impl ServeContext {
+    /// A context with no warm sets.
+    pub fn new(name: impl Into<String>, config: MachineConfig, trace: Trace) -> ServeContext {
+        ServeContext {
+            name: name.into(),
+            config,
+            trace,
+            warm_data: Vec::new(),
+            warm_code: Vec::new(),
+        }
+    }
+}
+
+/// Which evaluation substrate answers a query batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Ground-truth re-simulation through [`Runner::run`].
+    Sim,
+    /// The lane-batched dependence-graph kernel.
+    Graph,
+}
+
+impl Backend {
+    fn as_str(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Graph => "graph",
+        }
+    }
+}
+
+/// Shared state behind every endpoint (wrap in an `Arc`).
+#[derive(Debug)]
+pub struct ServeHost {
+    runner: Runner,
+    ctx: ServeContext,
+    graph: DepGraph,
+    /// Aggregate of every answered batch's `RunReport` (`runner.*`,
+    /// `sim.stall.*`).
+    runner_registry: Registry,
+    /// Aggregate of the per-batch graph-oracle counters (`graph.*`).
+    graph_registry: Registry,
+    serve_registry: Registry,
+    requests: Counter,
+    http_errors: Counter,
+    queries_answered: Counter,
+    scrapes: Counter,
+    sse_clients: Gauge,
+    scrape_us: Histogram,
+    query_us: Histogram,
+    ready: AtomicBool,
+}
+
+/// Bucket bounds for `/metrics` render latency, in microseconds (the
+/// serve_scale bench gates p-latency well under the 10ms bound).
+const SCRAPE_US_BOUNDS: [u64; 4] = [100, 1_000, 10_000, 100_000];
+
+/// Bucket bounds for `POST /query` batch latency, in microseconds.
+const QUERY_US_BOUNDS: [u64; 5] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+impl ServeHost {
+    /// Build a host for `ctx`: runs the baseline simulation once to
+    /// construct the dependence graph the `graph` backend serves.
+    pub fn new(runner: Runner, ctx: ServeContext) -> ServeHost {
+        let baseline = Simulator::new(&ctx.config).run(&ctx.trace, Idealization::none());
+        let graph = DepGraph::build(&ctx.trace, &baseline, &ctx.config);
+        let serve_registry = Registry::new();
+        ServeHost {
+            requests: serve_registry.counter("serve.requests"),
+            http_errors: serve_registry.counter("serve.http_errors"),
+            queries_answered: serve_registry.counter("serve.queries_answered"),
+            scrapes: serve_registry.counter("serve.scrapes"),
+            sse_clients: serve_registry.gauge("serve.sse_clients"),
+            scrape_us: serve_registry.histogram("serve.scrape_us", &SCRAPE_US_BOUNDS),
+            query_us: serve_registry.histogram("serve.query_us", &QUERY_US_BOUNDS),
+            serve_registry,
+            runner_registry: Registry::new(),
+            graph_registry: Registry::new(),
+            runner,
+            ctx,
+            graph,
+            ready: AtomicBool::new(false),
+        }
+    }
+
+    /// The served context.
+    pub fn context(&self) -> &ServeContext {
+        &self.ctx
+    }
+
+    /// The shared runner (and through it the content-addressed cache).
+    pub fn runner(&self) -> &Runner {
+        &self.runner
+    }
+
+    /// The serve-layer metrics registry (`serve.*`).
+    pub fn serve_metrics(&self) -> &Registry {
+        &self.serve_registry
+    }
+
+    /// The aggregate runner registry (`runner.*`, `sim.stall.*`).
+    pub fn runner_metrics(&self) -> &Registry {
+        &self.runner_registry
+    }
+
+    /// Whether the host is accepting traffic (flipped by the server
+    /// once its accept pool is listening).
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Relaxed)
+    }
+
+    /// Flip the readiness flag.
+    pub fn set_ready(&self, on: bool) {
+        self.ready.store(on, Ordering::Relaxed);
+    }
+
+    /// Count one handled request (any endpoint).
+    pub fn count_request(&self) {
+        self.requests.inc();
+    }
+
+    /// Count one error response.
+    pub fn count_error(&self) {
+        self.http_errors.inc();
+    }
+
+    /// Adjust the live SSE-client gauge by `delta`.
+    pub fn sse_clients_delta(&self, delta: i64) {
+        self.sse_clients.add(delta);
+    }
+
+    /// Render every registered registry as one Prometheus exposition
+    /// document (the `GET /metrics` body).
+    pub fn render_metrics(&self) -> String {
+        let start = Instant::now();
+        let ledger = uarch_obs::ledger::global();
+        let text = prom::render_registries(&[
+            ("runner", &self.runner_registry),
+            ("graph", &self.graph_registry),
+            ("cache", self.runner.cache().metrics()),
+            ("ledger", ledger.metrics()),
+            ("serve", &self.serve_registry),
+        ]);
+        self.scrapes.inc();
+        self.scrape_us.record(start.elapsed().as_micros() as u64);
+        text
+    }
+
+    /// The `GET /healthz` body: always-on liveness plus identity.
+    pub fn health_json(&self) -> String {
+        format!(
+            "{{\"status\":\"ok\",\"workload\":{},\"insts\":{},\"threads\":{}}}\n",
+            json::quote(&self.ctx.name),
+            self.ctx.trace.len(),
+            self.runner.threads(),
+        )
+    }
+
+    /// Answer one `POST /query` body; returns the response JSON or a
+    /// client-error message.
+    pub fn handle_query(&self, body: &[u8]) -> Result<String, String> {
+        let start = Instant::now();
+        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+        let (queries, backend) = parse_query_body(text)?;
+        let (answers, report) = match backend {
+            Backend::Sim => self.runner.run_warmed(
+                &self.ctx.config,
+                &self.ctx.trace,
+                &self.ctx.warm_data,
+                &self.ctx.warm_code,
+                &queries,
+            ),
+            Backend::Graph => self.run_graph_batch(&queries),
+        };
+        report.publish(&self.runner_registry);
+        self.queries_answered.add(queries.len() as u64);
+        self.query_us.record(start.elapsed().as_micros() as u64);
+        let answers: Vec<String> = answers.iter().map(i64::to_string).collect();
+        Ok(format!(
+            "{{\"backend\":\"{}\",\"answers\":[{}],\"report\":{}}}\n",
+            backend.as_str(),
+            answers.join(","),
+            report.to_json(),
+        ))
+    }
+
+    /// Evaluate a batch on the dependence-graph kernel, folding the
+    /// short-lived oracle's `graph.*` counters into the aggregate
+    /// registry (this is [`Runner::run_graph`] plus counter retention).
+    fn run_graph_batch(&self, queries: &[Query]) -> (Vec<i64>, uarch_runner::RunReport) {
+        let mut oracle = self.runner.graph_oracle(&self.graph);
+        let wanted: Vec<EventSet> = queries.iter().flat_map(Query::required_sets).collect();
+        oracle.prefetch(&wanted);
+        let answers = queries
+            .iter()
+            .map(|q| match q {
+                Query::Cost(s) => oracle.cost(*s),
+                Query::Icost(u) => icost(&mut oracle, *u),
+                Query::IcostOfUnits(units) => icost_of_sets(&mut oracle, units),
+            })
+            .collect();
+        let report = oracle.report().clone();
+        let inner = oracle.into_inner();
+        self.graph_registry
+            .absorb_scalars(&inner.metrics().snapshot());
+        let _ = uarch_obs::ledger::global().flush();
+        (answers, report)
+    }
+}
+
+/// Parse a `POST /query` body:
+///
+/// ```json
+/// {"backend": "sim",
+///  "queries": [{"cost": "dmiss"},
+///              {"icost": "dmiss+win"},
+///              {"icost_units": ["dmiss", "win+bw"]}]}
+/// ```
+///
+/// `backend` is optional (default `"sim"`); set strings use the
+/// `EventSet` display form (`"(none)"` or `""` for the empty set).
+pub fn parse_query_body(text: &str) -> Result<(Vec<Query>, Backend), String> {
+    let doc = json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let backend = match doc.get("backend").and_then(Value::as_str) {
+        None | Some("sim") => Backend::Sim,
+        Some("graph") => Backend::Graph,
+        Some(other) => return Err(format!("unknown backend {other:?} (want sim|graph)")),
+    };
+    let items = doc
+        .get("queries")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"queries\" array")?;
+    if items.is_empty() {
+        return Err("empty \"queries\" array".into());
+    }
+    let queries = items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| parse_one_query(item).map_err(|e| format!("queries[{i}]: {e}")))
+        .collect::<Result<Vec<Query>, String>>()?;
+    Ok((queries, backend))
+}
+
+fn parse_one_query(item: &Value) -> Result<Query, String> {
+    if let Some(set) = item.get("cost") {
+        let set = set.as_str().ok_or("\"cost\" must be a set string")?;
+        return Ok(Query::Cost(EventSet::parse(set)?));
+    }
+    if let Some(set) = item.get("icost") {
+        let set = set.as_str().ok_or("\"icost\" must be a set string")?;
+        return Ok(Query::Icost(EventSet::parse(set)?));
+    }
+    if let Some(units) = item.get("icost_units") {
+        let units = units
+            .as_arr()
+            .ok_or("\"icost_units\" must be an array of set strings")?;
+        let units = units
+            .iter()
+            .map(|u| {
+                u.as_str()
+                    .ok_or("\"icost_units\" entries must be strings".to_string())
+                    .and_then(EventSet::parse)
+            })
+            .collect::<Result<Vec<EventSet>, String>>()?;
+        if units.is_empty() {
+            return Err("\"icost_units\" must be non-empty".into());
+        }
+        return Ok(Query::IcostOfUnits(units));
+    }
+    Err("expected one of \"cost\", \"icost\", \"icost_units\"".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_trace::EventClass;
+
+    #[test]
+    fn query_bodies_parse_into_runner_queries() {
+        let (queries, backend) = parse_query_body(
+            r#"{"queries":[{"cost":"dmiss"},{"icost":"dmiss+win"},{"icost_units":["dmiss","win"]}]}"#,
+        )
+        .expect("parses");
+        assert_eq!(backend, Backend::Sim);
+        let d = EventSet::single(EventClass::Dmiss);
+        let w = EventSet::single(EventClass::Win);
+        assert_eq!(
+            queries,
+            vec![
+                Query::Cost(d),
+                Query::Icost(d.union(w)),
+                Query::IcostOfUnits(vec![d, w]),
+            ]
+        );
+        let (_, backend) =
+            parse_query_body(r#"{"backend":"graph","queries":[{"cost":"(none)"}]}"#).expect("ok");
+        assert_eq!(backend, Backend::Graph);
+    }
+
+    #[test]
+    fn query_body_errors_name_the_offender() {
+        assert!(parse_query_body("not json")
+            .unwrap_err()
+            .contains("invalid JSON"));
+        assert!(parse_query_body(r#"{"queries":[]}"#)
+            .unwrap_err()
+            .contains("empty"));
+        let err =
+            parse_query_body(r#"{"queries":[{"cost":"dmiss"},{"cost":"nope"}]}"#).unwrap_err();
+        assert!(err.contains("queries[1]") && err.contains("nope"), "{err}");
+        assert!(
+            parse_query_body(r#"{"backend":"quantum","queries":[{"cost":"dmiss"}]}"#)
+                .unwrap_err()
+                .contains("backend")
+        );
+    }
+}

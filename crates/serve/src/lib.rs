@@ -1,0 +1,48 @@
+//! `uarch-serve` — the live telemetry plane: a dependency-free,
+//! std-only HTTP front-end over the cost-lattice [`Runner`].
+//!
+//! Everything the obs stack records (metrics registries, the JSONL run
+//! ledger) was post-mortem until this crate: you learned what a sweep
+//! did after it exited. `uarch-serve` turns the runner into a service
+//! with a *live* view while batches run:
+//!
+//! | Endpoint       | What it serves                                          |
+//! |----------------|---------------------------------------------------------|
+//! | `GET /metrics` | Prometheus text exposition of every registry (runner aggregate, graph kernel, cache, ledger, serve layer) |
+//! | `GET /healthz` | Liveness + identity (workload name, trace size, threads) |
+//! | `GET /readyz`  | Readiness (503 until the accept pool is listening)      |
+//! | `GET /events`  | Ledger records streamed live as Server-Sent Events      |
+//! | `POST /query`  | JSON batch of `cost(S)`/`icost(U)` queries through the shared runner |
+//!
+//! The transport is intentionally primitive — `TcpListener` plus a
+//! bounded accept pool of plain OS threads, one request per
+//! `Connection: close` connection — because the workspace is
+//! vendored-only and the hard problems (shared cache, fan-out
+//! back-pressure, exposition format) live above the socket anyway.
+//!
+//! Start one with the `icost-obs serve` subcommand, or embed:
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use uarch_runner::Runner;
+//! use uarch_serve::{Server, ServeContext, ServeHost};
+//! use uarch_trace::{MachineConfig, TraceBuilder};
+//!
+//! let trace = TraceBuilder::new().finish();
+//! let host = Arc::new(ServeHost::new(
+//!     Runner::new(),
+//!     ServeContext::new("demo", MachineConfig::table6(), trace),
+//! ));
+//! let server = Server::start(host, "127.0.0.1:0", 4).unwrap();
+//! println!("listening on {}", server.addr());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod host;
+pub mod http;
+pub mod server;
+
+pub use host::{parse_query_body, Backend, ServeContext, ServeHost};
+pub use server::{Server, DEFAULT_ADDR, DEFAULT_WORKERS, SERVE_ADDR_ENV};

@@ -1,0 +1,237 @@
+//! The accept pool and request router.
+//!
+//! Threading model: `workers` OS threads share one `TcpListener`
+//! (via `try_clone`), each blocking in `accept` and handling one
+//! connection at a time — a bounded pool, so a flood of clients queues
+//! in the kernel backlog instead of spawning unbounded threads. Every
+//! response closes its connection. Shutdown sets a stop flag and pokes
+//! the listener with dummy connects so blocked `accept` calls return.
+
+use std::io::Write;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::host::ServeHost;
+use crate::http::{self, ParseError, Request};
+
+/// Environment variable naming the listen address for `icost-obs serve`
+/// (e.g. `127.0.0.1:9f17`... any `host:port`; port `0` picks one).
+pub const SERVE_ADDR_ENV: &str = "ICOST_SERVE_ADDR";
+
+/// Default listen address when neither flag nor env var names one.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7117";
+
+/// Default accept-pool size.
+pub const DEFAULT_WORKERS: usize = 4;
+
+/// Per-connection socket read timeout: a stalled client cannot pin an
+/// accept-pool thread for longer than this.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long the SSE loop waits for a ledger record before emitting a
+/// keepalive comment (which doubles as the disconnect/stop probe).
+const SSE_TICK: Duration = Duration::from_millis(250);
+
+/// Per-SSE-client queue bound, in ledger lines (drop-oldest beyond).
+const SSE_QUEUE_CAPACITY: usize = 4096;
+
+/// A running HTTP server; dropping it (or calling
+/// [`Server::shutdown`]) stops the accept pool.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` and start `workers` accept threads serving `host`.
+    /// Flips the host's ready flag once the pool is listening.
+    pub fn start(
+        host: Arc<ServeHost>,
+        addr: impl ToSocketAddrs,
+        workers: usize,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let listener = listener.try_clone()?;
+                let host = host.clone();
+                let stop = stop.clone();
+                std::thread::Builder::new()
+                    .name(format!("icost-serve-{i}"))
+                    .spawn(move || accept_loop(&listener, &host, &stop))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        host.set_ready(true);
+        Ok(Server {
+            addr,
+            stop,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake blocked workers, and join the pool.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // accept() has no timeout; poke the listener so every blocked
+        // worker wakes, observes the flag, and exits.
+        let wake = match self.addr.ip() {
+            ip if ip.is_unspecified() => {
+                SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), self.addr.port())
+            }
+            _ => self.addr,
+        };
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect_timeout(&wake, Duration::from_millis(200));
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, host: &ServeHost, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        let Ok((stream, _)) = listener.accept() else {
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        handle_connection(host, stream, stop);
+    }
+}
+
+/// Serve one connection: parse the request, route it, respond, close.
+fn handle_connection(host: &ServeHost, mut stream: TcpStream, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let request = match http::read_request(&mut stream) {
+        Ok(request) => request,
+        Err(ParseError::Eof) => return,
+        Err(ParseError::Io(_)) => return,
+        Err(ParseError::Malformed(msg)) => {
+            host.count_request();
+            host.count_error();
+            let _ = http::write_response(
+                &mut stream,
+                400,
+                "text/plain",
+                format!("{msg}\n").as_bytes(),
+            );
+            return;
+        }
+        Err(ParseError::TooLarge(what)) => {
+            host.count_request();
+            host.count_error();
+            let status = if what == "body" { 413 } else { 431 };
+            let _ = http::write_response(
+                &mut stream,
+                status,
+                "text/plain",
+                format!("{what} too large\n").as_bytes(),
+            );
+            return;
+        }
+    };
+    host.count_request();
+    route(host, &mut stream, &request, stop);
+}
+
+fn route(host: &ServeHost, stream: &mut TcpStream, request: &Request, stop: &AtomicBool) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/metrics") => {
+            let body = host.render_metrics();
+            let _ = http::write_response(
+                stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                body.as_bytes(),
+            );
+        }
+        ("GET", "/healthz") => {
+            let _ = http::write_response(
+                stream,
+                200,
+                "application/json",
+                host.health_json().as_bytes(),
+            );
+        }
+        ("GET", "/readyz") => {
+            if host.is_ready() {
+                let _ = http::write_response(stream, 200, "text/plain", b"ready\n");
+            } else {
+                host.count_error();
+                let _ = http::write_response(stream, 503, "text/plain", b"starting\n");
+            }
+        }
+        ("GET", "/events") => stream_events(host, stream, stop),
+        ("POST", "/query") => match host.handle_query(&request.body) {
+            Ok(body) => {
+                let _ = http::write_response(stream, 200, "application/json", body.as_bytes());
+            }
+            Err(msg) => {
+                host.count_error();
+                let _ =
+                    http::write_response(stream, 400, "text/plain", format!("{msg}\n").as_bytes());
+            }
+        },
+        (_, "/metrics" | "/healthz" | "/readyz" | "/events" | "/query") => {
+            host.count_error();
+            let _ = http::write_response(stream, 405, "text/plain", b"method not allowed\n");
+        }
+        _ => {
+            host.count_error();
+            let _ = http::write_response(stream, 404, "text/plain", b"not found\n");
+        }
+    }
+}
+
+/// `GET /events`: subscribe to the global ledger and stream every
+/// record line as one SSE `data:` frame, in append order.
+///
+/// Back-pressure: the subscription queue holds [`SSE_QUEUE_CAPACITY`]
+/// lines; a client that reads slower than the runner appends loses
+/// oldest-first (counted on `ledger.events.dropped`) rather than
+/// blocking the run. Keepalive comments flow every [`SSE_TICK`] so
+/// disconnects and server shutdown are noticed promptly.
+fn stream_events(host: &ServeHost, stream: &mut TcpStream, stop: &AtomicBool) {
+    let subscription = uarch_obs::ledger::global().subscribe(SSE_QUEUE_CAPACITY);
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    host.sse_clients_delta(1);
+    while !stop.load(Ordering::SeqCst) {
+        let frame = match subscription.recv_timeout(SSE_TICK) {
+            Some(line) => format!("data: {line}\n\n"),
+            None => ": keepalive\n\n".to_string(),
+        };
+        if stream.write_all(frame.as_bytes()).is_err() || stream.flush().is_err() {
+            break;
+        }
+    }
+    host.sse_clients_delta(-1);
+}

@@ -1,0 +1,148 @@
+//! In-process endpoint tests: a real server on an ephemeral port, a
+//! raw-socket client, and assertions over every route.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use uarch_runner::Runner;
+use uarch_serve::{ServeContext, ServeHost, Server};
+use uarch_trace::MachineConfig;
+
+fn test_host() -> Arc<ServeHost> {
+    let w = uarch_workloads::generate(
+        uarch_workloads::BenchProfile::by_name("mcf").expect("profile"),
+        4_000,
+        2003,
+    );
+    let mut ctx = ServeContext::new(w.name.clone(), MachineConfig::table6(), w.trace);
+    ctx.warm_data = w.warm_data;
+    ctx.warm_code = w.warm_code;
+    Arc::new(ServeHost::new(Runner::new().with_threads(2), ctx))
+}
+
+/// Send one request, return `(status, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn endpoints_serve_health_metrics_and_errors() {
+    let host = test_host();
+    let server = Server::start(host.clone(), "127.0.0.1:0", 2).expect("start");
+    let addr = server.addr();
+
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"workload\":\"mcf\""), "{body}");
+
+    let (status, body) = request(addr, "GET", "/readyz", "");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ready\n");
+
+    let (status, _) = request(addr, "GET", "/nowhere", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "POST", "/metrics", "");
+    assert_eq!(status, 405);
+
+    // A metrics scrape renders a checkable exposition document.
+    let (status, text) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    uarch_obs::prom::check(&text).expect("exposition passes the checker");
+    assert!(text.contains("serve_requests"), "{text}");
+
+    server.shutdown();
+}
+
+#[test]
+fn query_batches_answer_on_both_backends_and_feed_metrics() {
+    let host = test_host();
+    let server = Server::start(host.clone(), "127.0.0.1:0", 2).expect("start");
+    let addr = server.addr();
+
+    let batch =
+        r#"{"queries":[{"cost":"dmiss"},{"icost":"dmiss+win"},{"icost_units":["dmiss","win"]}]}"#;
+    let (status, body) = request(addr, "POST", "/query", batch);
+    assert_eq!(status, 200, "{body}");
+    let doc = uarch_obs::json::parse(&body).expect("response is JSON");
+    let answers = doc
+        .get("answers")
+        .and_then(|v| v.as_arr())
+        .expect("answers");
+    assert_eq!(answers.len(), 3);
+    assert_eq!(
+        doc.get("backend").and_then(|v| v.as_str()),
+        Some("sim"),
+        "{body}"
+    );
+    assert!(doc.get("report").is_some());
+
+    // The identical batch again is answered entirely from the shared
+    // cache: same answers, byte-identical "answers" array.
+    let (_, body2) = request(addr, "POST", "/query", batch);
+    let doc2 = uarch_obs::json::parse(&body2).expect("JSON");
+    assert_eq!(
+        format!("{:?}", doc.get("answers")),
+        format!("{:?}", doc2.get("answers")),
+        "cached replay answers identically"
+    );
+
+    // The graph backend answers the same shapes and is deterministic.
+    let graph_batch = r#"{"backend":"graph","queries":[{"cost":"dmiss"},{"icost":"dmiss+win"}]}"#;
+    let (status, gbody) = request(addr, "POST", "/query", graph_batch);
+    assert_eq!(status, 200, "{gbody}");
+    let gdoc = uarch_obs::json::parse(&gbody).expect("JSON");
+    assert_eq!(gdoc.get("backend").and_then(|v| v.as_str()), Some("graph"));
+    let (_, gbody2) = request(addr, "POST", "/query", graph_batch);
+    let gdoc2 = uarch_obs::json::parse(&gbody2).expect("JSON");
+    assert_eq!(
+        format!("{:?}", gdoc.get("answers")),
+        format!("{:?}", gdoc2.get("answers")),
+        "graph backend answers deterministically"
+    );
+
+    // Malformed batches are client errors, not 500s.
+    let (status, err) = request(addr, "POST", "/query", r#"{"queries":[{"cost":"nope"}]}"#);
+    assert_eq!(status, 400);
+    assert!(err.contains("nope"), "{err}");
+
+    // After real work, /metrics carries runner, stall, graph, cache and
+    // serve series.
+    let (_, text) = request(addr, "GET", "/metrics", "");
+    uarch_obs::prom::check(&text).expect("exposition passes the checker");
+    for needle in [
+        "runner_queries{registry=\"runner\"}",
+        "sim_stall_",
+        "graph_lanes",
+        "cache_",
+        "serve_queries_answered",
+        "runner_sim_cycles_p50",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+
+    server.shutdown();
+}

@@ -1,0 +1,109 @@
+//! SSE fidelity: the `/events` stream must carry the exact ledger
+//! lines the sink records, in order — this is the in-process half of
+//! the byte-equivalence acceptance test (the CLI e2e covers the
+//! file-sink half).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use uarch_obs::ledger::{self, Ledger};
+use uarch_runner::Runner;
+use uarch_serve::{ServeContext, ServeHost, Server};
+use uarch_trace::MachineConfig;
+
+#[test]
+fn sse_stream_matches_ledger_lines_byte_for_byte() {
+    // One test fn only: the global ledger installs once per process.
+    assert!(
+        ledger::install_global(Ledger::in_memory()),
+        "global ledger must not be initialized yet"
+    );
+
+    let w = uarch_workloads::generate(
+        uarch_workloads::BenchProfile::by_name("gzip").expect("profile"),
+        3_000,
+        2003,
+    );
+    let ctx = ServeContext::new(w.name.clone(), MachineConfig::table6(), w.trace);
+    let host = Arc::new(ServeHost::new(Runner::new().with_threads(2), ctx));
+    let server = Server::start(host, "127.0.0.1:0", 2).expect("start");
+    let addr = server.addr();
+
+    // Subscribe before any run so no record can slip past the tee.
+    let mut events = TcpStream::connect(addr).expect("connect events");
+    events
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .unwrap();
+    events
+        .write_all(b"GET /events HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("request events");
+    let mut streamed = String::new();
+    read_until(&mut events, &mut streamed, |s| s.contains("\r\n\r\n"));
+    // Cut the HTTP head off so only SSE frames remain in the buffer.
+    let head_end = streamed.find("\r\n\r\n").expect("head terminator") + 4;
+    let head: String = streamed.drain(..head_end).collect();
+    assert!(head.contains("text/event-stream"), "{head}");
+
+    // Run a batch; the runner appends a run header + job records.
+    let batch = r#"{"queries":[{"cost":"dmiss"},{"icost":"dmiss+win"}]}"#;
+    let mut query = TcpStream::connect(addr).expect("connect query");
+    query
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    query
+        .write_all(
+            format!(
+                "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{batch}",
+                batch.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send query");
+    let mut response = String::new();
+    query.read_to_string(&mut response).expect("query answer");
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+
+    let sink_text = ledger::global().buffered_text().expect("in-memory sink");
+    let sink_lines: Vec<&str> = sink_text.lines().collect();
+    assert!(
+        sink_lines.len() >= 2,
+        "expected a run header plus job records, got:\n{sink_text}"
+    );
+
+    // Read SSE frames until every sink line has streamed.
+    read_until(&mut events, &mut streamed, |s| {
+        data_lines(s).len() >= sink_lines.len()
+    });
+    drop(events);
+    server.shutdown();
+
+    assert_eq!(
+        data_lines(&streamed),
+        sink_lines,
+        "SSE data lines must be byte-identical to the ledger sink"
+    );
+}
+
+/// The payloads of complete `data:` frames, in order.
+fn data_lines(streamed: &str) -> Vec<&str> {
+    streamed
+        .split("\n\n")
+        .filter_map(|frame| frame.trim_start_matches('\n').strip_prefix("data: "))
+        .collect()
+}
+
+/// Append socket bytes to `buf` until `done(buf)` or a 10s deadline.
+fn read_until(stream: &mut TcpStream, buf: &mut String, done: impl Fn(&str) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut chunk = [0u8; 4096];
+    while !done(buf) {
+        assert!(Instant::now() < deadline, "timed out; got:\n{buf}");
+        match stream.read(&mut chunk) {
+            Ok(0) => panic!("stream closed early; got:\n{buf}"),
+            Ok(n) => buf.push_str(&String::from_utf8_lossy(&chunk[..n])),
+            Err(_) => {} // read timeout tick; check the predicate again
+        }
+    }
+}

@@ -231,6 +231,26 @@ impl Extend<EventClass> for EventSet {
     }
 }
 
+impl EventSet {
+    /// Parse the [`Display`](fmt::Display) form back into a set:
+    /// `"dmiss+win"`, a single short name, or `"(none)"` / the empty
+    /// string for [`EventSet::EMPTY`]. Whitespace around names is
+    /// ignored; unknown names are an error naming the offender.
+    pub fn parse(s: &str) -> Result<EventSet, String> {
+        let s = s.trim();
+        if s.is_empty() || s == "(none)" {
+            return Ok(EventSet::EMPTY);
+        }
+        s.split('+')
+            .map(|name| {
+                let name = name.trim();
+                EventClass::from_name(name)
+                    .ok_or_else(|| format!("unknown event class {name:?} in set {s:?}"))
+            })
+            .collect()
+    }
+}
+
 impl fmt::Display for EventSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_empty() {
@@ -275,6 +295,19 @@ impl Iterator for Subsets {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sets_parse_their_display_form() {
+        for bits in 0..=0xffu16 {
+            let set = EventSet::from_bits(bits as u8);
+            assert_eq!(EventSet::parse(&set.to_string()), Ok(set));
+        }
+        assert_eq!(EventSet::parse(""), Ok(EventSet::EMPTY));
+        assert_eq!(EventSet::parse(" dmiss + win "), {
+            Ok([EventClass::Dmiss, EventClass::Win].into_iter().collect())
+        });
+        assert!(EventSet::parse("dmiss+nope").unwrap_err().contains("nope"));
+    }
 
     #[test]
     fn names_round_trip() {
