@@ -32,15 +32,29 @@ use crate::registry::{Registry, Snapshot, SnapshotValue};
 /// Quantiles derived per histogram family, as `(suffix, q)` pairs.
 const DERIVED_QUANTILES: [(&str, f64); 3] = [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)];
 
-/// Sanitize a metric (or label) name to the Prometheus grammar
+/// Sanitize a metric name to the Prometheus grammar
 /// `[a-zA-Z_:][a-zA-Z0-9_:]*`. Every invalid byte (including the
 /// registry convention's `.`) becomes `_`; a leading digit gets a `_`
 /// prefix; an empty name renders as `_`.
 pub fn sanitize_name(name: &str) -> String {
+    sanitize(name, true)
+}
+
+/// Sanitize a label name to the *label* grammar
+/// `[a-zA-Z_][a-zA-Z0-9_]*` — like [`sanitize_name`] except that `:`
+/// is illegal in label names (it is reserved for recording-rule metric
+/// names) and becomes `_`.
+pub fn sanitize_label_name(name: &str) -> String {
+    sanitize(name, false)
+}
+
+fn sanitize(name: &str, allow_colon: bool) -> String {
     let mut out = String::with_capacity(name.len() + 1);
     for (i, c) in name.chars().enumerate() {
-        let valid =
-            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        let valid = c.is_ascii_alphabetic()
+            || c == '_'
+            || (allow_colon && c == ':')
+            || (i > 0 && c.is_ascii_digit());
         if i == 0 && c.is_ascii_digit() {
             out.push('_');
             out.push(c);
@@ -78,7 +92,7 @@ fn label_block(labels: &[(String, String)]) -> String {
     }
     let inner: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{}=\"{}\"", sanitize_name(k), escape_label_value(v)))
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_label_name(k), escape_label_value(v)))
         .collect();
     format!("{{{}}}", inner.join(","))
 }
@@ -238,6 +252,17 @@ fn valid_name(name: &str) -> bool {
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
+/// Whether `name` matches the label-name grammar
+/// `[a-zA-Z_][a-zA-Z0-9_]*` (no `:`, unlike metric names).
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
 /// Validate one `{k="v",...}` label block; returns the byte length
 /// consumed (including braces) or an error.
 fn check_labels(s: &str) -> Result<usize, String> {
@@ -250,12 +275,10 @@ fn check_labels(s: &str) -> Result<usize, String> {
         }
         // Label name.
         let start = i;
-        while i < bytes.len()
-            && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b':')
-        {
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
             i += 1;
         }
-        if i == start || !valid_name(&s[start..i]) {
+        if i == start || !valid_label_name(&s[start..i]) {
             return Err(format!("bad label name at byte {start} of {s:?}"));
         }
         if bytes.get(i) != Some(&b'=') || bytes.get(i + 1) != Some(&b'"') {
@@ -372,6 +395,10 @@ mod tests {
         assert_eq!(sanitize_name(""), "_");
         assert_eq!(sanitize_name("ok:name_1"), "ok:name_1");
         assert!(valid_name(&sanitize_name("né.à/7")));
+        // ':' is metric-name-only; label names must map it away.
+        assert_eq!(sanitize_label_name("ok:name_1"), "ok_name_1");
+        assert_eq!(sanitize_label_name("9x"), "_9x");
+        assert!(valid_label_name(&sanitize_label_name("a:b.c")));
     }
 
     #[test]
@@ -433,6 +460,7 @@ mod tests {
         assert!(check("ok{a=\"unterminated} 1\n").is_err());
         assert!(check("ok{a=\"bad\\escape\"} 1\n").is_err());
         assert!(check("ok{=\"v\"} 1\n").is_err());
+        assert!(check("ok{a:b=\"v\"} 1\n").is_err());
         assert!(check("ok notanumber\n").is_err());
         assert!(check("# TYPE ok frobnicator\n").is_err());
         assert!(check("# TYPE ok counter\n").is_ok());

@@ -54,6 +54,10 @@ fn sanitization_goldens() {
     assert_eq!(sanitize_name("runner.sims_run"), "runner_sims_run");
     assert_eq!(sanitize_name("9lives"), "_9lives");
     assert_eq!(sanitize_name("a-b c/d"), "a_b_c_d");
+    assert_eq!(
+        uarch_obs::prom::sanitize_label_name("rule:name"),
+        "rule_name"
+    );
     assert_eq!(escape_label_value("plain"), "plain");
     assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
 }

@@ -51,18 +51,34 @@ pub enum ParseError {
     TooLarge(&'static str),
 }
 
+/// Read one head line (request line or header) into `line`, buffering
+/// at most `budget + 1` bytes. The cap is enforced *while reading* —
+/// a client streaming an endless newline-free line gets
+/// [`ParseError::TooLarge`] at the cap instead of growing the string
+/// without bound.
+fn read_head_line<R: BufRead>(
+    reader: &mut R,
+    budget: usize,
+    what: &'static str,
+    line: &mut String,
+) -> Result<usize, ParseError> {
+    let mut limited = reader.by_ref().take(budget as u64 + 1);
+    let n = limited.read_line(line).map_err(ParseError::Io)?;
+    if n > budget {
+        return Err(ParseError::TooLarge(what));
+    }
+    Ok(n)
+}
+
 /// Read one request from `stream` (which should have a read timeout
 /// set by the caller).
 pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     let mut reader = BufReader::new(stream);
+    let mut budget = MAX_HEAD_BYTES;
     let mut line = String::new();
-    match reader.read_line(&mut line) {
-        Ok(0) => return Err(ParseError::Eof),
-        Ok(_) => {}
-        Err(e) => return Err(ParseError::Io(e)),
-    }
-    if line.len() > MAX_HEAD_BYTES {
-        return Err(ParseError::TooLarge("request line"));
+    match read_head_line(&mut reader, budget, "request line", &mut line)? {
+        0 => return Err(ParseError::Eof),
+        n => budget -= n,
     }
     let mut parts = line.split_whitespace();
     let (method, target) = match (parts.next(), parts.next(), parts.next()) {
@@ -80,16 +96,11 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     };
 
     let mut headers = Vec::new();
-    let mut head_bytes = line.len();
     loop {
         let mut header_line = String::new();
-        match reader.read_line(&mut header_line) {
-            Ok(0) => return Err(ParseError::Malformed("truncated headers".into())),
-            Ok(n) => head_bytes += n,
-            Err(e) => return Err(ParseError::Io(e)),
-        }
-        if head_bytes > MAX_HEAD_BYTES {
-            return Err(ParseError::TooLarge("headers"));
+        match read_head_line(&mut reader, budget, "headers", &mut header_line)? {
+            0 => return Err(ParseError::Malformed("truncated headers".into())),
+            n => budget -= n,
         }
         let trimmed = header_line.trim_end_matches(['\r', '\n']);
         if trimmed.is_empty() {
@@ -200,5 +211,35 @@ mod tests {
             parse(huge.as_bytes()),
             Err(ParseError::TooLarge("body"))
         ));
+        let long_header = format!(
+            "GET / HTTP/1.1\r\nx: {}\r\n\r\n",
+            "h".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(
+            parse(long_header.as_bytes()),
+            Err(ParseError::TooLarge("headers"))
+        ));
+    }
+
+    /// The head cap must bound buffering *while* reading: a client that
+    /// streams an endless newline-free request line (socket held open,
+    /// so no EOF ever arrives) gets rejected at the cap instead of
+    /// growing server memory until the connection dies.
+    #[test]
+    fn rejects_unterminated_request_line_without_waiting_for_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client
+            .write_all(&vec![b'A'; MAX_HEAD_BYTES + 64])
+            .expect("write");
+        // Keep `client` open: read_request must return from the bound,
+        // not from end-of-stream.
+        let (mut server_side, _) = listener.accept().expect("accept");
+        assert!(matches!(
+            read_request(&mut server_side),
+            Err(ParseError::TooLarge("request line"))
+        ));
+        drop(client);
     }
 }

@@ -45,4 +45,4 @@ pub mod http;
 pub mod server;
 
 pub use host::{parse_query_body, Backend, ServeContext, ServeHost};
-pub use server::{Server, DEFAULT_ADDR, DEFAULT_WORKERS, SERVE_ADDR_ENV};
+pub use server::{Server, DEFAULT_ADDR, DEFAULT_WORKERS, MAX_SSE_CLIENTS, SERVE_ADDR_ENV};

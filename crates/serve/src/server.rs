@@ -3,16 +3,22 @@
 //! Threading model: `workers` OS threads share one `TcpListener`
 //! (via `try_clone`), each blocking in `accept` and handling one
 //! connection at a time — a bounded pool, so a flood of clients queues
-//! in the kernel backlog instead of spawning unbounded threads. Every
-//! response closes its connection. Shutdown sets a stop flag and pokes
-//! the listener with dummy connects so blocked `accept` calls return.
+//! in the kernel backlog instead of spawning unbounded threads. The
+//! one exception is `GET /events`: a connection-lifetime SSE stream
+//! would pin its worker forever, so after the request parses the
+//! connection is handed to a dedicated thread (capped at
+//! [`MAX_SSE_CLIENTS`]; beyond that the request gets `503`) and the
+//! worker returns to `accept`. Every response closes its connection.
+//! Shutdown sets a stop flag, pokes the listener with dummy connects so
+//! blocked `accept` calls return, joins the pool, then waits for the
+//! SSE threads (which poll the flag every [`SSE_TICK`]) to drain.
 
 use std::io::Write;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::host::ServeHost;
 use crate::http::{self, ParseError, Request};
@@ -38,6 +44,26 @@ const SSE_TICK: Duration = Duration::from_millis(250);
 /// Per-SSE-client queue bound, in ledger lines (drop-oldest beyond).
 const SSE_QUEUE_CAPACITY: usize = 4096;
 
+/// Cap on concurrent `GET /events` streams (each holds a dedicated
+/// thread); further subscribers are turned away with `503`.
+pub const MAX_SSE_CLIENTS: usize = 32;
+
+/// How long an accept-pool worker backs off after `accept()` errors.
+/// Persistent errors (EMFILE under fd exhaustion, say) would otherwise
+/// turn the worker into a 100% CPU busy-spin.
+const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(50);
+
+/// How long shutdown waits for dedicated SSE threads to notice the
+/// stop flag (they poll it every [`SSE_TICK`]).
+const SSE_DRAIN_DEADLINE: Duration = Duration::from_secs(2);
+
+/// The count of live dedicated SSE threads, shared between the router
+/// (slot reservation) and shutdown (drain wait).
+#[derive(Debug, Default)]
+struct SseSlots {
+    active: AtomicUsize,
+}
+
 /// A running HTTP server; dropping it (or calling
 /// [`Server::shutdown`]) stops the accept pool.
 #[derive(Debug)]
@@ -45,6 +71,7 @@ pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     workers: Vec<JoinHandle<()>>,
+    sse: Arc<SseSlots>,
 }
 
 impl Server {
@@ -58,21 +85,36 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let workers = (0..workers.max(1))
-            .map(|i| {
-                let listener = listener.try_clone()?;
+        let sse = Arc::new(SseSlots::default());
+        let mut spawned = Vec::with_capacity(workers.max(1));
+        for i in 0..workers.max(1) {
+            let worker = listener.try_clone().and_then(|listener| {
                 let host = host.clone();
                 let stop = stop.clone();
+                let sse = sse.clone();
                 std::thread::Builder::new()
                     .name(format!("icost-serve-{i}"))
-                    .spawn(move || accept_loop(&listener, &host, &stop))
-            })
-            .collect::<std::io::Result<Vec<_>>>()?;
+                    .spawn(move || accept_loop(&listener, &host, &stop, &sse))
+            });
+            match worker {
+                Ok(handle) => spawned.push(handle),
+                Err(e) => {
+                    // A mid-loop clone/spawn failure must not leak the
+                    // workers already blocked in accept(): stop them,
+                    // wake them, and join before surfacing the error
+                    // (which also lets every listener clone close).
+                    stop.store(true, Ordering::SeqCst);
+                    wake_and_join(addr, &mut spawned);
+                    return Err(e);
+                }
+            }
+        }
         host.set_ready(true);
         Ok(Server {
             addr,
             stop,
-            workers,
+            workers: spawned,
+            sse,
         })
     }
 
@@ -90,20 +132,29 @@ impl Server {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // accept() has no timeout; poke the listener so every blocked
-        // worker wakes, observes the flag, and exits.
-        let wake = match self.addr.ip() {
-            ip if ip.is_unspecified() => {
-                SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), self.addr.port())
-            }
-            _ => self.addr,
-        };
-        for _ in 0..self.workers.len() {
-            let _ = TcpStream::connect_timeout(&wake, Duration::from_millis(200));
+        wake_and_join(self.addr, &mut self.workers);
+        // SSE threads are detached; they observe the stop flag within
+        // one SSE_TICK and release their slot on exit.
+        let deadline = Instant::now() + SSE_DRAIN_DEADLINE;
+        while self.sse.active.load(Ordering::SeqCst) != 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
         }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+    }
+}
+
+/// Wake every worker blocked in `accept()` (which has no timeout) with
+/// dummy connects, then join them. Callers must have set the stop flag
+/// first.
+fn wake_and_join(addr: SocketAddr, workers: &mut Vec<JoinHandle<()>>) {
+    let wake = match addr.ip() {
+        ip if ip.is_unspecified() => SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), addr.port()),
+        _ => addr,
+    };
+    for _ in 0..workers.len() {
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_millis(200));
+    }
+    for handle in workers.drain(..) {
+        let _ = handle.join();
     }
 }
 
@@ -113,20 +164,36 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, host: &ServeHost, stop: &AtomicBool) {
+fn accept_loop(
+    listener: &TcpListener,
+    host: &Arc<ServeHost>,
+    stop: &Arc<AtomicBool>,
+    sse: &Arc<SseSlots>,
+) {
     while !stop.load(Ordering::SeqCst) {
-        let Ok((stream, _)) = listener.accept() else {
-            continue;
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                std::thread::sleep(ACCEPT_ERROR_BACKOFF);
+                continue;
+            }
         };
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        handle_connection(host, stream, stop);
+        handle_connection(host, stream, stop, sse);
     }
 }
 
 /// Serve one connection: parse the request, route it, respond, close.
-fn handle_connection(host: &ServeHost, mut stream: TcpStream, stop: &AtomicBool) {
+/// `GET /events` is the exception — it hands the stream to a dedicated
+/// thread so the accept-pool worker stays available.
+fn handle_connection(
+    host: &Arc<ServeHost>,
+    mut stream: TcpStream,
+    stop: &Arc<AtomicBool>,
+    sse: &Arc<SseSlots>,
+) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let request = match http::read_request(&mut stream) {
         Ok(request) => request,
@@ -157,10 +224,51 @@ fn handle_connection(host: &ServeHost, mut stream: TcpStream, stop: &AtomicBool)
         }
     };
     host.count_request();
-    route(host, &mut stream, &request, stop);
+    if (request.method.as_str(), request.path.as_str()) == ("GET", "/events") {
+        spawn_sse(host, stream, stop, sse);
+        return;
+    }
+    route(host, &mut stream, &request);
 }
 
-fn route(host: &ServeHost, stream: &mut TcpStream, request: &Request, stop: &AtomicBool) {
+/// Move a `GET /events` connection onto a dedicated thread, bounded by
+/// [`MAX_SSE_CLIENTS`]; over the cap (or if the spawn fails) the client
+/// gets `503` and the worker moves on either way.
+fn spawn_sse(
+    host: &Arc<ServeHost>,
+    mut stream: TcpStream,
+    stop: &Arc<AtomicBool>,
+    sse: &Arc<SseSlots>,
+) {
+    let reserved = sse
+        .active
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < MAX_SSE_CLIENTS).then_some(n + 1)
+        })
+        .is_ok();
+    if !reserved {
+        host.count_error();
+        let _ = http::write_response(&mut stream, 503, "text/plain", b"too many event streams\n");
+        return;
+    }
+    let thread_host = host.clone();
+    let stop = stop.clone();
+    let slots = sse.clone();
+    let spawned = std::thread::Builder::new()
+        .name("icost-serve-sse".into())
+        .spawn(move || {
+            stream_events(&thread_host, &mut stream, &stop);
+            slots.active.fetch_sub(1, Ordering::SeqCst);
+        });
+    if spawned.is_err() {
+        // The stream moved into the dropped closure, so the client just
+        // sees a close; what matters is releasing the reserved slot.
+        sse.active.fetch_sub(1, Ordering::SeqCst);
+        host.count_error();
+    }
+}
+
+fn route(host: &ServeHost, stream: &mut TcpStream, request: &Request) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/metrics") => {
             let body = host.render_metrics();
@@ -187,7 +295,6 @@ fn route(host: &ServeHost, stream: &mut TcpStream, request: &Request, stop: &Ato
                 let _ = http::write_response(stream, 503, "text/plain", b"starting\n");
             }
         }
-        ("GET", "/events") => stream_events(host, stream, stop),
         ("POST", "/query") => match host.handle_query(&request.body) {
             Ok(body) => {
                 let _ = http::write_response(stream, 200, "application/json", body.as_bytes());

@@ -77,6 +77,45 @@ fn endpoints_serve_health_metrics_and_errors() {
     server.shutdown();
 }
 
+/// Long-lived `/events` streams must not occupy accept-pool workers:
+/// with a single-worker pool and more SSE clients than workers, plain
+/// endpoints must still answer (before the fix, the streams pinned the
+/// pool and every other request sat in the kernel backlog forever).
+#[test]
+fn event_streams_do_not_starve_the_accept_pool() {
+    let host = test_host();
+    let server = Server::start(host, "127.0.0.1:0", 1).expect("start");
+    let addr = server.addr();
+
+    let mut streams = Vec::new();
+    for _ in 0..2 {
+        let mut s = TcpStream::connect(addr).expect("connect sse");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(b"GET /events HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("request events");
+        // Wait for the stream head so we know the handoff happened and
+        // the worker is (or is not) free again.
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            match s.read(&mut byte) {
+                Ok(1) => head.push(byte[0]),
+                _ => panic!("no SSE head; got {:?}", String::from_utf8_lossy(&head)),
+            }
+        }
+        assert!(
+            String::from_utf8_lossy(&head).contains("text/event-stream"),
+            "{head:?}"
+        );
+        streams.push(s);
+    }
+
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    drop(streams);
+    server.shutdown();
+}
+
 #[test]
 fn query_batches_answer_on_both_backends_and_feed_metrics() {
     let host = test_host();
