@@ -15,7 +15,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use uarch_obs::json::Value;
-use uarch_obs::ledger::{parse_ledger, LedgerRecord, Provenance};
+use uarch_obs::ledger::{parse_ledger, parse_ledger_lenient, LedgerRecord, Provenance};
 
 /// Aggregated view of one ledger file: run/job counts, provenance
 /// split, total simulated cycles and wall time, stall taxonomy sums,
@@ -48,6 +48,12 @@ pub struct LedgerSummary {
     /// Result hashes by idealization set (normally one hash per set; a
     /// set maps to several only when the ledger mixes contexts).
     pub hashes: BTreeMap<String, BTreeSet<String>>,
+    /// Calibration records (paired graph/sim observations) seen.
+    pub calibs: u64,
+    /// Planner answer records seen.
+    pub plans: u64,
+    /// Planner answers by serving backend (`cache`/`graph`/`sim`).
+    pub plan_backends: BTreeMap<String, u64>,
 }
 
 impl LedgerSummary {
@@ -81,14 +87,29 @@ impl LedgerSummary {
                         .or_default()
                         .insert(j.hash.clone());
                 }
+                LedgerRecord::Calib(_) => s.calibs += 1,
+                LedgerRecord::Plan(p) => {
+                    s.plans += 1;
+                    *s.plan_backends.entry(p.backend.clone()).or_insert(0) += 1;
+                }
             }
         }
         s
     }
 
-    /// Parse ledger text (JSONL) and summarize it.
+    /// Parse ledger text (JSONL) and summarize it. Strict: any record
+    /// kind this build does not know is an error.
     pub fn from_text(text: &str) -> Result<LedgerSummary, String> {
         Ok(LedgerSummary::from_records(&parse_ledger(text)?))
+    }
+
+    /// Like [`LedgerSummary::from_text`], but record kinds from newer
+    /// builds are skipped (and counted) instead of failing the whole
+    /// file — so `summarize`/`diff` keep working across version skew.
+    /// Malformed JSON still errors.
+    pub fn from_text_lenient(text: &str) -> Result<(LedgerSummary, u64), String> {
+        let (records, skipped) = parse_ledger_lenient(text)?;
+        Ok((LedgerSummary::from_records(&records), skipped))
     }
 
     /// Percentage of jobs answered without simulating, in `[0, 100]`;
@@ -134,6 +155,15 @@ impl LedgerSummary {
         row("contexts", self.ctxs.len().to_string());
         let threads: Vec<String> = self.threads.iter().map(u64::to_string).collect();
         row("threads", threads.join(","));
+        if self.calibs > 0 {
+            row("calib_records", self.calibs.to_string());
+        }
+        if self.plans > 0 {
+            row("plan_answers", self.plans.to_string());
+            for (backend, n) in &self.plan_backends {
+                row(&format!("  via {backend}"), n.to_string());
+            }
+        }
         if !self.stalls.is_empty() {
             out.push_str("  stall cycles by cause:\n");
             for (name, v) in &self.stalls {
@@ -161,6 +191,17 @@ impl LedgerSummary {
             "stalls".into(),
             Value::Obj(
                 self.stalls
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Value::Num(v as f64)))
+                    .collect(),
+            ),
+        );
+        obj.insert("calib_records".into(), Value::Num(self.calibs as f64));
+        obj.insert("plan_answers".into(), Value::Num(self.plans as f64));
+        obj.insert(
+            "plan_backends".into(),
+            Value::Obj(
+                self.plan_backends
                     .iter()
                     .map(|(k, &v)| (k.clone(), Value::Num(v as f64)))
                     .collect(),
@@ -521,5 +562,40 @@ mod tests {
         let s = LedgerSummary::from_text("").unwrap();
         assert_eq!(s.jobs, 0);
         assert_eq!(s.reuse_pct(), None);
+    }
+
+    #[test]
+    fn lenient_summary_counts_plan_records_and_skips_future_kinds() {
+        use uarch_obs::ledger::{CalibRecord, PlanRecord};
+        let calib = LedgerRecord::Calib(CalibRecord {
+            sim_ctx: "s".into(),
+            graph_ctx: "g".into(),
+            set: "dmiss".into(),
+            graph_cost: 100,
+            sim_cost: 97,
+        });
+        let plan = LedgerRecord::Plan(PlanRecord {
+            run: 1,
+            query: "cost(dmiss)".into(),
+            backend: "graph".into(),
+            confidence_pm: 910,
+            reason: "trusted".into(),
+        });
+        let text = format!(
+            "{}\n{}\n{{\"kind\":\"future\",\"x\":1}}\n",
+            calib.to_json_line(),
+            plan.to_json_line()
+        );
+        assert!(
+            LedgerSummary::from_text(&text).is_err(),
+            "strict parse rejects future kinds"
+        );
+        let (s, skipped) = LedgerSummary::from_text_lenient(&text).expect("lenient");
+        assert_eq!(skipped, 1);
+        assert_eq!(s.calibs, 1);
+        assert_eq!(s.plans, 1);
+        assert_eq!(s.plan_backends["graph"], 1);
+        assert!(s.to_table().contains("plan_answers"));
+        assert!(uarch_obs::json::parse(&s.to_json()).is_ok());
     }
 }

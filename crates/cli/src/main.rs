@@ -4,7 +4,9 @@
 //! icost-obs summarize <ledger.jsonl> [--json]
 //! icost-obs diff <base.jsonl> <new.jsonl> [--tolerance F] [--wall-tolerance F] [--json]
 //! icost-obs bench-export <ledger.jsonl> --tag TAG [--out FILE]
+//! icost-obs plan <ledger.jsonl> [--json]
 //! icost-obs serve [--addr HOST:PORT] [--workload NAME] [--insts N] [--threads N] [--workers N]
+//!                 [--token TOKEN]
 //! ```
 //!
 //! Exit codes: `0` success / no regressions, `1` regressions found by
@@ -23,20 +25,25 @@ USAGE:
     icost-obs summarize <ledger.jsonl> [--json]
     icost-obs diff <base.jsonl> <new.jsonl> [--tolerance F] [--wall-tolerance F] [--json]
     icost-obs bench-export <ledger.jsonl> --tag TAG [--out FILE]
+    icost-obs plan <ledger.jsonl> [--json]
     icost-obs serve [--addr HOST:PORT] [--workload NAME] [--insts N]
-                    [--threads N] [--workers N]
+                    [--threads N] [--workers N] [--token TOKEN]
 
 COMMANDS:
     summarize     Aggregate a ledger into run/job/provenance/cycle totals
     diff          Compare a candidate ledger against a baseline; exit 1
                   when a gated metric regresses beyond tolerance
     bench-export  Write the summary as BENCH_<TAG>.json (or --out FILE)
+    plan          Inspect the mixed-fidelity planner's ledger trail:
+                  answers by backend and routing reason, plus the
+                  per-context graph-residual calibration replayed from
+                  the ledger's calib records
     serve         Run the live telemetry server: GET /metrics (Prometheus),
                   /healthz, /readyz, /events (SSE ledger stream), and
-                  POST /query (JSON cost(S) batches). Listens on --addr,
-                  the ICOST_SERVE_ADDR env var, or 127.0.0.1:7117; runs
-                  until killed. Set ICOST_LEDGER_FILE to also persist the
-                  streamed records.
+                  POST /query (JSON cost(S) batches; backend sim|graph|auto).
+                  Listens on --addr, the ICOST_SERVE_ADDR env var, or
+                  127.0.0.1:7117; runs until killed. Set ICOST_LEDGER_FILE
+                  to also persist the streamed records.
 
 OPTIONS:
     --json             Emit JSON instead of the aligned table
@@ -51,6 +58,9 @@ OPTIONS:
     --insts N          serve trace length in instructions (default 20000)
     --threads N        serve simulation worker threads (default: cores)
     --workers N        serve HTTP accept-pool size (default 4)
+    --token TOKEN      serve bearer token; every endpoint then requires
+                       'Authorization: Bearer TOKEN' (defaults to the
+                       ICOST_SERVE_TOKEN env var; empty disables auth)
 ";
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
@@ -60,7 +70,12 @@ fn fail(msg: impl std::fmt::Display) -> ExitCode {
 
 fn load_summary(path: &str) -> Result<LedgerSummary, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    LedgerSummary::from_text(&text).map_err(|e| format!("{path}: {e}"))
+    let (summary, skipped) =
+        LedgerSummary::from_text_lenient(&text).map_err(|e| format!("{path}: {e}"))?;
+    if skipped > 0 {
+        eprintln!("icost-obs: {path}: skipped {skipped} record(s) of unknown kind");
+    }
+    Ok(summary)
 }
 
 /// Pull `--flag VALUE` out of `args`, parsing the value.
@@ -172,6 +187,19 @@ fn main() -> ExitCode {
             eprintln!("icost-obs: wrote {out}");
             ExitCode::SUCCESS
         }
+        "plan" => {
+            let json = take_flag(&mut args, "--json");
+            let [path] = args.as_slice() else {
+                return fail("plan takes exactly one ledger path (see --help)");
+            };
+            match plan_report(path, json) {
+                Ok(out) => {
+                    print!("{out}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
         "serve" => {
             let addr = match take_opt::<String>(&mut args, "--addr") {
                 Ok(Some(a)) => a,
@@ -195,10 +223,15 @@ fn main() -> ExitCode {
                 Ok(w) => w.unwrap_or(uarch_serve::DEFAULT_WORKERS),
                 Err(e) => return fail(e),
             };
+            let token = match take_opt::<String>(&mut args, "--token") {
+                Ok(Some(t)) => Some(t),
+                Ok(None) => std::env::var("ICOST_SERVE_TOKEN").ok(),
+                Err(e) => return fail(e),
+            };
             if !args.is_empty() {
                 return fail(format!("unexpected arguments {args:?} (see --help)"));
             }
-            serve(&addr, &workload, insts, threads, workers)
+            serve(&addr, &workload, insts, threads, workers, token)
         }
         other => fail(format!("unknown command {other:?} (see --help)")),
     }
@@ -212,6 +245,7 @@ fn serve(
     insts: usize,
     threads: Option<usize>,
     workers: usize,
+    token: Option<String>,
 ) -> ExitCode {
     let Some(profile) = uarch_workloads::BenchProfile::by_name(workload) else {
         return fail(format!("unknown workload {workload:?}"));
@@ -230,7 +264,10 @@ fn serve(
         runner = runner.with_threads(threads);
     }
     eprintln!("icost-obs: building dependence graph for {workload} ({insts} insts)");
-    let host = Arc::new(ServeHost::new(runner, ctx));
+    if token.is_some() {
+        eprintln!("icost-obs: bearer-token auth enabled");
+    }
+    let host = Arc::new(ServeHost::new(runner, ctx).with_token(token));
     let server = match Server::start(host, addr, workers) {
         Ok(server) => server,
         Err(e) => return fail(format!("cannot bind {addr}: {e}")),
@@ -243,4 +280,111 @@ fn serve(
     loop {
         std::thread::park();
     }
+}
+
+/// `icost-obs plan`: aggregate the planner's ledger trail — answers by
+/// backend and routing reason, plus the per-context graph-residual
+/// calibration replayed from `calib` records.
+fn plan_report(path: &str, json: bool) -> Result<String, String> {
+    use std::collections::BTreeMap;
+    use uarch_obs::json::Value;
+    use uarch_obs::ledger::LedgerRecord;
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (records, skipped) =
+        uarch_obs::ledger::parse_ledger_lenient(&text).map_err(|e| format!("{path}: {e}"))?;
+    if skipped > 0 {
+        eprintln!("icost-obs: {path}: skipped {skipped} record(s) of unknown kind");
+    }
+    let mut backends: BTreeMap<String, u64> = BTreeMap::new();
+    let mut reasons: BTreeMap<String, u64> = BTreeMap::new();
+    let mut answers = 0u64;
+    let mut confidence_pm_sum = 0u64;
+    for record in &records {
+        if let LedgerRecord::Plan(p) = record {
+            answers += 1;
+            confidence_pm_sum += p.confidence_pm;
+            *backends.entry(p.backend.clone()).or_insert(0) += 1;
+            *reasons.entry(p.reason.clone()).or_insert(0) += 1;
+        }
+    }
+    let calibrator = uarch_plan::Calibrator::new();
+    let calibs = calibrator.replay(&records) as u64;
+    let cfg = uarch_plan::PlanConfig::default();
+    let contexts = calibrator.snapshot(&cfg);
+    let mean_confidence = (answers > 0).then(|| confidence_pm_sum as f64 / answers as f64 / 1000.0);
+
+    if json {
+        let count_obj = |m: &BTreeMap<String, u64>| {
+            Value::Obj(
+                m.iter()
+                    .map(|(k, &v)| (k.clone(), Value::Num(v as f64)))
+                    .collect(),
+            )
+        };
+        let mut obj = BTreeMap::new();
+        obj.insert("answers".to_string(), Value::Num(answers as f64));
+        obj.insert(
+            "mean_confidence".to_string(),
+            mean_confidence.map_or(Value::Null, Value::Num),
+        );
+        obj.insert("backends".to_string(), count_obj(&backends));
+        obj.insert("reasons".to_string(), count_obj(&reasons));
+        obj.insert("calib_records".to_string(), Value::Num(calibs as f64));
+        obj.insert(
+            "contexts".to_string(),
+            Value::Arr(
+                contexts
+                    .iter()
+                    .map(|c| {
+                        let mut m = BTreeMap::new();
+                        m.insert("sim_ctx".to_string(), Value::Str(c.sim_ctx.clone()));
+                        m.insert("graph_ctx".to_string(), Value::Str(c.graph_ctx.clone()));
+                        m.insert("samples".to_string(), Value::Num(c.samples as f64));
+                        m.insert("p50".to_string(), Value::Num(c.p50 as f64));
+                        m.insert("p95".to_string(), Value::Num(c.p95 as f64));
+                        m.insert("max".to_string(), Value::Num(c.max as f64));
+                        m.insert(
+                            "tolerance".to_string(),
+                            c.tolerance.map_or(Value::Null, |t| Value::Num(t as f64)),
+                        );
+                        Value::Obj(m)
+                    })
+                    .collect(),
+            ),
+        );
+        let mut out = Value::Obj(obj).render();
+        out.push('\n');
+        return Ok(out);
+    }
+
+    let mut out = String::new();
+    let mut row = |k: &str, v: String| out.push_str(&format!("  {k:<18} {v:>16}\n"));
+    row("plan_answers", answers.to_string());
+    match mean_confidence {
+        Some(c) => row("mean_confidence", format!("{c:.3}")),
+        None => row("mean_confidence", "-".into()),
+    }
+    for (backend, n) in &backends {
+        row(&format!("  via {backend}"), n.to_string());
+    }
+    for (reason, n) in &reasons {
+        row(&format!("  reason {reason}"), n.to_string());
+    }
+    row("calib_records", calibs.to_string());
+    if contexts.is_empty() {
+        out.push_str("  calibration: no calib records (planner uncalibrated)\n");
+    } else {
+        out.push_str("  calibration by context pair:\n");
+        for c in &contexts {
+            let tol = c
+                .tolerance
+                .map_or("uncalibrated".to_string(), |t| t.to_string());
+            out.push_str(&format!(
+                "    sim={} graph={} samples={} p50={} p95={} max={} tolerance={}\n",
+                c.sim_ctx, c.graph_ctx, c.samples, c.p50, c.p95, c.max, tol
+            ));
+        }
+    }
+    Ok(out)
 }

@@ -142,6 +142,80 @@ fn bench_export_writes_deterministic_document() {
     );
 }
 
+/// A ledger written by a (hypothetical) newer build: a record kind this
+/// build has never heard of, plus an extra field on a known kind. Both
+/// must be tolerated — version skew between the process that wrote the
+/// ledger and the CLI that audits it must not fail the regression gate.
+const FUTURE: &str = r#"{"kind":"run","run":1,"ctx":"00000000deadbeef","queries":1,"threads":8,"insts":900,"ts_ms":1700000000000,"schema":9}
+{"kind":"job","run":1,"set":"(none)","provenance":"computed","cycles":5000,"wall_us":120,"hash":"aaaa","stalls":{"issue_fu_busy":2,"load_mem_fill":7}}
+{"kind":"job","run":1,"set":"dmiss","provenance":"computed","cycles":4200,"wall_us":110,"hash":"bbbb","stalls":{"issue_fu_busy":2}}
+{"kind":"hologram","run":1,"payload":"from the future"}
+{"kind":"run","run":2,"ctx":"00000000deadbeef","queries":1,"threads":8,"insts":900,"ts_ms":1700000000100}
+{"kind":"job","run":2,"set":"(none)","provenance":"memory","cycles":5000,"wall_us":3,"hash":"aaaa"}
+{"kind":"job","run":2,"set":"dmiss","provenance":"disk","cycles":4200,"wall_us":9,"hash":"bbbb"}
+"#;
+
+#[test]
+fn diff_and_summarize_tolerate_future_record_kinds() {
+    let base = write_fixture("skew-base.jsonl", LEDGER);
+    let future = write_fixture("skew-new.jsonl", FUTURE);
+    // Same runs/jobs plus an unknown record and an unknown field: the
+    // diff must treat them as equivalent and exit 0, not 2.
+    let out = run(&["diff", base.to_str().unwrap(), future.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("skipped 1 record"),
+        "skips are reported, not silent"
+    );
+    let out = run(&["summarize", future.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("runs"));
+}
+
+#[test]
+fn plan_subcommand_reports_routing_and_calibration() {
+    let ledger = write_fixture(
+        "plan.jsonl",
+        r#"{"kind":"calib","sim_ctx":"00000000deadbeef","graph_ctx":"00000000feedface","set":"dmiss","graph_cost":100,"sim_cost":93}
+{"kind":"calib","sim_ctx":"00000000deadbeef","graph_ctx":"00000000feedface","set":"win","graph_cost":50,"sim_cost":48}
+{"kind":"plan","run":1,"query":"cost(dmiss)","backend":"sim","confidence_pm":1000,"reason":"uncalibrated"}
+{"kind":"plan","run":1,"query":"icost(dmiss+win)","backend":"graph","confidence_pm":905,"reason":"trusted"}
+{"kind":"plan","run":2,"query":"cost(dmiss)","backend":"cache","confidence_pm":1000,"reason":"cache_complete"}
+"#,
+    );
+    let out = run(&["plan", ledger.to_str().unwrap()]);
+    assert!(out.status.success());
+    let table = stdout(&out);
+    for needle in [
+        "plan_answers",
+        "via cache",
+        "via graph",
+        "via sim",
+        "reason trusted",
+        "calib_records",
+        "samples=2",
+    ] {
+        assert!(table.contains(needle), "missing {needle} in:\n{table}");
+    }
+
+    let out = run(&["plan", "--json", ledger.to_str().unwrap()]);
+    assert!(out.status.success());
+    let doc = uarch_obs::json::parse(stdout(&out).trim()).expect("valid JSON");
+    assert_eq!(doc.get("answers").and_then(|v| v.as_num()), Some(3.0));
+    assert_eq!(doc.get("calib_records").and_then(|v| v.as_num()), Some(2.0));
+    let contexts = doc.get("contexts").and_then(|v| v.as_arr()).expect("arr");
+    assert_eq!(contexts.len(), 1);
+    assert_eq!(
+        contexts[0].get("samples").and_then(|v| v.as_num()),
+        Some(2.0)
+    );
+}
+
 #[test]
 fn bad_usage_and_bad_input_exit_two() {
     let out = run(&["diff", "/nonexistent/a.jsonl", "/nonexistent/b.jsonl"]);

@@ -21,9 +21,16 @@ impl ServerProcess {
     /// Spawn `icost-obs serve` on an ephemeral port with a fresh ledger
     /// file, and parse the bound address from its startup line.
     fn spawn() -> ServerProcess {
+        ServerProcess::spawn_with(&[], "main")
+    }
+
+    /// [`ServerProcess::spawn`] with extra CLI arguments and a distinct
+    /// ledger file per `tag` (tests run in one process; sharing a
+    /// ledger file would interleave their records).
+    fn spawn_with(extra_args: &[&str], tag: &str) -> ServerProcess {
         let dir = std::env::temp_dir().join(format!("icost-serve-e2e-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let ledger_path = dir.join("serve.jsonl");
+        let ledger_path = dir.join(format!("serve-{tag}.jsonl"));
         let _ = std::fs::remove_file(&ledger_path);
         let mut child = Command::new(BIN)
             .args([
@@ -37,6 +44,7 @@ impl ServerProcess {
                 "--threads",
                 "2",
             ])
+            .args(extra_args)
             .env("ICOST_LEDGER_FILE", &ledger_path)
             .stdout(Stdio::piped())
             .stderr(Stdio::null())
@@ -69,6 +77,17 @@ impl Drop for ServerProcess {
 
 /// Send one request, return `(status, body)`.
 fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    request_with(addr, method, path, "", body)
+}
+
+/// [`request`] with extra header lines (each ending `\r\n`).
+fn request_with(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra: &str,
+    body: &str,
+) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
@@ -76,7 +95,7 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Stri
     stream
         .write_all(
             format!(
-                "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                "{method} {path} HTTP/1.1\r\nHost: t\r\n{extra}Content-Length: {}\r\n\r\n{body}",
                 body.len()
             )
             .as_bytes(),
@@ -155,6 +174,57 @@ fn serve_process_answers_scrapes_and_streams_the_ledger() {
         ledger_lines,
         "SSE records must match the ICOST_LEDGER_FILE lines byte-for-byte"
     );
+}
+
+/// A token-protected server process: every endpoint 401s without the
+/// bearer token, works normally with it, and `backend:"auto"` batches
+/// come back with per-answer provenance/confidence plus `plan_*`
+/// metrics — the same surface CI smoke-tests over HTTP.
+#[test]
+fn serve_process_enforces_bearer_token_and_answers_auto_batches() {
+    let server = ServerProcess::spawn_with(&["--token", "hunter2"], "auth");
+    let addr = server.addr;
+
+    let (status, _) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 401, "no token → 401");
+    let (status, _) = request_with(
+        addr,
+        "GET",
+        "/metrics",
+        "Authorization: Bearer nope\r\n",
+        "",
+    );
+    assert_eq!(status, 401, "wrong token → 401");
+
+    let auth = "Authorization: Bearer hunter2\r\n";
+    let (status, health) = request_with(addr, "GET", "/healthz", auth, "");
+    assert_eq!(status, 200, "{health}");
+
+    let batch = r#"{"backend":"auto","queries":[{"cost":"dmiss"},{"icost":"dmiss+win"}]}"#;
+    let (status, body) = request_with(addr, "POST", "/query", auth, batch);
+    assert_eq!(status, 200, "{body}");
+    let doc = uarch_obs::json::parse(&body).expect("response is JSON");
+    assert_eq!(doc.get("backend").and_then(|v| v.as_str()), Some("auto"));
+    let prov = doc
+        .get("provenance")
+        .and_then(|v| v.as_arr())
+        .expect("provenance array");
+    assert_eq!(prov.len(), 2, "{body}");
+    let conf = doc
+        .get("confidence")
+        .and_then(|v| v.as_arr())
+        .expect("confidence array");
+    assert_eq!(conf.len(), 2, "{body}");
+
+    let (status, metrics) = request_with(addr, "GET", "/metrics", auth, "");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("plan_queries"),
+        "missing plan_queries in:\n{metrics}"
+    );
+
+    // The auth failures were counted as HTTP errors.
+    assert!(metrics.contains("serve_http_errors"), "{metrics}");
 }
 
 /// The payloads of complete `data:` frames, in order.

@@ -111,6 +111,41 @@ pub struct JobRecord {
     pub stalls: BTreeMap<String, u64>,
 }
 
+/// One paired graph/sim observation of the same event set under the
+/// same workload context — the raw material the planner's `Calibrator`
+/// fits residual quantiles from. Self-contained on purpose: replay
+/// never has to reconstruct which graph run paired with which sim run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibRecord {
+    /// Ground-truth (simulation) context fingerprint, 16 hex digits.
+    pub sim_ctx: String,
+    /// Graph-oracle context fingerprint (the `"graph"`-tagged id).
+    pub graph_ctx: String,
+    /// Display form of the idealized event set (e.g. `dmiss+win`).
+    pub set: String,
+    /// `cost(set)` as the dependence-graph kernel computed it.
+    pub graph_cost: i64,
+    /// `cost(set)` as ground-truth re-simulation computed it.
+    pub sim_cost: i64,
+}
+
+/// One planner routing decision: which rung of the escalation ladder
+/// answered a query, and with what confidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanRecord {
+    /// The plan batch this decision belongs to.
+    pub run: u64,
+    /// Display form of the query (e.g. `icost(dmiss+win)`).
+    pub query: String,
+    /// Which rung answered: `cache`, `graph`, or `sim`.
+    pub backend: String,
+    /// Confidence in the served answer, in per-mille (0..=1000) so the
+    /// wire format stays integer-only and byte-deterministic.
+    pub confidence_pm: u64,
+    /// Why the planner routed there (e.g. `uncalibrated`, `near_zero`).
+    pub reason: String,
+}
+
 /// One parsed (or to-be-written) ledger line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LedgerRecord {
@@ -118,6 +153,10 @@ pub enum LedgerRecord {
     Run(RunHeader),
     /// A job record.
     Job(JobRecord),
+    /// A paired graph/sim calibration observation.
+    Calib(CalibRecord),
+    /// A planner routing decision.
+    Plan(PlanRecord),
 }
 
 impl LedgerRecord {
@@ -160,6 +199,22 @@ impl LedgerRecord {
                 line.push('}');
                 line
             }
+            LedgerRecord::Calib(c) => format!(
+                "{{\"kind\":\"calib\",\"sim_ctx\":{},\"graph_ctx\":{},\"set\":{},\"graph_cost\":{},\"sim_cost\":{}}}",
+                quote(&c.sim_ctx),
+                quote(&c.graph_ctx),
+                quote(&c.set),
+                c.graph_cost,
+                c.sim_cost,
+            ),
+            LedgerRecord::Plan(p) => format!(
+                "{{\"kind\":\"plan\",\"run\":{},\"query\":{},\"backend\":{},\"confidence_pm\":{},\"reason\":{}}}",
+                p.run,
+                quote(&p.query),
+                quote(&p.backend),
+                p.confidence_pm,
+                quote(&p.reason),
+            ),
         }
     }
 
@@ -203,6 +258,20 @@ impl LedgerRecord {
                     stalls,
                 }))
             }
+            "calib" => Ok(LedgerRecord::Calib(CalibRecord {
+                sim_ctx: field_str(&doc, "sim_ctx")?,
+                graph_ctx: field_str(&doc, "graph_ctx")?,
+                set: field_str(&doc, "set")?,
+                graph_cost: field_i64(&doc, "graph_cost")?,
+                sim_cost: field_i64(&doc, "sim_cost")?,
+            })),
+            "plan" => Ok(LedgerRecord::Plan(PlanRecord {
+                run: field_u64(&doc, "run")?,
+                query: field_str(&doc, "query")?,
+                backend: field_str(&doc, "backend")?,
+                confidence_pm: field_u64(&doc, "confidence_pm")?,
+                reason: field_str(&doc, "reason")?,
+            })),
             other => Err(format!("unknown record kind {other:?}")),
         }
     }
@@ -212,6 +281,13 @@ fn field_u64(doc: &Value, name: &str) -> Result<u64, String> {
     doc.get(name)
         .and_then(Value::as_num)
         .map(|n| n as u64)
+        .ok_or_else(|| format!("missing or non-numeric {name:?}"))
+}
+
+fn field_i64(doc: &Value, name: &str) -> Result<i64, String> {
+    doc.get(name)
+        .and_then(Value::as_num)
+        .map(|n| n as i64)
         .ok_or_else(|| format!("missing or non-numeric {name:?}"))
 }
 
@@ -230,6 +306,28 @@ pub fn parse_ledger(text: &str) -> Result<Vec<LedgerRecord>, String> {
         .filter(|(_, line)| !line.trim().is_empty())
         .map(|(i, line)| LedgerRecord::parse(line).map_err(|e| format!("line {}: {e}", i + 1)))
         .collect()
+}
+
+/// Forward-compatible variant of [`parse_ledger`]: lines whose `kind`
+/// this build does not recognize are skipped (and counted) instead of
+/// failing the whole document, so tools built before a record kind was
+/// introduced can still read ledgers written after it. Unknown *fields*
+/// on known kinds are already tolerated by [`LedgerRecord::parse`];
+/// malformed JSON and known kinds with missing fields still error.
+pub fn parse_ledger_lenient(text: &str) -> Result<(Vec<LedgerRecord>, u64), String> {
+    let mut records = Vec::new();
+    let mut skipped = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match LedgerRecord::parse(line) {
+            Ok(record) => records.push(record),
+            Err(e) if e.starts_with("unknown record kind") => skipped += 1,
+            Err(e) => return Err(format!("line {}: {e}", i + 1)),
+        }
+    }
+    Ok((records, skipped))
 }
 
 #[derive(Debug)]
@@ -551,12 +649,53 @@ mod tests {
         }
     }
 
+    fn calib() -> CalibRecord {
+        CalibRecord {
+            sim_ctx: "00aa11bb22cc33dd".into(),
+            graph_ctx: "44ee55ff66778899".into(),
+            set: "dmiss+win".into(),
+            graph_cost: -12,
+            sim_cost: 3,
+        }
+    }
+
+    fn plan() -> PlanRecord {
+        PlanRecord {
+            run: 9,
+            query: "icost(dmiss+win)".into(),
+            backend: "graph".into(),
+            confidence_pm: 875,
+            reason: "calibrated".into(),
+        }
+    }
+
     #[test]
     fn records_roundtrip_through_jsonl() {
-        for record in [LedgerRecord::Run(header()), LedgerRecord::Job(job())] {
+        for record in [
+            LedgerRecord::Run(header()),
+            LedgerRecord::Job(job()),
+            LedgerRecord::Calib(calib()),
+            LedgerRecord::Plan(plan()),
+        ] {
             let line = record.to_json_line();
             assert_eq!(LedgerRecord::parse(&line).expect("parses"), record);
         }
+    }
+
+    #[test]
+    fn lenient_parse_skips_unknown_kinds_and_extra_fields() {
+        let known = LedgerRecord::Run(header()).to_json_line();
+        // A run header with a field from the future still parses.
+        let extended = known.replacen("{", "{\"schema\":7,", 1);
+        // A whole record kind from the future is skipped, not fatal.
+        let text = format!("{extended}\n{{\"kind\":\"hologram\",\"x\":1}}\n{known}\n");
+        let (records, skipped) = parse_ledger_lenient(&text).expect("lenient");
+        assert_eq!(records.len(), 2);
+        assert_eq!(skipped, 1);
+        // Strict parsing still rejects the unknown kind...
+        assert!(parse_ledger(&text).unwrap_err().contains("unknown record"));
+        // ...and leniency does not extend to broken JSON.
+        assert!(parse_ledger_lenient("not json\n").is_err());
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! `uarch-plan` — the mixed-fidelity query planner.
+//!
+//! The stack below this crate offers three ways to answer a
+//! `cost(S)`/`icost(U)` query, spanning a ~100x cost range:
+//!
+//! | Rung    | Substrate                              | Cost     | Fidelity    |
+//! |---------|----------------------------------------|----------|-------------|
+//! | `cache` | shared content-addressed [`SimCache`]  | free     | exact       |
+//! | `graph` | lane-batched [`LatticeGraphOracle`]    | cheap    | approximate |
+//! | `sim`   | parallel ground-truth re-simulation    | expensive| exact       |
+//!
+//! Until now callers picked one up front — paying full re-simulation or
+//! trusting the graph blindly. The [`Planner`] routes each query to the
+//! *cheapest sufficient* rung: answers from cached ground truth when
+//! the cache covers the query, otherwise from the graph kernel, and
+//! escalates to re-simulation only when the confidence model flags the
+//! graph answer as low-trust. Every answer carries provenance and a
+//! confidence score, every escalation teaches the [`Calibrator`] how
+//! far the graph strays for this context, and every decision is
+//! ledgered (`calib` + `plan` records) so a later process replays the
+//! calibration instead of relearning it.
+//!
+//! ```no_run
+//! use uarch_plan::RunnerPlanExt;
+//! use uarch_runner::{Query, Runner};
+//! use uarch_sim::{Idealization, Simulator};
+//! use uarch_graph::DepGraph;
+//! use uarch_trace::{EventClass, EventSet, MachineConfig, TraceBuilder};
+//!
+//! let config = MachineConfig::table6();
+//! let trace = TraceBuilder::new().finish();
+//! let baseline = Simulator::new(&config).run(&trace, Idealization::none());
+//! let graph = DepGraph::build(&trace, &baseline, &config);
+//! let runner = Runner::new();
+//! let mut planner = runner.plan(&config, &trace, &[], &[], &graph);
+//! let (answers, report) = planner.plan(&[
+//!     Query::Cost(EventSet::single(EventClass::Dmiss)),
+//! ]);
+//! println!("{} via {} (confidence {:.2})",
+//!     answers[0].value, answers[0].provenance.as_str(), answers[0].confidence);
+//! println!("{} ground-truth sims", report.sims_run);
+//! ```
+//!
+//! [`SimCache`]: uarch_runner::SimCache
+//! [`LatticeGraphOracle`]: uarch_runner::LatticeGraphOracle
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod calibrate;
+mod planner;
+
+pub use calibrate::{Calibrator, ContextCalibration};
+pub use planner::{
+    assess, Assessment, PlanConfig, PlanProvenance, PlanReason, PlannedAnswer, Planner,
+};
+
+use uarch_graph::DepGraph;
+use uarch_runner::{Query, RunReport, Runner};
+use uarch_trace::{MachineConfig, Trace};
+
+/// Planner entry points hung off [`Runner`], so callers write
+/// `runner.plan(...)` / `runner.run_auto(...)` next to the existing
+/// `runner.run(...)` / `runner.run_graph(...)`.
+pub trait RunnerPlanExt {
+    /// A [`Planner`] bound to this runner's cache and thread budget.
+    /// Keep it alive across batches — cache coverage and calibration
+    /// both accumulate.
+    fn plan<'a>(
+        &self,
+        config: &'a MachineConfig,
+        trace: &'a Trace,
+        warm_data: &'a [u64],
+        warm_code: &'a [u64],
+        graph: &'a DepGraph,
+    ) -> Planner<'a>;
+
+    /// One-shot auto-backend batch: build a planner, answer `queries`,
+    /// return planned answers plus the aggregate work report. The
+    /// calibrator starts empty, so a cold first batch escalates —
+    /// long-lived callers should hold a [`Planner`] instead.
+    fn run_auto(
+        &self,
+        config: &MachineConfig,
+        trace: &Trace,
+        graph: &DepGraph,
+        queries: &[Query],
+    ) -> (Vec<PlannedAnswer>, RunReport);
+}
+
+impl RunnerPlanExt for Runner {
+    fn plan<'a>(
+        &self,
+        config: &'a MachineConfig,
+        trace: &'a Trace,
+        warm_data: &'a [u64],
+        warm_code: &'a [u64],
+        graph: &'a DepGraph,
+    ) -> Planner<'a> {
+        Planner::new(self, config, trace, warm_data, warm_code, graph)
+    }
+
+    fn run_auto(
+        &self,
+        config: &MachineConfig,
+        trace: &Trace,
+        graph: &DepGraph,
+        queries: &[Query],
+    ) -> (Vec<PlannedAnswer>, RunReport) {
+        self.plan(config, trace, &[], &[], graph).plan(queries)
+    }
+}

@@ -18,13 +18,21 @@
 //! files are evicted until it fits. Whole-file granularity matches the
 //! access pattern — a context's sets are loaded together — and keeps every
 //! surviving file a complete, self-consistent record.
+//!
+//! It can also be age-capped: set [`CACHE_MAX_AGE_ENV`] (or call
+//! [`SimCache::with_disk_limits`]) and context files whose mtime is older
+//! than the budget are expired on open and after every append, regardless
+//! of total size. Contexts registered through [`SimCache::pin`] are exempt
+//! from both policies — the planner pins its calibration baselines so a
+//! busy cache cannot silently rotate out the ground truth its confidence
+//! model is fitted against.
 
 use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
-use std::time::SystemTime;
+use std::time::{Duration, SystemTime};
 
 use uarch_obs::{Counter, Registry};
 use uarch_trace::EventSet;
@@ -34,6 +42,11 @@ use crate::fingerprint::ContextId;
 /// Environment variable holding the disk-cache byte budget. Unset, empty,
 /// unparseable, or `0` all mean "unbounded" (the default).
 pub const CACHE_MAX_BYTES_ENV: &str = "ICOST_CACHE_MAX_BYTES";
+
+/// Environment variable holding the disk-cache age budget in seconds:
+/// context files not modified within it are expired. Unset, empty,
+/// unparseable, or `0` all mean "never expires" (the default).
+pub const CACHE_MAX_AGE_ENV: &str = "ICOST_CACHE_MAX_AGE_SECS";
 
 #[derive(Debug, Default)]
 struct Store {
@@ -53,9 +66,16 @@ pub struct SimCache {
     disk: Option<Arc<PathBuf>>,
     /// Byte budget for the disk layer; `None` = unbounded.
     max_bytes: Option<u64>,
+    /// Age budget for the disk layer; `None` = never expires.
+    max_age: Option<Duration>,
+    /// Contexts exempt from both eviction policies (shared across
+    /// handles, like the store itself).
+    pinned: Arc<Mutex<HashSet<ContextId>>>,
     metrics: Registry,
     /// Disk-cache entries (lines) discarded by budget enforcement.
     evictions: Counter,
+    /// The subset of `evictions` discarded by the age policy.
+    age_evictions: Counter,
     /// Entries the disk layer contributed to the in-memory store.
     disk_loads: Counter,
 }
@@ -74,7 +94,10 @@ impl SimCache {
             store: Arc::default(),
             disk: None,
             max_bytes: None,
+            max_age: None,
+            pinned: Arc::default(),
             evictions: metrics.counter("cache.evictions"),
+            age_evictions: metrics.counter("cache.age_evictions"),
             disk_loads: metrics.counter("cache.disk_entries_loaded"),
             metrics,
         }
@@ -83,13 +106,19 @@ impl SimCache {
     /// A cache backed by `dir`: entries already on disk satisfy lookups,
     /// and every insert is appended for future processes. The directory is
     /// created if missing. The byte budget comes from
-    /// [`CACHE_MAX_BYTES_ENV`]; absent or zero means unbounded.
+    /// [`CACHE_MAX_BYTES_ENV`] and the age budget from
+    /// [`CACHE_MAX_AGE_ENV`]; absent or zero means unbounded / never.
     pub fn with_disk(dir: impl Into<PathBuf>) -> io::Result<SimCache> {
         let budget = std::env::var(CACHE_MAX_BYTES_ENV)
             .ok()
             .and_then(|v| v.trim().parse::<u64>().ok())
             .filter(|&b| b > 0);
-        SimCache::with_disk_capped(dir, budget)
+        let max_age = std::env::var(CACHE_MAX_AGE_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&s| s > 0)
+            .map(Duration::from_secs);
+        SimCache::with_disk_limits(dir, budget, max_age)
     }
 
     /// [`SimCache::with_disk`] with an explicit byte budget (`None` =
@@ -98,13 +127,33 @@ impl SimCache {
         dir: impl Into<PathBuf>,
         max_bytes: Option<u64>,
     ) -> io::Result<SimCache> {
+        SimCache::with_disk_limits(dir, max_bytes, None)
+    }
+
+    /// [`SimCache::with_disk`] with explicit byte and age budgets,
+    /// ignoring the environment. Files already past the age budget are
+    /// expired immediately, so a fresh process never trusts stale state.
+    pub fn with_disk_limits(
+        dir: impl Into<PathBuf>,
+        max_bytes: Option<u64>,
+        max_age: Option<Duration>,
+    ) -> io::Result<SimCache> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(SimCache {
+        let cache = SimCache {
             disk: Some(Arc::new(dir)),
             max_bytes,
+            max_age,
             ..SimCache::new()
-        })
+        };
+        cache.expire_stale(None);
+        Ok(cache)
+    }
+
+    /// Exempt `ctx` from age expiry and size eviction. Pinning is
+    /// shared by every handle to this cache and is idempotent.
+    pub fn pin(&self, ctx: ContextId) {
+        self.pinned.lock().expect("cache poisoned").insert(ctx);
     }
 
     /// The cache's own metrics registry (`cache.evictions`,
@@ -184,7 +233,58 @@ impl SimCache {
             if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(&path) {
                 let _ = writeln!(f, "{:02x} {}", set.bits(), cycles);
             }
+            self.expire_stale(Some(&path));
             self.enforce_budget(&path);
+        }
+    }
+
+    /// Whether `path` names a pinned context's file (pinned contexts are
+    /// exempt from both eviction policies).
+    fn is_pinned_file(&self, path: &Path) -> bool {
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            return false;
+        };
+        let Ok(bits) = u64::from_str_radix(stem, 16) else {
+            return false;
+        };
+        self.pinned
+            .lock()
+            .expect("cache poisoned")
+            .contains(&ContextId(bits))
+    }
+
+    /// Expire `.sims` files whose mtime is older than the age budget.
+    /// The `active` file (just appended to) and pinned contexts survive.
+    fn expire_stale(&self, active: Option<&Path>) {
+        let (Some(dir), Some(max_age)) = (self.disk.as_deref(), self.max_age) else {
+            return;
+        };
+        let Ok(entries) = fs::read_dir(dir) else {
+            return;
+        };
+        let now = SystemTime::now();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_none_or(|x| x != "sims") {
+                continue;
+            }
+            if active == Some(path.as_path()) || self.is_pinned_file(&path) {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else {
+                continue;
+            };
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            if now.duration_since(mtime).unwrap_or_default() <= max_age {
+                continue;
+            }
+            let lines = fs::read_to_string(&path)
+                .map(|t| t.lines().count() as u64)
+                .unwrap_or(0);
+            if fs::remove_file(&path).is_ok() {
+                self.evictions.add(lines);
+                self.age_evictions.add(lines);
+            }
         }
     }
 
@@ -219,7 +319,7 @@ impl SimCache {
         // filesystems with coarse mtime resolution.
         files.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
         for (_, path, len) in files {
-            if total <= budget || path == active {
+            if total <= budget || path == active || self.is_pinned_file(&path) {
                 continue;
             }
             let lines = fs::read_to_string(&path)
@@ -355,6 +455,70 @@ mod tests {
         // In-memory answers survive eviction; only future processes lose
         // the entry.
         assert_eq!(c.get(old, EventSet::from_bits(0x01)).0, Some(1000));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Backdate `path`'s mtime so age policies see it as stale.
+    fn backdate(path: &Path, secs: u64) {
+        let f = fs::File::options().append(true).open(path).unwrap();
+        f.set_modified(SystemTime::now() - Duration::from_secs(secs))
+            .unwrap();
+    }
+
+    #[test]
+    fn age_budget_expires_stale_context_files() {
+        let dir = std::env::temp_dir().join(format!("simcache-age-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let max_age = Some(Duration::from_secs(60));
+        let stale = ContextId(0xa1);
+        let fresh = ContextId(0xa2);
+        {
+            let c = SimCache::with_disk_limits(&dir, None, max_age).expect("create");
+            c.insert(stale, EventSet::from_bits(0x01), 100);
+            c.insert(fresh, EventSet::from_bits(0x02), 200);
+        }
+        backdate(&dir.join(format!("{stale}.sims")), 3600);
+        // Expiry fires on open: a later process discards only the stale
+        // context and keeps the fresh one.
+        let c2 = SimCache::with_disk_limits(&dir, None, max_age).expect("reopen");
+        assert!(!dir.join(format!("{stale}.sims")).exists(), "stale expired");
+        assert!(dir.join(format!("{fresh}.sims")).exists(), "fresh survives");
+        assert_eq!(c2.get(stale, EventSet::from_bits(0x01)).0, None);
+        assert_eq!(c2.get(fresh, EventSet::from_bits(0x02)).0, Some(200));
+        let snap = c2.metrics().snapshot();
+        assert_eq!(snap.counter("cache.age_evictions"), 1);
+        assert_eq!(snap.counter("cache.evictions"), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pinned_contexts_survive_age_and_size_eviction() {
+        let dir = std::env::temp_dir().join(format!("simcache-pin-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let pinned = ContextId(0xb1);
+        let victim = ContextId(0xb2);
+        // Budget fits roughly one single-line file, so inserting a third
+        // context would normally evict both older files.
+        let c = SimCache::with_disk_limits(&dir, Some(10), Some(Duration::from_secs(60)))
+            .expect("create");
+        c.pin(pinned);
+        c.insert(pinned, EventSet::from_bits(0x01), 100);
+        c.insert(victim, EventSet::from_bits(0x02), 200);
+        backdate(&dir.join(format!("{pinned}.sims")), 3600);
+        backdate(&dir.join(format!("{victim}.sims")), 3600);
+        c.insert(ContextId(0xb3), EventSet::from_bits(0x03), 300);
+        assert!(
+            dir.join(format!("{pinned}.sims")).exists(),
+            "pinned survives both policies"
+        );
+        assert!(
+            !dir.join(format!("{victim}.sims")).exists(),
+            "unpinned stale file is gone"
+        );
+        // Pins are shared across handles to the same cache.
+        let h = c.clone();
+        h.pin(ContextId(0xb4));
+        assert!(c.pinned.lock().unwrap().contains(&ContextId(0xb4)));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -47,7 +47,7 @@ mod pool;
 mod report;
 mod run;
 
-pub use cache::{SimCache, CACHE_MAX_BYTES_ENV};
+pub use cache::{SimCache, CACHE_MAX_AGE_ENV, CACHE_MAX_BYTES_ENV};
 pub use fingerprint::{context_id, graph_context_id, ContextId, StableHasher};
 pub use lattice::LatticeGraphOracle;
 pub use oracle::{CachedOracle, ParallelMultiSimOracle};

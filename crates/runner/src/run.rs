@@ -57,11 +57,35 @@ impl Query {
         }
     }
 
-    fn answer(&self, oracle: &mut dyn CostOracle) -> i64 {
+    /// Answer this query against `oracle`. Callers that want the batch
+    /// dedup/prefetch machinery should go through [`Runner::run`]; this
+    /// is the per-query evaluation primitive external planners build on.
+    pub fn answer(&self, oracle: &mut dyn CostOracle) -> i64 {
         match self {
             Query::Cost(s) => oracle.cost(*s),
             Query::Icost(u) => icost(oracle, *u),
             Query::IcostOfUnits(units) => icost_of_sets(oracle, units),
+        }
+    }
+}
+
+impl std::fmt::Display for Query {
+    /// Stable display form used by ledger `plan` records:
+    /// `cost(dmiss)`, `icost(dmiss+win)`, `icost_units(dmiss|win+bw)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Query::Cost(s) => write!(f, "cost({s})"),
+            Query::Icost(u) => write!(f, "icost({u})"),
+            Query::IcostOfUnits(units) => {
+                write!(f, "icost_units(")?;
+                for (i, u) in units.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{u}")?;
+                }
+                write!(f, ")")
+            }
         }
     }
 }

@@ -17,9 +17,12 @@ use icost::{icost, icost_of_sets, CostOracle};
 use uarch_graph::DepGraph;
 use uarch_obs::json::{self, Value};
 use uarch_obs::{prom, Counter, Gauge, Histogram, Registry};
-use uarch_runner::{Query, Runner};
+use uarch_plan::{assess, Calibrator, PlanConfig, Planner};
+use uarch_runner::{context_id, Query, Runner};
 use uarch_sim::{Idealization, Simulator};
 use uarch_trace::{EventSet, MachineConfig, Trace};
+
+use crate::http::Request;
 
 /// The simulation context a host serves: everything a `cost(S)` answer
 /// depends on.
@@ -57,6 +60,8 @@ pub enum Backend {
     Sim,
     /// The lane-batched dependence-graph kernel.
     Graph,
+    /// The mixed-fidelity planner: cache → graph → sim per query.
+    Auto,
 }
 
 impl Backend {
@@ -64,6 +69,7 @@ impl Backend {
         match self {
             Backend::Sim => "sim",
             Backend::Graph => "graph",
+            Backend::Auto => "auto",
         }
     }
 }
@@ -79,7 +85,18 @@ pub struct ServeHost {
     runner_registry: Registry,
     /// Aggregate of the per-batch graph-oracle counters (`graph.*`).
     graph_registry: Registry,
+    /// Aggregate of the planner's routing counters (`plan.*`).
+    plan_registry: Registry,
     serve_registry: Registry,
+    /// Residual history shared by every `auto` batch (and replayed from
+    /// the run ledger at startup, so a restart is not uncalibrated).
+    calibrator: Calibrator,
+    plan_cfg: PlanConfig,
+    /// `(sim, graph)` context fingerprints for the served workload.
+    sim_ctx: String,
+    graph_ctx: String,
+    /// When set, every endpoint requires `Authorization: Bearer <token>`.
+    token: Option<String>,
     requests: Counter,
     http_errors: Counter,
     queries_answered: Counter,
@@ -99,11 +116,38 @@ const QUERY_US_BOUNDS: [u64; 5] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000
 
 impl ServeHost {
     /// Build a host for `ctx`: runs the baseline simulation once to
-    /// construct the dependence graph the `graph` backend serves.
+    /// construct the dependence graph the `graph` backend serves, and
+    /// replays any `calib` records from the file named by
+    /// `ICOST_LEDGER_FILE` so the planner starts calibrated.
     pub fn new(runner: Runner, ctx: ServeContext) -> ServeHost {
         let baseline = Simulator::new(&ctx.config).run(&ctx.trace, Idealization::none());
         let graph = DepGraph::build(&ctx.trace, &baseline, &ctx.config);
         let serve_registry = Registry::new();
+        let sim_ctx = context_id(&ctx.config, &ctx.trace, &ctx.warm_data, &ctx.warm_code);
+        let graph_ctx = sim_ctx.tagged("graph");
+        let calibrator = Calibrator::new();
+        if let Some(path) = std::env::var_os(uarch_obs::ledger::LEDGER_FILE_ENV) {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                // Best-effort: a missing or malformed ledger just means
+                // the first auto batches escalate while recalibrating.
+                let _ = calibrator.replay_text(&text);
+            }
+        }
+        // Bind the plan.* metric names up front (via a throwaway
+        // planner) so /metrics renders them at zero before the first
+        // auto batch arrives.
+        let plan_registry = Registry::new();
+        drop(
+            Planner::new(
+                &runner,
+                &ctx.config,
+                &ctx.trace,
+                &ctx.warm_data,
+                &ctx.warm_code,
+                &graph,
+            )
+            .with_registry(plan_registry.clone()),
+        );
         ServeHost {
             requests: serve_registry.counter("serve.requests"),
             http_errors: serve_registry.counter("serve.http_errors"),
@@ -115,11 +159,35 @@ impl ServeHost {
             serve_registry,
             runner_registry: Registry::new(),
             graph_registry: Registry::new(),
+            plan_registry,
+            calibrator,
+            plan_cfg: PlanConfig::default(),
+            sim_ctx: sim_ctx.to_string(),
+            graph_ctx: graph_ctx.to_string(),
+            token: None,
             runner,
             ctx,
             graph,
             ready: AtomicBool::new(false),
         }
+    }
+
+    /// Require `Authorization: Bearer <token>` on every endpoint.
+    pub fn with_token(mut self, token: Option<String>) -> ServeHost {
+        self.token = token.filter(|t| !t.is_empty());
+        self
+    }
+
+    /// Whether `request` may proceed: true when no token is configured,
+    /// or when the `Authorization` header carries exactly the expected
+    /// bearer token (compared in constant time).
+    pub fn authorize(&self, request: &Request) -> bool {
+        let Some(token) = &self.token else {
+            return true;
+        };
+        let expected = format!("Bearer {token}");
+        let presented = request.header("authorization").unwrap_or("");
+        constant_time_eq(presented.as_bytes(), expected.as_bytes())
     }
 
     /// The served context.
@@ -176,6 +244,7 @@ impl ServeHost {
         let text = prom::render_registries(&[
             ("runner", &self.runner_registry),
             ("graph", &self.graph_registry),
+            ("plan", &self.plan_registry),
             ("cache", self.runner.cache().metrics()),
             ("ledger", ledger.metrics()),
             ("serve", &self.serve_registry),
@@ -196,29 +265,71 @@ impl ServeHost {
     }
 
     /// Answer one `POST /query` body; returns the response JSON or a
-    /// client-error message.
+    /// client-error message. Every backend reports per-answer
+    /// provenance and confidence: exact backends claim `1.0`, graph
+    /// answers carry the calibrated score (`0.0` while uncalibrated),
+    /// and `auto` reports whatever rung actually served each query.
     pub fn handle_query(&self, body: &[u8]) -> Result<String, String> {
         let start = Instant::now();
         let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
         let (queries, backend) = parse_query_body(text)?;
-        let (answers, report) = match backend {
-            Backend::Sim => self.runner.run_warmed(
-                &self.ctx.config,
-                &self.ctx.trace,
-                &self.ctx.warm_data,
-                &self.ctx.warm_code,
-                &queries,
-            ),
-            Backend::Graph => self.run_graph_batch(&queries),
+        let (answers, provenance, confidence, report) = match backend {
+            Backend::Sim => {
+                let (answers, report) = self.runner.run_warmed(
+                    &self.ctx.config,
+                    &self.ctx.trace,
+                    &self.ctx.warm_data,
+                    &self.ctx.warm_code,
+                    &queries,
+                );
+                let provenance = vec!["sim"; answers.len()];
+                let confidence = vec![1.0; answers.len()];
+                (answers, provenance, confidence, report)
+            }
+            Backend::Graph => {
+                let (answers, report) = self.run_graph_batch(&queries);
+                let per_set =
+                    self.calibrator
+                        .tolerance(&self.sim_ctx, &self.graph_ctx, &self.plan_cfg);
+                let confidence = queries
+                    .iter()
+                    .zip(&answers)
+                    .map(|(q, &a)| assess(q, a, per_set, &self.plan_cfg).confidence)
+                    .collect();
+                let provenance = vec!["graph"; answers.len()];
+                (answers, provenance, confidence, report)
+            }
+            Backend::Auto => {
+                let mut planner = Planner::new(
+                    &self.runner,
+                    &self.ctx.config,
+                    &self.ctx.trace,
+                    &self.ctx.warm_data,
+                    &self.ctx.warm_code,
+                    &self.graph,
+                )
+                .with_calibrator(self.calibrator.clone())
+                .with_config(self.plan_cfg.clone())
+                .with_registry(self.plan_registry.clone());
+                let (planned, report) = planner.plan(&queries);
+                let answers = planned.iter().map(|p| p.value).collect();
+                let provenance = planned.iter().map(|p| p.provenance.as_str()).collect();
+                let confidence = planned.iter().map(|p| p.confidence).collect();
+                (answers, provenance, confidence, report)
+            }
         };
         report.publish(&self.runner_registry);
         self.queries_answered.add(queries.len() as u64);
         self.query_us.record(start.elapsed().as_micros() as u64);
         let answers: Vec<String> = answers.iter().map(i64::to_string).collect();
+        let provenance: Vec<String> = provenance.iter().map(|p| json::quote(p)).collect();
+        let confidence: Vec<String> = confidence.iter().map(|c| format!("{c:.3}")).collect();
         Ok(format!(
-            "{{\"backend\":\"{}\",\"answers\":[{}],\"report\":{}}}\n",
+            "{{\"backend\":\"{}\",\"answers\":[{}],\"provenance\":[{}],\"confidence\":[{}],\"report\":{}}}\n",
             backend.as_str(),
             answers.join(","),
+            provenance.join(","),
+            confidence.join(","),
             report.to_json(),
         ))
     }
@@ -263,7 +374,8 @@ pub fn parse_query_body(text: &str) -> Result<(Vec<Query>, Backend), String> {
     let backend = match doc.get("backend").and_then(Value::as_str) {
         None | Some("sim") => Backend::Sim,
         Some("graph") => Backend::Graph,
-        Some(other) => return Err(format!("unknown backend {other:?} (want sim|graph)")),
+        Some("auto") => Backend::Auto,
+        Some(other) => return Err(format!("unknown backend {other:?} (want sim|graph|auto)")),
     };
     let items = doc
         .get("queries")
@@ -278,6 +390,19 @@ pub fn parse_query_body(text: &str) -> Result<(Vec<Query>, Backend), String> {
         .map(|(i, item)| parse_one_query(item).map_err(|e| format!("queries[{i}]: {e}")))
         .collect::<Result<Vec<Query>, String>>()?;
     Ok((queries, backend))
+}
+
+/// Byte-equality without an early exit: the comparison touches every
+/// byte of the longer input regardless of where a mismatch occurs, so
+/// response timing does not leak how much of a guessed token matched.
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = (a.len() ^ b.len()) as u8;
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= x ^ y;
+    }
+    diff == 0
 }
 
 fn parse_one_query(item: &Value) -> Result<Query, String> {
@@ -334,6 +459,48 @@ mod tests {
         let (_, backend) =
             parse_query_body(r#"{"backend":"graph","queries":[{"cost":"(none)"}]}"#).expect("ok");
         assert_eq!(backend, Backend::Graph);
+        let (_, backend) =
+            parse_query_body(r#"{"backend":"auto","queries":[{"cost":"dmiss"}]}"#).expect("ok");
+        assert_eq!(backend, Backend::Auto);
+    }
+
+    #[test]
+    fn constant_time_eq_compares_exactly() {
+        assert!(constant_time_eq(b"", b""));
+        assert!(constant_time_eq(b"secret", b"secret"));
+        assert!(!constant_time_eq(b"secret", b"secres"));
+        assert!(!constant_time_eq(b"secret", b"secre"));
+        assert!(!constant_time_eq(b"secret", b"secrets"));
+        assert!(!constant_time_eq(b"", b"x"));
+    }
+
+    #[test]
+    fn token_authorization_requires_exact_bearer() {
+        let ctx = ServeContext::new(
+            "empty",
+            MachineConfig::table6(),
+            uarch_trace::TraceBuilder::new().finish(),
+        );
+        let host = ServeHost::new(Runner::new(), ctx.clone()).with_token(Some("sesame".into()));
+        let request = |auth: Option<&str>| Request {
+            method: "GET".into(),
+            path: "/metrics".into(),
+            query: None,
+            headers: auth
+                .map(|v| ("authorization".to_string(), v.to_string()))
+                .into_iter()
+                .collect(),
+            body: Vec::new(),
+        };
+        assert!(!host.authorize(&request(None)), "missing header");
+        assert!(!host.authorize(&request(Some("Bearer wrong"))));
+        assert!(!host.authorize(&request(Some("sesame"))), "missing scheme");
+        assert!(host.authorize(&request(Some("Bearer sesame"))));
+        let open = ServeHost::new(Runner::new(), ctx).with_token(Some(String::new()));
+        assert!(
+            open.authorize(&request(None)),
+            "empty token disables auth entirely"
+        );
     }
 
     #[test]

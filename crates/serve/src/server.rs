@@ -224,6 +224,19 @@ fn handle_connection(
         }
     };
     host.count_request();
+    if !host.authorize(&request) {
+        // Auth gates every endpoint, including the SSE stream — the
+        // ledger leaks workload structure just as surely as /query.
+        host.count_error();
+        let _ = http::write_response_with(
+            &mut stream,
+            401,
+            "text/plain",
+            &[("WWW-Authenticate", "Bearer realm=\"icost-serve\"")],
+            b"unauthorized\n",
+        );
+        return;
+    }
     if (request.method.as_str(), request.path.as_str()) == ("GET", "/events") {
         spawn_sse(host, stream, stop, sse);
         return;

@@ -22,20 +22,27 @@ fn test_host() -> Arc<ServeHost> {
     Arc::new(ServeHost::new(Runner::new().with_threads(2), ctx))
 }
 
-/// Send one request, return `(status, body)`.
-fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+/// Send one request (optional extra header lines, no trailing CRLF);
+/// return the raw response text.
+fn raw_request(addr: SocketAddr, method: &str, path: &str, extra: &str, body: &str) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\n{extra}Content-Length: {}\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes()).expect("write head");
     stream.write_all(body.as_bytes()).expect("write body");
     let mut response = String::new();
     stream.read_to_string(&mut response).expect("read");
+    response
+}
+
+/// Send one request, return `(status, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let response = raw_request(addr, method, path, "", body);
     let status: u16 = response
         .split_whitespace()
         .nth(1)
@@ -168,6 +175,22 @@ fn query_batches_answer_on_both_backends_and_feed_metrics() {
     assert_eq!(status, 400);
     assert!(err.contains("nope"), "{err}");
 
+    // Every backend now reports per-answer provenance and confidence;
+    // the exact backends claim certainty.
+    let prov: Vec<&str> = doc
+        .get("provenance")
+        .and_then(|v| v.as_arr())
+        .expect("provenance")
+        .iter()
+        .filter_map(|v| v.as_str())
+        .collect();
+    assert_eq!(prov, vec!["sim", "sim", "sim"], "{body}");
+    let conf = gdoc
+        .get("confidence")
+        .and_then(|v| v.as_arr())
+        .expect("graph confidence");
+    assert_eq!(conf.len(), 2, "{gbody}");
+
     // After real work, /metrics carries runner, stall, graph, cache and
     // serve series.
     let (_, text) = request(addr, "GET", "/metrics", "");
@@ -182,6 +205,146 @@ fn query_batches_answer_on_both_backends_and_feed_metrics() {
     ] {
         assert!(text.contains(needle), "missing {needle} in:\n{text}");
     }
+
+    server.shutdown();
+}
+
+/// The `auto` backend routes through the planner: a cold batch is
+/// answered exactly (cache/sim — the calibrator has no history, so
+/// nothing may be served from the graph), a repeat batch comes straight
+/// from the cache, answers always match the sim backend bit-for-bit,
+/// and the routing shows up as `plan_*` series on `/metrics`.
+#[test]
+fn auto_backend_reports_provenance_and_escalates_when_uncalibrated() {
+    let host = test_host();
+    let server = Server::start(host.clone(), "127.0.0.1:0", 2).expect("start");
+    let addr = server.addr();
+
+    let batch = r#"{"backend":"auto","queries":[{"cost":"dmiss"},{"icost":"dmiss+win"},{"icost_units":["dmiss","win"]}]}"#;
+    let parse_strings = |doc: &uarch_obs::json::Value, key: &str| -> Vec<String> {
+        doc.get(key)
+            .and_then(|v| v.as_arr())
+            .unwrap_or_else(|| panic!("missing {key}"))
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect()
+    };
+
+    let (status, body) = request(addr, "POST", "/query", batch);
+    assert_eq!(status, 200, "{body}");
+    let doc = uarch_obs::json::parse(&body).expect("JSON");
+    assert_eq!(doc.get("backend").and_then(|v| v.as_str()), Some("auto"));
+    let prov = parse_strings(&doc, "provenance");
+    assert_eq!(prov.len(), 3);
+    assert!(
+        prov.iter().all(|p| p == "cache" || p == "sim"),
+        "uncalibrated planner must serve only exact rungs, got {prov:?}"
+    );
+    let conf = doc
+        .get("confidence")
+        .and_then(|v| v.as_arr())
+        .expect("confidence");
+    assert!(
+        conf.iter()
+            .all(|c| c.as_num().is_some_and(|c| (c - 1.0).abs() < 1e-9)),
+        "exact rungs claim certainty: {body}"
+    );
+
+    // The same batch through the sim backend answers identically.
+    let sim_batch = batch.replace("\"auto\"", "\"sim\"");
+    let (_, sim_body) = request(addr, "POST", "/query", &sim_batch);
+    let sim_doc = uarch_obs::json::parse(&sim_body).expect("JSON");
+    assert_eq!(
+        format!("{:?}", doc.get("answers")),
+        format!("{:?}", sim_doc.get("answers")),
+        "auto answers are bit-identical to ground truth"
+    );
+
+    // Replaying the batch finds everything in the shared cache.
+    let (_, body2) = request(addr, "POST", "/query", batch);
+    let doc2 = uarch_obs::json::parse(&body2).expect("JSON");
+    assert_eq!(
+        parse_strings(&doc2, "provenance"),
+        vec!["cache", "cache", "cache"],
+        "{body2}"
+    );
+    assert_eq!(
+        format!("{:?}", doc.get("answers")),
+        format!("{:?}", doc2.get("answers"))
+    );
+
+    // The routing decisions surface on /metrics.
+    let (_, text) = request(addr, "GET", "/metrics", "");
+    uarch_obs::prom::check(&text).expect("exposition passes the checker");
+    for needle in [
+        "plan_queries{registry=\"plan\"}",
+        "plan_answers_cache",
+        "plan_escalations",
+        "plan_confidence_pct",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+
+    server.shutdown();
+}
+
+/// With a token configured, every endpoint (including the SSE stream)
+/// answers 401 + `WWW-Authenticate` unless the exact bearer token is
+/// presented; with it, everything works as before.
+#[test]
+fn bearer_token_gates_every_endpoint() {
+    let w = uarch_workloads::generate(
+        uarch_workloads::BenchProfile::by_name("mcf").expect("profile"),
+        2_000,
+        2003,
+    );
+    let mut ctx = ServeContext::new(w.name.clone(), MachineConfig::table6(), w.trace);
+    ctx.warm_data = w.warm_data;
+    ctx.warm_code = w.warm_code;
+    let host = Arc::new(
+        ServeHost::new(Runner::new().with_threads(2), ctx).with_token(Some("s3cr3t".into())),
+    );
+    let server = Server::start(host, "127.0.0.1:0", 2).expect("start");
+    let addr = server.addr();
+
+    for (method, path) in [
+        ("GET", "/healthz"),
+        ("GET", "/readyz"),
+        ("GET", "/metrics"),
+        ("GET", "/events"),
+        ("POST", "/query"),
+    ] {
+        let response = raw_request(addr, method, path, "", "");
+        assert!(
+            response.starts_with("HTTP/1.1 401 "),
+            "{method} {path} must 401 without a token: {response}"
+        );
+        assert!(
+            response.contains("WWW-Authenticate: Bearer"),
+            "401 carries the challenge: {response}"
+        );
+        let response = raw_request(addr, method, path, "Authorization: Bearer wrong\r\n", "");
+        assert!(
+            response.starts_with("HTTP/1.1 401 "),
+            "{method} {path} must 401 on a wrong token: {response}"
+        );
+    }
+
+    let auth = "Authorization: Bearer s3cr3t\r\n";
+    let response = raw_request(addr, "GET", "/healthz", auth, "");
+    assert!(response.starts_with("HTTP/1.1 200 "), "{response}");
+    let response = raw_request(
+        addr,
+        "POST",
+        "/query",
+        auth,
+        r#"{"backend":"graph","queries":[{"cost":"dmiss"}]}"#,
+    );
+    assert!(response.starts_with("HTTP/1.1 200 "), "{response}");
+    assert!(
+        response.contains("\"provenance\":[\"graph\"]"),
+        "{response}"
+    );
 
     server.shutdown();
 }
