@@ -54,6 +54,12 @@ pub struct LedgerSummary {
     pub plans: u64,
     /// Planner answers by serving backend (`cache`/`graph`/`sim`).
     pub plan_backends: BTreeMap<String, u64>,
+    /// Streaming-ingest window records seen.
+    pub windows: u64,
+    /// Instructions covered by those windows (sum of `end - start`).
+    pub window_insts: u64,
+    /// Per-batch report records seen.
+    pub reports: u64,
 }
 
 impl LedgerSummary {
@@ -92,6 +98,11 @@ impl LedgerSummary {
                     s.plans += 1;
                     *s.plan_backends.entry(p.backend.clone()).or_insert(0) += 1;
                 }
+                LedgerRecord::Window(w) => {
+                    s.windows += 1;
+                    s.window_insts += w.end.saturating_sub(w.start);
+                }
+                LedgerRecord::Report(_) => s.reports += 1,
             }
         }
         s
@@ -164,6 +175,13 @@ impl LedgerSummary {
                 row(&format!("  via {backend}"), n.to_string());
             }
         }
+        if self.windows > 0 {
+            row("window_records", self.windows.to_string());
+            row("window_insts", self.window_insts.to_string());
+        }
+        if self.reports > 0 {
+            row("report_records", self.reports.to_string());
+        }
         if !self.stalls.is_empty() {
             out.push_str("  stall cycles by cause:\n");
             for (name, v) in &self.stalls {
@@ -198,6 +216,9 @@ impl LedgerSummary {
         );
         obj.insert("calib_records".into(), Value::Num(self.calibs as f64));
         obj.insert("plan_answers".into(), Value::Num(self.plans as f64));
+        obj.insert("window_records".into(), Value::Num(self.windows as f64));
+        obj.insert("window_insts".into(), Value::Num(self.window_insts as f64));
+        obj.insert("report_records".into(), Value::Num(self.reports as f64));
         obj.insert(
             "plan_backends".into(),
             Value::Obj(
@@ -424,6 +445,91 @@ pub fn diff(base: &LedgerSummary, new: &LedgerSummary, tol: Tolerance) -> DiffRe
     }
 }
 
+/// Render one ledger record as the `icost-obs watch` console form:
+/// `window` records get a per-window breakdown table (singleton costs
+/// in [`EventClass::ALL`] wire order, then the kept pairwise
+/// interactions), `report` records a one-line run summary, and every
+/// other kind a compact one-liner naming the record.
+pub fn render_watch_record(record: &LedgerRecord) -> String {
+    match record {
+        LedgerRecord::Window(w) => {
+            let mut out = format!(
+                "window {:>4}  insts [{},{})  baseline {} cyc  lag {}  eval {}us\n  cost  ",
+                w.window,
+                w.start,
+                w.end,
+                w.baseline,
+                w.lag,
+                w.eval_us,
+            );
+            // Wire order, not BTreeMap order: the breakdown reads the
+            // same way the paper's tables do.
+            let by_wire = uarch_trace::EventClass::ALL
+                .iter()
+                .filter_map(|c| w.costs.get(c.name()).map(|v| (c.name(), *v)));
+            out.push_str(
+                &by_wire
+                    .map(|(name, v)| format!("{name}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            );
+            out.push('\n');
+            if w.pairs.is_empty() {
+                out.push_str("  icost (no nonzero pairwise interactions)\n");
+            } else {
+                let mut pairs: Vec<(&String, &i64)> = w.pairs.iter().collect();
+                pairs.sort_by_key(|(_, v)| std::cmp::Reverse(v.abs()));
+                out.push_str("  icost ");
+                out.push_str(
+                    &pairs
+                        .iter()
+                        .map(|(set, v)| format!("{set}={v:+}"))
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                );
+                out.push('\n');
+            }
+            out
+        }
+        LedgerRecord::Report(r) => format!(
+            "report run {}  queries {}  jobs {} ({} deduped)  cache {}  disk {}  sims {}  {} cyc / {} insts  expand {}us  sim {}us\n",
+            r.run,
+            r.queries,
+            r.jobs,
+            r.deduped,
+            r.cache_hits,
+            r.disk_hits,
+            r.sims_run,
+            r.cycles,
+            r.insts,
+            r.expand_us,
+            r.sim_us,
+        ),
+        LedgerRecord::Run(h) => format!(
+            "run {}  ctx {}  {} queries  {} threads  {} insts\n",
+            h.run, h.ctx, h.queries, h.threads, h.insts
+        ),
+        LedgerRecord::Job(j) => format!(
+            "job run {}  set {}  {}  {} cyc\n",
+            j.run,
+            j.set,
+            j.provenance.as_str(),
+            j.cycles
+        ),
+        LedgerRecord::Calib(c) => format!(
+            "calib set {}  graph {}  sim {}  residual {}\n",
+            c.set,
+            c.graph_cost,
+            c.sim_cost,
+            c.graph_cost - c.sim_cost
+        ),
+        LedgerRecord::Plan(p) => format!(
+            "plan run {}  {}  via {}  reason {}\n",
+            p.run, p.query, p.backend, p.reason
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -562,6 +668,93 @@ mod tests {
         let s = LedgerSummary::from_text("").unwrap();
         assert_eq!(s.jobs, 0);
         assert_eq!(s.reuse_pct(), None);
+    }
+
+    #[test]
+    fn summary_counts_window_and_report_records() {
+        use uarch_obs::ledger::{ReportRecord, WindowRecord};
+        let window = |w: u64| {
+            LedgerRecord::Window(WindowRecord {
+                run: 1,
+                window: w,
+                start: w * 256,
+                end: (w + 1) * 256,
+                baseline: 900,
+                lag: 0,
+                eval_us: 5,
+                costs: [("dmiss".to_string(), 80)].into_iter().collect(),
+                pairs: BTreeMap::new(),
+            })
+        };
+        let report = LedgerRecord::Report(ReportRecord {
+            run: 2,
+            queries: 1,
+            jobs: 1,
+            deduped: 0,
+            cache_hits: 0,
+            disk_hits: 0,
+            sims_run: 1,
+            cycles: 100,
+            insts: 50,
+            threads: 2,
+            expand_us: 1,
+            sim_us: 2,
+        });
+        let s = LedgerSummary::from_records(&[window(0), window(1), report]);
+        assert_eq!(s.windows, 2);
+        assert_eq!(s.window_insts, 512);
+        assert_eq!(s.reports, 1);
+        assert!(s.to_table().contains("window_records"));
+        assert!(s.to_table().contains("report_records"));
+        let doc = uarch_obs::json::parse(&s.to_json()).expect("valid JSON");
+        assert_eq!(doc.get("window_records").and_then(Value::as_num), Some(2.0));
+        assert_eq!(doc.get("report_records").and_then(Value::as_num), Some(1.0));
+    }
+
+    #[test]
+    fn watch_renders_window_tables_in_wire_order() {
+        use uarch_obs::ledger::{ReportRecord, WindowRecord};
+        let record = LedgerRecord::Window(WindowRecord {
+            run: 7,
+            window: 3,
+            start: 96,
+            end: 128,
+            baseline: 412,
+            lag: 5,
+            eval_us: 184,
+            costs: [("dmiss", 96), ("win", 40), ("dl1", 12)]
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            pairs: [("dmiss+win", -31), ("bw+dmiss", 9)]
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        });
+        let out = render_watch_record(&record);
+        assert!(out.contains("window    3  insts [96,128)"), "{out}");
+        assert!(out.contains("baseline 412 cyc  lag 5  eval 184us"), "{out}");
+        // Costs print in EventClass wire order, not alphabetically.
+        assert!(out.contains("dl1=12 win=40 dmiss=96"), "{out}");
+        // Pairs print by descending magnitude with explicit sign.
+        assert!(out.contains("dmiss+win=-31 bw+dmiss=+9"), "{out}");
+        let report = LedgerRecord::Report(ReportRecord {
+            run: 2,
+            queries: 3,
+            jobs: 4,
+            deduped: 1,
+            cache_hits: 2,
+            disk_hits: 0,
+            sims_run: 2,
+            cycles: 900,
+            insts: 450,
+            threads: 2,
+            expand_us: 10,
+            sim_us: 20,
+        });
+        let out = render_watch_record(&report);
+        assert!(out.starts_with("report run 2  queries 3"), "{out}");
+        assert!(out.contains("jobs 4 (1 deduped)"), "{out}");
     }
 
     #[test]

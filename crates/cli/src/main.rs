@@ -7,6 +7,7 @@
 //! icost-obs plan <ledger.jsonl> [--json]
 //! icost-obs serve [--addr HOST:PORT] [--workload NAME] [--insts N] [--threads N] [--workers N]
 //!                 [--token TOKEN]
+//! icost-obs watch (--addr HOST:PORT | --ledger FILE) [--kinds K1,K2] [--limit N] [--token TOKEN]
 //! ```
 //!
 //! Exit codes: `0` success / no regressions, `1` regressions found by
@@ -28,6 +29,8 @@ USAGE:
     icost-obs plan <ledger.jsonl> [--json]
     icost-obs serve [--addr HOST:PORT] [--workload NAME] [--insts N]
                     [--threads N] [--workers N] [--token TOKEN]
+    icost-obs watch (--addr HOST:PORT | --ledger FILE)
+                    [--kinds K1,K2] [--limit N] [--token TOKEN]
 
 COMMANDS:
     summarize     Aggregate a ledger into run/job/provenance/cycle totals
@@ -44,6 +47,12 @@ COMMANDS:
                   Listens on --addr, the ICOST_SERVE_ADDR env var, or
                   127.0.0.1:7117; runs until killed. Set ICOST_LEDGER_FILE
                   to also persist the streamed records.
+    watch         Tail live ledger records and render them: per-window
+                  icost breakdown tables for streamed `window` records,
+                  one-line summaries for everything else. --addr tails a
+                  server's GET /events SSE stream (with the kinds filter
+                  applied server-side); --ledger tails a JSONL ledger
+                  file. Runs until killed unless --limit is given.
 
 OPTIONS:
     --json             Emit JSON instead of the aligned table
@@ -61,6 +70,11 @@ OPTIONS:
     --token TOKEN      serve bearer token; every endpoint then requires
                        'Authorization: Bearer TOKEN' (defaults to the
                        ICOST_SERVE_TOKEN env var; empty disables auth)
+    --ledger FILE      watch source: tail this JSONL ledger file
+    --kinds K1,K2      watch record-kind filter (default window; 'all'
+                       renders every kind)
+    --limit N          watch exits after rendering N records (default:
+                       run until killed)
 ";
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
@@ -233,7 +247,196 @@ fn main() -> ExitCode {
             }
             serve(&addr, &workload, insts, threads, workers, token)
         }
+        "watch" => {
+            let addr = match take_opt::<String>(&mut args, "--addr") {
+                Ok(a) => a,
+                Err(e) => return fail(e),
+            };
+            let ledger = match take_opt::<String>(&mut args, "--ledger") {
+                Ok(l) => l,
+                Err(e) => return fail(e),
+            };
+            let kinds = match take_opt::<String>(&mut args, "--kinds") {
+                Ok(k) => k.unwrap_or_else(|| "window".to_string()),
+                Err(e) => return fail(e),
+            };
+            let limit = match take_opt::<u64>(&mut args, "--limit") {
+                Ok(n) => n,
+                Err(e) => return fail(e),
+            };
+            let token = match take_opt::<String>(&mut args, "--token") {
+                Ok(Some(t)) => Some(t),
+                Ok(None) => std::env::var("ICOST_SERVE_TOKEN").ok(),
+                Err(e) => return fail(e),
+            };
+            if !args.is_empty() {
+                return fail(format!("unexpected arguments {args:?} (see --help)"));
+            }
+            match (addr, ledger) {
+                (Some(addr), None) => watch_sse(&addr, &kinds, limit, token),
+                (None, Some(path)) => watch_ledger(&path, &kinds, limit),
+                _ => fail("watch takes exactly one of --addr or --ledger (see --help)"),
+            }
+        }
         other => fail(format!("unknown command {other:?} (see --help)")),
+    }
+}
+
+/// Parse the `--kinds` value: `all` (or empty) means no filter.
+fn kinds_filter(kinds: &str) -> Option<Vec<String>> {
+    if kinds == "all" {
+        return None;
+    }
+    let kinds: Vec<String> = kinds
+        .split(',')
+        .filter(|k| !k.is_empty())
+        .map(str::to_string)
+        .collect();
+    (!kinds.is_empty()).then_some(kinds)
+}
+
+/// Render one ledger JSONL `line` if it passes the kind filter;
+/// returns whether a record was rendered (counted against `--limit`).
+fn watch_line(line: &str, kinds: Option<&[String]>) -> bool {
+    let line = line.trim();
+    if line.is_empty() {
+        return false;
+    }
+    if let Some(kinds) = kinds {
+        let kind = line
+            .strip_prefix("{\"kind\":\"")
+            .and_then(|rest| rest.split_once('"'))
+            .map(|(kind, _)| kind);
+        if !kind.is_some_and(|k| kinds.iter().any(|want| want == k)) {
+            return false;
+        }
+    }
+    match uarch_obs::ledger::parse_ledger_lenient(line) {
+        Ok((records, 0)) if !records.is_empty() => {
+            print!("{}", icost_obs_cli::render_watch_record(&records[0]));
+        }
+        // Unknown or malformed kinds still surface raw — watch is a
+        // tail, not a validator.
+        _ => println!("{line}"),
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    true
+}
+
+/// `icost-obs watch --addr`: tail a server's `GET /events` SSE stream.
+fn watch_sse(addr: &str, kinds: &str, limit: Option<u64>, token: Option<String>) -> ExitCode {
+    use std::io::{Read as _, Write as _};
+
+    let kinds = kinds_filter(kinds);
+    let path = match &kinds {
+        Some(kinds) => format!("/events?kinds={}", kinds.join(",")),
+        None => "/events".to_string(),
+    };
+    let mut stream = match std::net::TcpStream::connect(addr) {
+        Ok(stream) => stream,
+        Err(e) => return fail(format!("cannot connect to {addr}: {e}")),
+    };
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
+    let auth = token
+        .filter(|t| !t.is_empty())
+        .map_or(String::new(), |t| format!("Authorization: Bearer {t}\r\n"));
+    let request = format!("GET {path} HTTP/1.1\r\nHost: watch\r\n{auth}\r\n");
+    if let Err(e) = stream.write_all(request.as_bytes()) {
+        return fail(format!("cannot send request: {e}"));
+    }
+    let mut buf = String::new();
+    let mut chunk = [0u8; 4096];
+    // Read the response head first; anything but 200 is a hard error.
+    while !buf.contains("\r\n\r\n") {
+        match stream.read(&mut chunk) {
+            Ok(0) => return fail(format!("server closed during response head: {buf:?}")),
+            Ok(n) => buf.push_str(&String::from_utf8_lossy(&chunk[..n])),
+            Err(e) if would_block(&e) => {}
+            Err(e) => return fail(format!("read error: {e}")),
+        }
+    }
+    let head_end = buf.find("\r\n\r\n").expect("head terminator") + 4;
+    let head: String = buf.drain(..head_end).collect();
+    if !head.starts_with("HTTP/1.1 200") {
+        return fail(format!(
+            "server refused the stream: {}",
+            head.lines().next().unwrap_or("")
+        ));
+    }
+    eprintln!("icost-obs: watching {addr}{path}");
+    let mut rendered = 0u64;
+    loop {
+        // Frames end with a blank line; data lines carry ledger records
+        // (the kind filter already ran server-side, but re-check so a
+        // pre-filter server streams the same view).
+        while let Some(i) = buf.find("\n\n") {
+            let frame: String = buf.drain(..i + 2).collect();
+            for payload in frame.lines().filter_map(|l| l.strip_prefix("data: ")) {
+                if watch_line(payload, kinds.as_deref()) {
+                    rendered += 1;
+                    if limit.is_some_and(|n| rendered >= n) {
+                        return ExitCode::SUCCESS;
+                    }
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                eprintln!("icost-obs: event stream closed by server");
+                return ExitCode::SUCCESS;
+            }
+            Ok(n) => buf.push_str(&String::from_utf8_lossy(&chunk[..n])),
+            Err(e) if would_block(&e) => {}
+            Err(e) => return fail(format!("read error: {e}")),
+        }
+    }
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// `icost-obs watch --ledger`: tail a JSONL ledger file, rendering
+/// records already present and then polling for appended lines.
+fn watch_ledger(path: &str, kinds: &str, limit: Option<u64>) -> ExitCode {
+    use std::io::{Read as _, Seek as _};
+
+    let kinds = kinds_filter(kinds);
+    let mut pos = 0u64;
+    let mut carry = String::new();
+    let mut rendered = 0u64;
+    let mut warned_missing = false;
+    loop {
+        match std::fs::File::open(path) {
+            Ok(mut file) => {
+                if file.seek(std::io::SeekFrom::Start(pos)).is_ok() {
+                    let mut text = String::new();
+                    if file.read_to_string(&mut text).is_ok() {
+                        pos += text.len() as u64;
+                        carry.push_str(&text);
+                    }
+                }
+            }
+            Err(_) if !warned_missing => {
+                eprintln!("icost-obs: waiting for {path}");
+                warned_missing = true;
+            }
+            Err(_) => {}
+        }
+        while let Some(i) = carry.find('\n') {
+            let line: String = carry.drain(..=i).collect();
+            if watch_line(&line, kinds.as_deref()) {
+                rendered += 1;
+                if limit.is_some_and(|n| rendered >= n) {
+                    return ExitCode::SUCCESS;
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(250));
     }
 }
 
@@ -268,10 +471,13 @@ fn serve(
         eprintln!("icost-obs: bearer-token auth enabled");
     }
     let host = Arc::new(ServeHost::new(runner, ctx).with_token(token));
-    let server = match Server::start(host, addr, workers) {
+    let server = match Server::start(host.clone(), addr, workers) {
         Ok(server) => server,
         Err(e) => return fail(format!("cannot bind {addr}: {e}")),
     };
+    // Build/runtime identity goes to stderr: stdout's first line must
+    // stay the machine-readable address below.
+    eprintln!("icost-obs: {}", host.startup_info());
     // Machine-readable startup line: tests and scripts parse the bound
     // address from stdout (port 0 resolves to the actual port).
     println!("listening on {}", server.addr());

@@ -227,6 +227,128 @@ fn serve_process_enforces_bearer_token_and_answers_auto_batches() {
     assert!(metrics.contains("serve_http_errors"), "{metrics}");
 }
 
+/// Live attach end to end: chunked `POST /ingest` batches retire
+/// windows whose `window` records stream over SSE byte-identical to
+/// the `ICOST_LEDGER_FILE` lines, `icost-obs watch` renders them (in
+/// both SSE-tail and ledger-tail modes), and `/metrics` carries the
+/// `ingest_*`/`window_*` series.
+#[test]
+fn streamed_ingest_matches_ledger_and_watch_renders_windows() {
+    let server = ServerProcess::spawn_with(&[], "ingest");
+    let addr = server.addr;
+
+    // A watch client tailing only window records over SSE, started
+    // before any ingest so nothing slips past it. Its first stderr
+    // line confirms the subscription is live.
+    let mut watch_sse = Command::new(BIN)
+        .args(["watch", "--addr", &addr.to_string(), "--limit", "5"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn watch --addr");
+    let mut watch_err = BufReader::new(watch_sse.stderr.take().expect("stderr piped"));
+    let mut line = String::new();
+    watch_err.read_line(&mut line).expect("watch stderr");
+    assert!(line.contains("watching"), "{line}");
+
+    // A raw SSE subscriber with the same server-side kinds filter.
+    let mut events = TcpStream::connect(addr).expect("connect events");
+    events
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .unwrap();
+    events
+        .write_all(b"GET /events?kinds=window HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("request events");
+    let mut streamed = String::new();
+    read_until(&mut events, &mut streamed, |s| s.contains("\r\n\r\n"));
+    let head_end = streamed.find("\r\n\r\n").unwrap() + 4;
+    streamed.drain(..head_end);
+
+    // Stream a 100-instruction connected trace in three chunked POSTs
+    // against a 24-instruction window: 4 full windows retire in-stream,
+    // `done` flushes the 4-instruction tail as the fifth.
+    let mut b = uarch_trace::TraceBuilder::new();
+    let r1 = uarch_trace::Reg::int(1);
+    let r2 = uarch_trace::Reg::int(2);
+    b.counted_loop(25, r2, |b, k| {
+        b.load(r1, 0x4000 + (k as u64 % 5) * 64);
+        b.alu(r2, &[r1]);
+        b.store(r2, 0x9000 + (k as u64 % 3) * 8);
+    });
+    let insts: Vec<uarch_trace::Inst> = b.finish().insts()[..100].to_vec();
+    for (i, chunk) in insts.chunks(40).enumerate() {
+        let done = (i + 1) * 40 >= 100;
+        let encoded: Vec<String> = chunk.iter().map(uarch_serve::inst_to_json).collect();
+        let body = format!(
+            "{{\"session\":\"e2e\",\"window\":24,\"insts\":[{}],\"done\":{done}}}",
+            encoded.join(","),
+        );
+        let (status, response) = request(addr, "POST", "/ingest", &body);
+        assert_eq!(status, 200, "{response}");
+        if done {
+            let doc = uarch_obs::json::parse(&response).expect("ingest response JSON");
+            assert_eq!(doc.get("ingested").and_then(|v| v.as_num()), Some(100.0));
+            assert_eq!(doc.get("windows").and_then(|v| v.as_num()), Some(5.0));
+        }
+    }
+
+    // Acceptance: SSE window records ≡ the ledger file's window lines.
+    let ledger_text = std::fs::read_to_string(&server.ledger_path).expect("ledger file");
+    let window_lines: Vec<&str> = ledger_text
+        .lines()
+        .filter(|l| l.starts_with("{\"kind\":\"window\""))
+        .collect();
+    assert_eq!(window_lines.len(), 5, "{ledger_text}");
+    read_until(&mut events, &mut streamed, |s| data_lines(s).len() >= 5);
+    assert_eq!(
+        data_lines(&streamed),
+        window_lines,
+        "SSE window records must match the ICOST_LEDGER_FILE lines byte-for-byte"
+    );
+
+    // The SSE watch client saw the same five windows and exited at its
+    // --limit, rendering a breakdown table per window.
+    let out = watch_sse.wait_with_output().expect("watch --addr exits");
+    assert!(out.status.success(), "{out:?}");
+    let rendered = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(rendered.matches("baseline").count(), 5, "{rendered}");
+    assert!(rendered.contains("insts [0,24)"), "{rendered}");
+    assert!(rendered.contains("insts [96,100)"), "{rendered}");
+
+    // Ledger-tail mode renders the same windows from the file.
+    let out = Command::new(BIN)
+        .args(["watch", "--ledger"])
+        .arg(&server.ledger_path)
+        .args(["--limit", "5"])
+        .output()
+        .expect("watch --ledger exits");
+    assert!(out.status.success(), "{out:?}");
+    let tailed = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(tailed, rendered, "both watch modes render identically");
+
+    // The new series are on /metrics.
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for needle in [
+        "ingest_sessions{registry=\"ingest\"} 0",
+        "ingest_insts{registry=\"ingest\"} 100",
+        "window_evals{registry=\"ingest\"} 5",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle} in:\n{metrics}");
+    }
+
+    // And /readyz reports build/runtime info as JSON.
+    let (status, ready) = request(addr, "GET", "/readyz", "");
+    assert_eq!(status, 200);
+    let doc = uarch_obs::json::parse(ready.trim()).expect("readyz JSON");
+    assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("ready"));
+    assert!(doc.get("version").is_some(), "{ready}");
+    assert_eq!(
+        doc.get("ledger_sink"),
+        Some(&uarch_obs::json::Value::Bool(true))
+    );
+}
+
 /// The payloads of complete `data:` frames, in order.
 fn data_lines(streamed: &str) -> Vec<&str> {
     streamed

@@ -59,6 +59,7 @@ mod custom;
 mod eval;
 mod lanes;
 mod model;
+mod stream;
 
 pub use build::decompose_ep;
 pub use critpath::{CritPathSummary, SlackReport};
@@ -66,3 +67,4 @@ pub use custom::InstIdealization;
 pub use eval::NodeTimes;
 pub use lanes::{LaneScratch, DEFAULT_CHUNK, MAX_LANES};
 pub use model::{DepGraph, EdgeKind, GraphInst, GraphParams, NodeKind, ProducerEdge};
+pub use stream::{StreamingBuilder, WindowBreakdown, DEFAULT_TOP_PAIRS, DEFAULT_WINDOW};

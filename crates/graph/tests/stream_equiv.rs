@@ -1,0 +1,125 @@
+//! Property-based incremental-vs-batch equivalence: over random
+//! workload traces × window sizes × push-chunk boundaries × lane-chunk
+//! lengths, every window a [`StreamingBuilder`] retires must be
+//! *bit-identical* to a batch `DepGraph` analysis of the same
+//! instruction range in isolation — streaming changes when analysis
+//! happens, never what it computes.
+
+use proptest::prelude::*;
+
+use uarch_graph::{DepGraph, StreamingBuilder};
+use uarch_sim::{Idealization, Simulator};
+use uarch_trace::{EventClass, EventSet, MachineConfig, Trace};
+
+/// A workload trace plus the streaming knobs under test.
+#[derive(Debug)]
+struct Case {
+    profile: &'static str,
+    insts: usize,
+    seed: u64,
+    window: usize,
+    push_chunk: usize,
+    lane_chunk: usize,
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    const PROFILES: [&str; 4] = ["gzip", "mcf", "vortex", "gcc"];
+    (
+        (0usize..PROFILES.len()).prop_map(|i| PROFILES[i]),
+        200usize..700,
+        0u64..1_000,
+        8usize..100,
+        1usize..130,
+        1usize..200,
+    )
+        .prop_map(
+            |(profile, insts, seed, window, push_chunk, lane_chunk)| Case {
+                profile,
+                insts,
+                seed,
+                window,
+                push_chunk,
+                lane_chunk,
+            },
+        )
+}
+
+/// The batch side of the equivalence: analyze `[start, end)` of the
+/// stream as its own trace, exactly as a post-mortem pipeline would.
+fn batch_window(trace: &Trace, start: usize, end: usize, config: &MachineConfig) -> DepGraph {
+    let t = Trace::from_insts(trace.insts()[start..end].to_vec());
+    let result = Simulator::new(config).run(&t, Idealization::none());
+    DepGraph::build(&t, &result, config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn streaming_windows_are_bit_identical_to_batch_graphs(case in arb_case()) {
+        let config = MachineConfig::table6();
+        let profile = uarch_workloads::BenchProfile::by_name(case.profile).unwrap();
+        let w = uarch_workloads::generate(profile, case.insts, case.seed);
+        let mut builder = StreamingBuilder::new(&config, case.window)
+            .with_chunk(case.lane_chunk);
+        let mut windows = Vec::new();
+        for chunk in w.trace.insts().chunks(case.push_chunk) {
+            windows.extend(builder.push_batch(chunk).expect("generated traces are connected"));
+        }
+        if let Some(tail) = builder.finish() {
+            windows.push(tail);
+        }
+        prop_assert_eq!(windows.len(), case.insts.div_ceil(case.window));
+        prop_assert_eq!(builder.ingested(), case.insts as u64);
+
+        let mut expect_start = 0u64;
+        for win in &windows {
+            prop_assert_eq!(win.start, expect_start, "windows tile the stream");
+            expect_start = win.end;
+            let graph = batch_window(&w.trace, win.start as usize, win.end as usize, &config);
+            // Baseline and the eight singleton costs, bit for bit.
+            prop_assert_eq!(win.baseline, graph.evaluate(EventSet::EMPTY));
+            for (i, class) in EventClass::ALL.iter().enumerate() {
+                prop_assert_eq!(
+                    win.costs[i],
+                    graph.cost(EventSet::single(*class)),
+                    "window {} cost({})", win.window, class
+                );
+            }
+            // The reported pair interactions match the scalar closed
+            // form, and they really are the largest-magnitude nonzero
+            // pairs: nothing omitted beats the smallest one kept.
+            let mut floor = i64::MAX;
+            for (set, icost) in &win.pairs {
+                let mut it = set.iter();
+                let (a, b) = (it.next().unwrap(), it.next().unwrap());
+                let expect = graph.cost(*set)
+                    - graph.cost(EventSet::single(a))
+                    - graph.cost(EventSet::single(b));
+                prop_assert_eq!(*icost, expect, "window {} icost({})", win.window, set);
+                prop_assert_ne!(*icost, 0);
+                floor = floor.min(icost.abs());
+            }
+            if win.pairs.len() == uarch_graph::DEFAULT_TOP_PAIRS {
+                let kept: Vec<EventSet> = win.pairs.iter().map(|(s, _)| *s).collect();
+                for (i, a) in EventClass::ALL.iter().enumerate() {
+                    for b in &EventClass::ALL[i + 1..] {
+                        let set = EventSet::single(*a).with(*b);
+                        if kept.contains(&set) {
+                            continue;
+                        }
+                        let omitted = graph.cost(set)
+                            - graph.cost(EventSet::single(*a))
+                            - graph.cost(EventSet::single(*b));
+                        prop_assert!(
+                            omitted.abs() <= floor,
+                            "omitted pair {} (icost {}) beats kept floor {}",
+                            set, omitted, floor
+                        );
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(expect_start, case.insts as u64);
+    }
+}

@@ -146,6 +146,65 @@ pub struct PlanRecord {
     pub reason: String,
 }
 
+/// One retired window of a streaming ingest: the icost breakdown of
+/// the instructions in `[start, end)` as the incremental graph builder
+/// evaluated them behind the ingest frontier. The `costs` map carries
+/// the eight base-category singleton costs; `pairs` carries the
+/// top pairwise interaction costs by magnitude.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowRecord {
+    /// The ingest session (or producer run) this window belongs to.
+    pub run: u64,
+    /// Window ordinal within the session, dense from 0.
+    pub window: u64,
+    /// First stream instruction index of the window (inclusive).
+    pub start: u64,
+    /// Past-the-end stream instruction index of the window.
+    pub end: u64,
+    /// Baseline critical-path cycles `t(∅)` of the window graph.
+    pub baseline: u64,
+    /// Frontier lag: instructions already ingested beyond `end` when
+    /// this window was evaluated.
+    pub lag: u64,
+    /// Wall time to evaluate the window's lattice, in microseconds.
+    pub eval_us: u64,
+    /// Singleton `cost(c)` per base category, name-sorted on the wire.
+    pub costs: BTreeMap<String, i64>,
+    /// Top pairwise `icost(a+b)` values, set-name-sorted on the wire.
+    pub pairs: BTreeMap<String, i64>,
+}
+
+/// One batch's `RunReport` summary, so per-client reports stream over
+/// SSE instead of appearing only in `POST /query` response bodies.
+/// Wall-time fields are microseconds; everything else is a count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportRecord {
+    /// Process-unique id tying the report to its batch.
+    pub run: u64,
+    /// Queries answered by the batch.
+    pub queries: u64,
+    /// Simulation jobs the queries expanded into (pre-dedup).
+    pub jobs: u64,
+    /// Jobs eliminated as duplicates within the batch.
+    pub deduped: u64,
+    /// Jobs answered from the in-memory cache.
+    pub cache_hits: u64,
+    /// Jobs answered from the disk cache.
+    pub disk_hits: u64,
+    /// Jobs that actually simulated.
+    pub sims_run: u64,
+    /// Cycles simulated across those jobs.
+    pub cycles: u64,
+    /// Instructions simulated across those jobs.
+    pub insts: u64,
+    /// Worker threads available to the batch.
+    pub threads: u64,
+    /// Wall microseconds spent expanding queries into jobs.
+    pub expand_us: u64,
+    /// Wall microseconds spent simulating (sum over jobs).
+    pub sim_us: u64,
+}
+
 /// One parsed (or to-be-written) ledger line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LedgerRecord {
@@ -157,6 +216,10 @@ pub enum LedgerRecord {
     Calib(CalibRecord),
     /// A planner routing decision.
     Plan(PlanRecord),
+    /// A retired streaming-ingest window breakdown.
+    Window(WindowRecord),
+    /// A per-batch `RunReport` summary.
+    Report(ReportRecord),
 }
 
 impl LedgerRecord {
@@ -215,6 +278,33 @@ impl LedgerRecord {
                 p.confidence_pm,
                 quote(&p.reason),
             ),
+            LedgerRecord::Window(w) => format!(
+                "{{\"kind\":\"window\",\"run\":{},\"window\":{},\"start\":{},\"end\":{},\"baseline\":{},\"lag\":{},\"eval_us\":{},\"costs\":{},\"pairs\":{}}}",
+                w.run,
+                w.window,
+                w.start,
+                w.end,
+                w.baseline,
+                w.lag,
+                w.eval_us,
+                render_i64_map(&w.costs),
+                render_i64_map(&w.pairs),
+            ),
+            LedgerRecord::Report(r) => format!(
+                "{{\"kind\":\"report\",\"run\":{},\"queries\":{},\"jobs\":{},\"deduped\":{},\"cache_hits\":{},\"disk_hits\":{},\"sims_run\":{},\"cycles\":{},\"insts\":{},\"threads\":{},\"expand_us\":{},\"sim_us\":{}}}",
+                r.run,
+                r.queries,
+                r.jobs,
+                r.deduped,
+                r.cache_hits,
+                r.disk_hits,
+                r.sims_run,
+                r.cycles,
+                r.insts,
+                r.threads,
+                r.expand_us,
+                r.sim_us,
+            ),
         }
     }
 
@@ -272,9 +362,61 @@ impl LedgerRecord {
                 confidence_pm: field_u64(&doc, "confidence_pm")?,
                 reason: field_str(&doc, "reason")?,
             })),
+            "window" => Ok(LedgerRecord::Window(WindowRecord {
+                run: field_u64(&doc, "run")?,
+                window: field_u64(&doc, "window")?,
+                start: field_u64(&doc, "start")?,
+                end: field_u64(&doc, "end")?,
+                baseline: field_u64(&doc, "baseline")?,
+                lag: field_u64(&doc, "lag")?,
+                eval_us: field_u64(&doc, "eval_us")?,
+                costs: field_i64_map(&doc, "costs")?,
+                pairs: field_i64_map(&doc, "pairs")?,
+            })),
+            "report" => Ok(LedgerRecord::Report(ReportRecord {
+                run: field_u64(&doc, "run")?,
+                queries: field_u64(&doc, "queries")?,
+                jobs: field_u64(&doc, "jobs")?,
+                deduped: field_u64(&doc, "deduped")?,
+                cache_hits: field_u64(&doc, "cache_hits")?,
+                disk_hits: field_u64(&doc, "disk_hits")?,
+                sims_run: field_u64(&doc, "sims_run")?,
+                cycles: field_u64(&doc, "cycles")?,
+                insts: field_u64(&doc, "insts")?,
+                threads: field_u64(&doc, "threads")?,
+                expand_us: field_u64(&doc, "expand_us")?,
+                sim_us: field_u64(&doc, "sim_us")?,
+            })),
             other => Err(format!("unknown record kind {other:?}")),
         }
     }
+}
+
+/// Render a name→i64 map as a JSON object; `BTreeMap` iteration keeps
+/// the wire format name-sorted and therefore byte-deterministic.
+fn render_i64_map(map: &BTreeMap<String, i64>) -> String {
+    let mut out = String::from("{");
+    for (i, (name, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{v}", quote(name)));
+    }
+    out.push('}');
+    out
+}
+
+fn field_i64_map(doc: &Value, name: &str) -> Result<BTreeMap<String, i64>, String> {
+    doc.get(name)
+        .and_then(Value::as_obj)
+        .ok_or_else(|| format!("missing or non-object {name:?}"))?
+        .iter()
+        .map(|(k, v)| {
+            v.as_num()
+                .map(|n| (k.clone(), n as i64))
+                .ok_or_else(|| format!("{name:?} entry {k:?} is not a number"))
+        })
+        .collect()
 }
 
 fn field_u64(doc: &Value, name: &str) -> Result<u64, String> {
@@ -669,6 +811,44 @@ mod tests {
         }
     }
 
+    fn window() -> WindowRecord {
+        WindowRecord {
+            run: 5,
+            window: 2,
+            start: 2048,
+            end: 3072,
+            baseline: 5120,
+            lag: 776,
+            eval_us: 1200,
+            costs: [("dmiss".to_string(), 820), ("win".to_string(), 140)]
+                .into_iter()
+                .collect(),
+            pairs: [
+                ("dl1+dmiss".to_string(), -42),
+                ("dmiss+win".to_string(), 64),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    fn report() -> ReportRecord {
+        ReportRecord {
+            run: 7,
+            queries: 2,
+            jobs: 5,
+            deduped: 1,
+            cache_hits: 2,
+            disk_hits: 1,
+            sims_run: 1,
+            cycles: 9001,
+            insts: 3000,
+            threads: 8,
+            expand_us: 40,
+            sim_us: 1234,
+        }
+    }
+
     #[test]
     fn records_roundtrip_through_jsonl() {
         for record in [
@@ -676,10 +856,36 @@ mod tests {
             LedgerRecord::Job(job()),
             LedgerRecord::Calib(calib()),
             LedgerRecord::Plan(plan()),
+            LedgerRecord::Window(window()),
+            LedgerRecord::Report(report()),
         ] {
             let line = record.to_json_line();
             assert_eq!(LedgerRecord::parse(&line).expect("parses"), record);
         }
+    }
+
+    #[test]
+    fn window_wire_format_is_name_sorted_and_stable() {
+        let line = LedgerRecord::Window(window()).to_json_line();
+        assert_eq!(
+            line,
+            "{\"kind\":\"window\",\"run\":5,\"window\":2,\"start\":2048,\"end\":3072,\
+             \"baseline\":5120,\"lag\":776,\"eval_us\":1200,\
+             \"costs\":{\"dmiss\":820,\"win\":140},\
+             \"pairs\":{\"dl1+dmiss\":-42,\"dmiss+win\":64}}"
+        );
+        // Empty maps still render as objects so the fields always exist.
+        let bare = WindowRecord {
+            costs: BTreeMap::new(),
+            pairs: BTreeMap::new(),
+            ..window()
+        };
+        let line = LedgerRecord::Window(bare.clone()).to_json_line();
+        assert!(line.contains("\"costs\":{},\"pairs\":{}"), "{line}");
+        assert_eq!(
+            LedgerRecord::parse(&line).expect("parses"),
+            LedgerRecord::Window(bare)
+        );
     }
 
     #[test]

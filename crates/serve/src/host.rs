@@ -16,13 +16,15 @@ use std::time::Instant;
 use icost::{icost, icost_of_sets, CostOracle};
 use uarch_graph::DepGraph;
 use uarch_obs::json::{self, Value};
+use uarch_obs::ledger::{LedgerRecord, ReportRecord};
 use uarch_obs::{prom, Counter, Gauge, Histogram, Registry};
 use uarch_plan::{assess, Calibrator, PlanConfig, Planner};
-use uarch_runner::{context_id, Query, Runner};
+use uarch_runner::{context_id, Query, RunReport, Runner};
 use uarch_sim::{Idealization, Simulator};
 use uarch_trace::{EventSet, MachineConfig, Trace};
 
 use crate::http::Request;
+use crate::ingest::{IngestOutcome, IngestSessions};
 
 /// The simulation context a host serves: everything a `cost(S)` answer
 /// depends on.
@@ -95,6 +97,10 @@ pub struct ServeHost {
     /// `(sim, graph)` context fingerprints for the served workload.
     sim_ctx: String,
     graph_ctx: String,
+    /// The `POST /ingest` session table (and its `ingest.*` metrics).
+    ingest: IngestSessions,
+    /// When the host was constructed (surfaced as `/readyz` uptime).
+    started: Instant,
     /// When set, every endpoint requires `Authorization: Bearer <token>`.
     token: Option<String>,
     requests: Counter,
@@ -164,6 +170,8 @@ impl ServeHost {
             plan_cfg: PlanConfig::default(),
             sim_ctx: sim_ctx.to_string(),
             graph_ctx: graph_ctx.to_string(),
+            ingest: IngestSessions::new(ctx.config.clone()),
+            started: Instant::now(),
             token: None,
             runner,
             ctx,
@@ -247,6 +255,7 @@ impl ServeHost {
             ("plan", &self.plan_registry),
             ("cache", self.runner.cache().metrics()),
             ("ledger", ledger.metrics()),
+            ("ingest", self.ingest.metrics()),
             ("serve", &self.serve_registry),
         ]);
         self.scrapes.inc();
@@ -262,6 +271,50 @@ impl ServeHost {
             self.ctx.trace.len(),
             self.runner.threads(),
         )
+    }
+
+    /// The `GET /readyz` 200 body: readiness plus build and runtime
+    /// info — crate version, uptime, open ingest sessions, and whether
+    /// the run ledger has a durable sink. (A not-ready host answers 503
+    /// before this renders.)
+    pub fn ready_json(&self) -> String {
+        let ledger = uarch_obs::ledger::global();
+        format!(
+            "{{\"status\":\"ready\",\"version\":{},\"uptime_s\":{},\"ingest_sessions\":{},\"ledger_sink\":{},\"ledger_records\":{}}}\n",
+            json::quote(env!("CARGO_PKG_VERSION")),
+            self.started.elapsed().as_secs(),
+            self.ingest.active(),
+            ledger.is_enabled(),
+            ledger.appended(),
+        )
+    }
+
+    /// A one-line human summary of [`ServeHost::ready_json`] for the
+    /// serve subcommand's startup diagnostics.
+    pub fn startup_info(&self) -> String {
+        format!(
+            "uarch-serve {} | workload {} ({} insts, {} threads) | ledger sink {}",
+            env!("CARGO_PKG_VERSION"),
+            self.ctx.name,
+            self.ctx.trace.len(),
+            self.runner.threads(),
+            if uarch_obs::ledger::global().is_enabled() {
+                "enabled"
+            } else {
+                "disabled"
+            },
+        )
+    }
+
+    /// Answer one `POST /ingest` body (see [`IngestSessions::handle`]).
+    pub fn handle_ingest(&self, body: &[u8]) -> Result<IngestOutcome, String> {
+        self.ingest.handle(body)
+    }
+
+    /// The ingest session table (exposed for eviction tests and the
+    /// readiness probe).
+    pub fn ingest(&self) -> &IngestSessions {
+        &self.ingest
     }
 
     /// Answer one `POST /query` body; returns the response JSON or a
@@ -319,6 +372,7 @@ impl ServeHost {
             }
         };
         report.publish(&self.runner_registry);
+        publish_report_record(&report);
         self.queries_answered.add(queries.len() as u64);
         self.query_us.record(start.elapsed().as_micros() as u64);
         let answers: Vec<String> = answers.iter().map(i64::to_string).collect();
@@ -390,6 +444,29 @@ pub fn parse_query_body(text: &str) -> Result<(Vec<Query>, Backend), String> {
         .map(|(i, item)| parse_one_query(item).map_err(|e| format!("queries[{i}]: {e}")))
         .collect::<Result<Vec<Query>, String>>()?;
     Ok((queries, backend))
+}
+
+/// Append one answered batch's [`RunReport`] to the global ledger as a
+/// `report` record (and flush), so the run summary every batch already
+/// computes reaches `GET /events` subscribers and post-mortem ledger
+/// readers — not just the aggregate `/metrics` counters.
+fn publish_report_record(report: &RunReport) {
+    let ledger = uarch_obs::ledger::global();
+    ledger.append(&LedgerRecord::Report(ReportRecord {
+        run: ledger.next_run_id(),
+        queries: report.queries,
+        jobs: report.jobs_requested,
+        deduped: report.jobs_deduped,
+        cache_hits: report.cache_hits,
+        disk_hits: report.disk_hits,
+        sims_run: report.sims_run,
+        cycles: report.cycles_simulated,
+        insts: report.insts_simulated,
+        threads: report.threads as u64,
+        expand_us: report.expand_wall.as_micros() as u64,
+        sim_us: report.sim_wall.as_micros() as u64,
+    }));
+    let _ = ledger.flush();
 }
 
 /// Byte-equality without an early exit: the comparison touches every

@@ -1,0 +1,532 @@
+//! `POST /ingest`: live streaming trace ingestion.
+//!
+//! Each ingest *session* wraps one [`StreamingBuilder`]: clients POST
+//! chunked JSON instruction batches bound to a session id, the builder
+//! retires full windows as they accumulate, and every retired window
+//! becomes a `window` record appended to the global run ledger — which
+//! is exactly what `GET /events` fans out live and `icost-obs watch`
+//! renders. Sessions that go quiet for [`IDLE_EVICT`] are flushed
+//! (their partial window retires) and dropped, so an abandoned client
+//! cannot pin a window of instructions forever.
+//!
+//! Concurrency model: one mutex over the whole session table. Window
+//! retirement (a cold simulation plus one lane-kernel pass over a
+//! bounded window) runs under that lock, serializing concurrent ingest
+//! batches; that is deliberate — it keeps ledger window records in
+//! retirement order and the resident-memory bound additive across
+//! sessions.
+//!
+//! Request body:
+//!
+//! ```json
+//! {"session": "cli-7",
+//!  "window": 256,
+//!  "insts": [{"pc": 16384, "op": "ld", "dst": "r1", "srcs": ["r2"],
+//!             "mem": 4096, "taken": false, "next_pc": 16388}],
+//!  "done": false}
+//! ```
+//!
+//! `window` is honored only when the session is created (bounded to
+//! [`MAX_WINDOW`]); `insts` may be empty; `done: true` flushes the
+//! trailing partial window and closes the session.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use uarch_graph::{StreamingBuilder, DEFAULT_WINDOW};
+use uarch_obs::json::{self, Value};
+use uarch_obs::ledger::{LedgerRecord, WindowRecord};
+use uarch_obs::{Counter, Gauge, Histogram, Registry};
+use uarch_trace::{Inst, MachineConfig, OpClass, Reg};
+
+/// Cap on concurrently open ingest sessions.
+pub const MAX_SESSIONS: usize = 64;
+
+/// Cap on a session's retirement window, in instructions.
+pub const MAX_WINDOW: usize = 65_536;
+
+/// Cap on instructions per ingest request body.
+pub const MAX_BATCH_INSTS: usize = 65_536;
+
+/// Sessions idle longer than this are flushed and evicted.
+pub const IDLE_EVICT: Duration = Duration::from_secs(120);
+
+/// Bucket bounds for per-window lattice evaluation latency, in
+/// microseconds.
+const WINDOW_EVAL_US_BOUNDS: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// One live streaming session.
+#[derive(Debug)]
+struct IngestSession {
+    builder: StreamingBuilder,
+    /// Ledger run id stamped on every window record this session emits.
+    run: u64,
+    last_seen: Instant,
+}
+
+/// The session table behind `POST /ingest`, plus the `ingest.*` /
+/// `window.*` metrics `/metrics` renders for it.
+#[derive(Debug)]
+pub struct IngestSessions {
+    config: MachineConfig,
+    sessions: Mutex<HashMap<String, IngestSession>>,
+    registry: Registry,
+    sessions_gauge: Gauge,
+    sessions_opened: Counter,
+    sessions_evicted: Counter,
+    batches: Counter,
+    insts: Counter,
+    window_evals: Counter,
+    window_eval_us: Histogram,
+    window_lag: Gauge,
+}
+
+/// What one ingest request did (rendered as the response JSON).
+#[derive(Debug, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// The session id the batch landed in.
+    pub session: String,
+    /// Instructions the session has ingested in total.
+    pub ingested: u64,
+    /// Windows the session has retired in total.
+    pub windows: u64,
+    /// Instructions ingested but not yet covered by a retired window.
+    pub pending: u64,
+    /// Whether this request closed the session.
+    pub done: bool,
+}
+
+impl IngestOutcome {
+    /// The `POST /ingest` response body.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"session\":{},\"ingested\":{},\"windows\":{},\"pending\":{},\"done\":{}}}\n",
+            json::quote(&self.session),
+            self.ingested,
+            self.windows,
+            self.pending,
+            self.done,
+        )
+    }
+}
+
+impl IngestSessions {
+    /// An empty session table for streams simulated under `config`
+    /// (the served machine — streamed windows are analyzed on the same
+    /// machine the batch endpoints serve).
+    pub fn new(config: MachineConfig) -> IngestSessions {
+        let registry = Registry::new();
+        IngestSessions {
+            sessions_gauge: registry.gauge("ingest.sessions"),
+            sessions_opened: registry.counter("ingest.sessions_opened"),
+            sessions_evicted: registry.counter("ingest.sessions_evicted"),
+            batches: registry.counter("ingest.batches"),
+            insts: registry.counter("ingest.insts"),
+            window_evals: registry.counter("window.evals"),
+            window_eval_us: registry.histogram("window.eval_us", &WINDOW_EVAL_US_BOUNDS),
+            window_lag: registry.gauge("window.lag"),
+            registry,
+            config,
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The `ingest.*` / `window.*` registry.
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Currently open sessions.
+    pub fn active(&self) -> usize {
+        self.sessions.lock().expect("ingest table lock").len()
+    }
+
+    /// Flush and drop every session idle longer than `max_idle`;
+    /// returns how many were evicted. Partial windows retire on the way
+    /// out, so a vanished client's tail still reaches the ledger.
+    pub fn evict_idle(&self, max_idle: Duration) -> usize {
+        let mut sessions = self.sessions.lock().expect("ingest table lock");
+        let now = Instant::now();
+        let before = sessions.len();
+        let evicted: Vec<IngestSession> = {
+            let stale: Vec<String> = sessions
+                .iter()
+                .filter(|(_, s)| now.duration_since(s.last_seen) >= max_idle)
+                .map(|(id, _)| id.clone())
+                .collect();
+            stale
+                .into_iter()
+                .filter_map(|id| sessions.remove(&id))
+                .collect()
+        };
+        for mut session in evicted {
+            if let Some(tail) = session.builder.finish() {
+                self.emit_window(session.run, &tail);
+            }
+        }
+        let after = sessions.len();
+        self.sessions_gauge.set(after as i64);
+        self.sessions_evicted.add((before - after) as u64);
+        before - after
+    }
+
+    /// Handle one `POST /ingest` body end to end: evict idle sessions,
+    /// parse the batch, feed the session's builder, and append every
+    /// retired window to the global ledger. Returns a client-error
+    /// message (HTTP 400) on malformed bodies or broken dynamic paths.
+    pub fn handle(&self, body: &[u8]) -> Result<IngestOutcome, String> {
+        self.evict_idle(IDLE_EVICT);
+        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+        let batch = parse_ingest_body(text)?;
+        self.batches.inc();
+        let mut sessions = self.sessions.lock().expect("ingest table lock");
+        if !sessions.contains_key(&batch.session) {
+            if sessions.len() >= MAX_SESSIONS {
+                return Err(format!("too many ingest sessions (max {MAX_SESSIONS})"));
+            }
+            sessions.insert(
+                batch.session.clone(),
+                IngestSession {
+                    builder: StreamingBuilder::new(
+                        &self.config,
+                        batch.window.unwrap_or(DEFAULT_WINDOW),
+                    ),
+                    run: uarch_obs::ledger::global().next_run_id(),
+                    last_seen: Instant::now(),
+                },
+            );
+            self.sessions_opened.inc();
+        }
+        let session = sessions.get_mut(&batch.session).expect("just inserted");
+        session.last_seen = Instant::now();
+        let retired = session.builder.push_batch(&batch.insts)?;
+        self.insts.add(batch.insts.len() as u64);
+        let run = session.run;
+        for window in &retired {
+            self.emit_window(run, window);
+        }
+        let mut outcome = IngestOutcome {
+            session: batch.session.clone(),
+            ingested: session.builder.ingested(),
+            windows: session.builder.windows_emitted(),
+            pending: session.builder.frontier_lag(),
+            done: batch.done,
+        };
+        if batch.done {
+            let mut session = sessions.remove(&batch.session).expect("present");
+            if let Some(tail) = session.builder.finish() {
+                self.emit_window(run, &tail);
+                outcome.windows = session.builder.windows_emitted();
+                outcome.pending = 0;
+            }
+        }
+        self.sessions_gauge.set(sessions.len() as i64);
+        drop(sessions);
+        let _ = uarch_obs::ledger::global().flush();
+        Ok(outcome)
+    }
+
+    /// Append one retired window to the global ledger and record its
+    /// metrics.
+    fn emit_window(&self, run: u64, window: &uarch_graph::WindowBreakdown) {
+        uarch_obs::ledger::global().append(&LedgerRecord::Window(WindowRecord {
+            run,
+            window: window.window,
+            start: window.start,
+            end: window.end,
+            baseline: window.baseline,
+            lag: window.frontier_lag,
+            eval_us: window.eval_us,
+            costs: window.costs_by_name(),
+            pairs: window.pairs_by_name(),
+        }));
+        self.window_evals.inc();
+        self.window_eval_us.record(window.eval_us);
+        self.window_lag.set(window.frontier_lag as i64);
+    }
+}
+
+/// One parsed ingest request body.
+#[derive(Debug)]
+struct IngestBatch {
+    session: String,
+    window: Option<usize>,
+    insts: Vec<Inst>,
+    done: bool,
+}
+
+fn parse_ingest_body(text: &str) -> Result<IngestBatch, String> {
+    let doc = json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let session = doc
+        .get("session")
+        .and_then(Value::as_str)
+        .ok_or("missing \"session\" string")?;
+    if session.is_empty() || session.len() > 128 {
+        return Err("\"session\" must be 1..=128 characters".into());
+    }
+    let window = match doc.get("window") {
+        None => None,
+        Some(v) => {
+            let w = num_u64(v).ok_or("\"window\" must be a non-negative integer")? as usize;
+            if w == 0 || w > MAX_WINDOW {
+                return Err(format!("\"window\" must be in 1..={MAX_WINDOW}"));
+            }
+            Some(w)
+        }
+    };
+    let done = match doc.get("done") {
+        None => false,
+        Some(Value::Bool(b)) => *b,
+        Some(_) => return Err("\"done\" must be a boolean".into()),
+    };
+    let insts = match doc.get("insts") {
+        None => Vec::new(),
+        Some(v) => {
+            let items = v.as_arr().ok_or("\"insts\" must be an array")?;
+            if items.len() > MAX_BATCH_INSTS {
+                return Err(format!(
+                    "\"insts\" over the per-request cap ({MAX_BATCH_INSTS})"
+                ));
+            }
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| parse_inst(item).map_err(|e| format!("insts[{i}]: {e}")))
+                .collect::<Result<Vec<Inst>, String>>()?
+        }
+    };
+    Ok(IngestBatch {
+        session: session.to_string(),
+        window,
+        insts,
+        done,
+    })
+}
+
+/// Decode one streamed instruction object (the shape
+/// `icost-obs watch --emit` and the CI smoke producer write).
+fn parse_inst(item: &Value) -> Result<Inst, String> {
+    let pc = item
+        .get("pc")
+        .and_then(num_u64)
+        .ok_or("missing \"pc\" integer")?;
+    let op = item
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("missing \"op\" mnemonic")?;
+    let op = OpClass::from_mnemonic(op).ok_or_else(|| format!("unknown op mnemonic {op:?}"))?;
+    let next_pc = item
+        .get("next_pc")
+        .and_then(num_u64)
+        .ok_or("missing \"next_pc\" integer")?;
+    let dst = match item.get("dst") {
+        None | Some(Value::Null) => None,
+        Some(v) => {
+            let name = v.as_str().ok_or("\"dst\" must be a register string")?;
+            Some(parse_reg(name)?)
+        }
+    };
+    let mut srcs = [None, None];
+    if let Some(v) = item.get("srcs") {
+        let names = v.as_arr().ok_or("\"srcs\" must be an array")?;
+        if names.len() > 2 {
+            return Err("\"srcs\" holds at most two registers".into());
+        }
+        for (i, name) in names.iter().enumerate() {
+            let name = name.as_str().ok_or("\"srcs\" entries must be strings")?;
+            srcs[i] = Some(parse_reg(name)?);
+        }
+    }
+    let mem_addr = match item.get("mem") {
+        None => 0,
+        Some(v) => num_u64(v).ok_or("\"mem\" must be a non-negative integer")?,
+    };
+    let taken = match item.get("taken") {
+        None => op.is_branch() && !op.is_cond_branch(),
+        Some(Value::Bool(b)) => *b,
+        Some(_) => return Err("\"taken\" must be a boolean".into()),
+    };
+    Ok(Inst {
+        pc,
+        op,
+        srcs,
+        dst,
+        mem_addr,
+        taken,
+        next_pc,
+    })
+}
+
+/// Parse the `Reg` display form (`r5` / `f3`) back to a register.
+fn parse_reg(name: &str) -> Result<Reg, String> {
+    let (kind, index) = name.split_at(name.len().min(1));
+    let n: u8 = index
+        .parse()
+        .map_err(|_| format!("bad register {name:?}"))?;
+    if n >= 32 {
+        return Err(format!("register index {n} out of range in {name:?}"));
+    }
+    match kind {
+        "r" => Ok(Reg::int(n)),
+        "f" => Ok(Reg::fp(n)),
+        _ => Err(format!("bad register {name:?} (want rN or fN)")),
+    }
+}
+
+/// Exact u64 from a JSON number: rejects negatives, fractions, and
+/// anything past f64's 2^53 integer precision.
+fn num_u64(v: &Value) -> Option<u64> {
+    let n = v.as_num()?;
+    (n >= 0.0 && n.fract() == 0.0 && n <= 9_007_199_254_740_992.0).then_some(n as u64)
+}
+
+/// Serialize `inst` as one ingest-wire JSON object — the encoder half
+/// of [`parse_inst`], used by the `watch --emit` producer and tests.
+pub fn inst_to_json(inst: &Inst) -> String {
+    let mut out = format!(
+        "{{\"pc\":{},\"op\":{}",
+        inst.pc,
+        json::quote(inst.op.mnemonic())
+    );
+    if let Some(dst) = inst.dst {
+        out.push_str(&format!(",\"dst\":{}", json::quote(&dst.to_string())));
+    }
+    let srcs: Vec<String> = inst
+        .srcs
+        .iter()
+        .flatten()
+        .map(|r| json::quote(&r.to_string()))
+        .collect();
+    if !srcs.is_empty() {
+        out.push_str(&format!(",\"srcs\":[{}]", srcs.join(",")));
+    }
+    if inst.op.is_mem() {
+        out.push_str(&format!(",\"mem\":{}", inst.mem_addr));
+    }
+    out.push_str(&format!(
+        ",\"taken\":{},\"next_pc\":{}}}",
+        inst.taken, inst.next_pc
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_trace::TraceBuilder;
+
+    /// A short connected trace to stream through a session.
+    fn sample_insts(n: usize) -> Vec<Inst> {
+        let mut b = TraceBuilder::new();
+        let r1 = Reg::int(1);
+        let r2 = Reg::int(2);
+        b.counted_loop(n / 4 + 1, r2, |b, k| {
+            b.load(r1, 0x4000 + (k as u64 % 7) * 64);
+            b.alu(r2, &[r1]);
+            b.store(r1, 0x9000 + (k as u64 % 5) * 8);
+        });
+        let mut insts = b.finish().insts().to_vec();
+        insts.truncate(n);
+        insts
+    }
+
+    fn body(session: &str, window: Option<usize>, insts: &[Inst], done: bool) -> String {
+        let window = window.map_or(String::new(), |w| format!(",\"window\":{w}"));
+        let insts: Vec<String> = insts.iter().map(inst_to_json).collect();
+        format!(
+            "{{\"session\":{}{window},\"insts\":[{}],\"done\":{done}}}",
+            json::quote(session),
+            insts.join(","),
+        )
+    }
+
+    #[test]
+    fn instructions_roundtrip_through_the_wire_shape() {
+        for inst in sample_insts(40) {
+            let encoded = inst_to_json(&inst);
+            let doc = json::parse(&encoded).expect("encoder emits valid JSON");
+            assert_eq!(parse_inst(&doc).expect("decodes"), inst, "{encoded}");
+        }
+    }
+
+    #[test]
+    fn sessions_ingest_retire_and_close() {
+        let table = IngestSessions::new(MachineConfig::table6());
+        let insts = sample_insts(100);
+        let first = table
+            .handle(body("s1", Some(32), &insts[..50], false).as_bytes())
+            .expect("first batch");
+        assert_eq!(
+            (first.ingested, first.windows, first.pending, first.done),
+            (50, 1, 18, false)
+        );
+        assert_eq!(table.active(), 1);
+        let last = table
+            .handle(body("s1", None, &insts[50..], true).as_bytes())
+            .expect("final batch");
+        // 100 = 3*32 + 4: done retires the 4-inst tail as window 3.
+        assert_eq!(
+            (last.ingested, last.windows, last.pending, last.done),
+            (100, 4, 0, true)
+        );
+        assert_eq!(table.active(), 0, "done closes the session");
+        let snap = table.metrics().snapshot();
+        assert_eq!(snap.counter("ingest.insts"), 100);
+        assert_eq!(snap.counter("window.evals"), 4);
+        assert_eq!(snap.counter("ingest.sessions_opened"), 1);
+        let outcome = last.to_json();
+        let doc = json::parse(&outcome).expect("response is JSON");
+        assert_eq!(doc.get("windows").and_then(num_u64), Some(4));
+    }
+
+    #[test]
+    fn idle_sessions_are_flushed_and_evicted() {
+        let table = IngestSessions::new(MachineConfig::table6());
+        let insts = sample_insts(10);
+        table
+            .handle(body("stale", Some(64), &insts, false).as_bytes())
+            .expect("opens");
+        assert_eq!(table.active(), 1);
+        assert_eq!(table.evict_idle(Duration::ZERO), 1);
+        assert_eq!(table.active(), 0);
+        let snap = table.metrics().snapshot();
+        assert_eq!(snap.counter("ingest.sessions_evicted"), 1);
+        // The partial window retired on the way out.
+        assert_eq!(snap.counter("window.evals"), 1);
+    }
+
+    #[test]
+    fn malformed_bodies_and_broken_paths_are_client_errors() {
+        let table = IngestSessions::new(MachineConfig::table6());
+        assert!(table
+            .handle(b"not json")
+            .unwrap_err()
+            .contains("invalid JSON"));
+        assert!(table
+            .handle(br#"{"insts":[]}"#)
+            .unwrap_err()
+            .contains("session"));
+        assert!(table
+            .handle(br#"{"session":"x","window":0}"#)
+            .unwrap_err()
+            .contains("window"));
+        let err = table
+            .handle(br#"{"session":"x","insts":[{"pc":0,"op":"hcf","next_pc":4}]}"#)
+            .unwrap_err();
+        assert!(err.contains("insts[0]") && err.contains("hcf"), "{err}");
+        let insts = sample_insts(8);
+        table
+            .handle(body("x", Some(64), &insts[..4], false).as_bytes())
+            .expect("connected prefix");
+        let err = table
+            .handle(body("x", None, &insts[6..], false).as_bytes())
+            .unwrap_err();
+        assert!(err.contains("dynamic path"), "{err}");
+        // The session survives a rejected batch at its old frontier.
+        let resumed = table
+            .handle(body("x", None, &insts[4..], true).as_bytes())
+            .expect("resume");
+        assert_eq!(resumed.ingested, 8);
+    }
+}

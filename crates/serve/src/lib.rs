@@ -8,11 +8,12 @@
 //!
 //! | Endpoint       | What it serves                                          |
 //! |----------------|---------------------------------------------------------|
-//! | `GET /metrics` | Prometheus text exposition of every registry (runner aggregate, graph kernel, cache, ledger, serve layer) |
+//! | `GET /metrics` | Prometheus text exposition of every registry (runner aggregate, graph kernel, cache, ledger, ingest, serve layer) |
 //! | `GET /healthz` | Liveness + identity (workload name, trace size, threads) |
-//! | `GET /readyz`  | Readiness (503 until the accept pool is listening)      |
-//! | `GET /events`  | Ledger records streamed live as Server-Sent Events      |
+//! | `GET /readyz`  | Readiness info JSON: version, uptime, ingest sessions, ledger sink (503 until the accept pool is listening) |
+//! | `GET /events`  | Ledger records streamed live as Server-Sent Events; `?kinds=window,job` filters by record kind |
 //! | `POST /query`  | JSON batch of `cost(S)`/`icost(U)` queries through the shared runner |
+//! | `POST /ingest` | Chunked JSON instruction batches into a streaming session; retired windows become live `window` ledger records |
 //!
 //! The transport is intentionally primitive — `TcpListener` plus a
 //! bounded accept pool of plain OS threads, one request per
@@ -42,7 +43,9 @@
 
 pub mod host;
 pub mod http;
+pub mod ingest;
 pub mod server;
 
 pub use host::{parse_query_body, Backend, ServeContext, ServeHost};
+pub use ingest::{inst_to_json, IngestOutcome, IngestSessions};
 pub use server::{Server, DEFAULT_ADDR, DEFAULT_WORKERS, MAX_SSE_CLIENTS, SERVE_ADDR_ENV};

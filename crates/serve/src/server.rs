@@ -238,10 +238,45 @@ fn handle_connection(
         return;
     }
     if (request.method.as_str(), request.path.as_str()) == ("GET", "/events") {
-        spawn_sse(host, stream, stop, sse);
+        let kinds = parse_kinds_filter(request.query.as_deref());
+        spawn_sse(host, stream, stop, sse, kinds);
         return;
     }
     route(host, &mut stream, &request);
+}
+
+/// Parse the `kinds=` query parameter of `GET /events` into a record-
+/// kind allowlist. Absent parameter or an empty value means *no
+/// filter* (every record streams, byte-identical to the unfiltered
+/// protocol); unknown kind names are kept verbatim and simply never
+/// match a record.
+fn parse_kinds_filter(query: Option<&str>) -> Option<Vec<String>> {
+    let query = query?;
+    let value = query
+        .split('&')
+        .find_map(|param| param.strip_prefix("kinds="))?;
+    let kinds: Vec<String> = value
+        .split(',')
+        .filter(|k| !k.is_empty())
+        .map(str::to_string)
+        .collect();
+    (!kinds.is_empty()).then_some(kinds)
+}
+
+/// Whether a ledger JSONL `line` passes the `kinds` allowlist. Every
+/// record renders with `"kind"` as its first field, so the kind is
+/// read straight off the line prefix; `None` admits everything.
+fn line_matches_kinds(line: &str, kinds: Option<&[String]>) -> bool {
+    let Some(kinds) = kinds else {
+        return true;
+    };
+    let Some(rest) = line.strip_prefix("{\"kind\":\"") else {
+        return false;
+    };
+    let Some((kind, _)) = rest.split_once('"') else {
+        return false;
+    };
+    kinds.iter().any(|k| k == kind)
 }
 
 /// Move a `GET /events` connection onto a dedicated thread, bounded by
@@ -252,6 +287,7 @@ fn spawn_sse(
     mut stream: TcpStream,
     stop: &Arc<AtomicBool>,
     sse: &Arc<SseSlots>,
+    kinds: Option<Vec<String>>,
 ) {
     let reserved = sse
         .active
@@ -270,7 +306,7 @@ fn spawn_sse(
     let spawned = std::thread::Builder::new()
         .name("icost-serve-sse".into())
         .spawn(move || {
-            stream_events(&thread_host, &mut stream, &stop);
+            stream_events(&thread_host, &mut stream, &stop, kinds.as_deref());
             slots.active.fetch_sub(1, Ordering::SeqCst);
         });
     if spawned.is_err() {
@@ -302,7 +338,12 @@ fn route(host: &ServeHost, stream: &mut TcpStream, request: &Request) {
         }
         ("GET", "/readyz") => {
             if host.is_ready() {
-                let _ = http::write_response(stream, 200, "text/plain", b"ready\n");
+                let _ = http::write_response(
+                    stream,
+                    200,
+                    "application/json",
+                    host.ready_json().as_bytes(),
+                );
             } else {
                 host.count_error();
                 let _ = http::write_response(stream, 503, "text/plain", b"starting\n");
@@ -318,7 +359,22 @@ fn route(host: &ServeHost, stream: &mut TcpStream, request: &Request) {
                     http::write_response(stream, 400, "text/plain", format!("{msg}\n").as_bytes());
             }
         },
-        (_, "/metrics" | "/healthz" | "/readyz" | "/events" | "/query") => {
+        ("POST", "/ingest") => match host.handle_ingest(&request.body) {
+            Ok(outcome) => {
+                let _ = http::write_response(
+                    stream,
+                    200,
+                    "application/json",
+                    outcome.to_json().as_bytes(),
+                );
+            }
+            Err(msg) => {
+                host.count_error();
+                let _ =
+                    http::write_response(stream, 400, "text/plain", format!("{msg}\n").as_bytes());
+            }
+        },
+        (_, "/metrics" | "/healthz" | "/readyz" | "/events" | "/query" | "/ingest") => {
             host.count_error();
             let _ = http::write_response(stream, 405, "text/plain", b"method not allowed\n");
         }
@@ -330,14 +386,23 @@ fn route(host: &ServeHost, stream: &mut TcpStream, request: &Request) {
 }
 
 /// `GET /events`: subscribe to the global ledger and stream every
-/// record line as one SSE `data:` frame, in append order.
+/// record line as one SSE `data:` frame, in append order. A
+/// `?kinds=window,job` query restricts the stream to those record
+/// kinds; the filter drops whole lines after the subscription queue,
+/// so filtered and unfiltered clients see byte-identical frames for
+/// the records they share.
 ///
 /// Back-pressure: the subscription queue holds [`SSE_QUEUE_CAPACITY`]
 /// lines; a client that reads slower than the runner appends loses
 /// oldest-first (counted on `ledger.events.dropped`) rather than
 /// blocking the run. Keepalive comments flow every [`SSE_TICK`] so
 /// disconnects and server shutdown are noticed promptly.
-fn stream_events(host: &ServeHost, stream: &mut TcpStream, stop: &AtomicBool) {
+fn stream_events(
+    host: &ServeHost,
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+    kinds: Option<&[String]>,
+) {
     let subscription = uarch_obs::ledger::global().subscribe(SSE_QUEUE_CAPACITY);
     let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n";
     if stream.write_all(head.as_bytes()).is_err() {
@@ -346,7 +411,10 @@ fn stream_events(host: &ServeHost, stream: &mut TcpStream, stop: &AtomicBool) {
     host.sse_clients_delta(1);
     while !stop.load(Ordering::SeqCst) {
         let frame = match subscription.recv_timeout(SSE_TICK) {
-            Some(line) => format!("data: {line}\n\n"),
+            Some(line) if line_matches_kinds(&line, kinds) => format!("data: {line}\n\n"),
+            // A filtered-out record still resets nothing: the periodic
+            // keepalive below keeps the disconnect probe flowing.
+            Some(_) => continue,
             None => ": keepalive\n\n".to_string(),
         };
         if stream.write_all(frame.as_bytes()).is_err() || stream.flush().is_err() {

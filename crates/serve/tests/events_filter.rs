@@ -1,0 +1,171 @@
+//! `GET /events?kinds=...` filtering: a filtered stream carries only
+//! the named record kinds, unknown kinds are ignored, an empty filter
+//! means no filter — and the frames a filtered client does receive are
+//! byte-identical to the unfiltered stream's frames for those records.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use uarch_obs::ledger::{self, Ledger};
+use uarch_runner::Runner;
+use uarch_serve::{inst_to_json, ServeContext, ServeHost, Server};
+use uarch_trace::{MachineConfig, Reg, TraceBuilder};
+
+#[test]
+fn kinds_filter_selects_records_without_reencoding_them() {
+    // One test fn only: the global ledger installs once per process.
+    assert!(
+        ledger::install_global(Ledger::in_memory()),
+        "global ledger must not be initialized yet"
+    );
+
+    let w = uarch_workloads::generate(
+        uarch_workloads::BenchProfile::by_name("gzip").expect("profile"),
+        2_000,
+        2003,
+    );
+    let ctx = ServeContext::new(w.name.clone(), MachineConfig::table6(), w.trace);
+    let host = Arc::new(ServeHost::new(Runner::new().with_threads(2), ctx));
+    let server = Server::start(host, "127.0.0.1:0", 2).expect("start");
+    let addr = server.addr();
+
+    // Three subscribers before any record flows: unfiltered, window-only
+    // (with an unknown kind that must be ignored), and an empty filter
+    // (which must behave exactly like no filter).
+    let mut all = open_events(addr, "/events");
+    let mut windows_only = open_events(addr, "/events?kinds=window,bogus");
+    let mut empty_filter = open_events(addr, "/events?kinds=");
+    let mut all_buf = String::new();
+    let mut win_buf = String::new();
+    let mut empty_buf = String::new();
+    strip_head(&mut all, &mut all_buf);
+    strip_head(&mut windows_only, &mut win_buf);
+    strip_head(&mut empty_filter, &mut empty_buf);
+
+    // Produce a mixed record stream: one query batch (header + job +
+    // report records) and one ingest stream (window records).
+    let batch = r#"{"queries":[{"cost":"dmiss"},{"icost":"dmiss+win"}]}"#;
+    let response = post(addr, "/query", batch);
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    let mut b = TraceBuilder::new();
+    let r1 = Reg::int(1);
+    let r2 = Reg::int(2);
+    b.counted_loop(16, r2, |b, k| {
+        b.load(r1, 0x4000 + (k as u64 % 3) * 64);
+        b.alu(r2, &[r1]);
+    });
+    let insts: Vec<String> = b.finish().insts().iter().map(inst_to_json).collect();
+    let ingest = format!(
+        "{{\"session\":\"f\",\"window\":12,\"insts\":[{}],\"done\":true}}",
+        insts.join(","),
+    );
+    let response = post(addr, "/ingest", &ingest);
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+
+    let sink_text = ledger::global().buffered_text().expect("in-memory sink");
+    let sink_lines: Vec<&str> = sink_text.lines().collect();
+    let sink_windows: Vec<&str> = sink_lines
+        .iter()
+        .copied()
+        .filter(|l| l.starts_with("{\"kind\":\"window\""))
+        .collect();
+    assert!(
+        sink_windows.len() >= 2,
+        "ingest must retire windows:\n{sink_text}"
+    );
+    assert!(
+        sink_lines.len() > sink_windows.len(),
+        "the stream must also carry non-window records:\n{sink_text}"
+    );
+
+    // Unfiltered and empty-filter streams deliver every sink line,
+    // byte-identical; the filtered stream delivers exactly the window
+    // lines, byte-identical to their sink (and unfiltered) copies.
+    read_until(&mut all, &mut all_buf, |s| {
+        data_lines(s).len() >= sink_lines.len()
+    });
+    read_until(&mut empty_filter, &mut empty_buf, |s| {
+        data_lines(s).len() >= sink_lines.len()
+    });
+    read_until(&mut windows_only, &mut win_buf, |s| {
+        data_lines(s).len() >= sink_windows.len()
+    });
+    drop((all, windows_only, empty_filter));
+    server.shutdown();
+
+    assert_eq!(data_lines(&all_buf), sink_lines, "unfiltered = sink");
+    assert_eq!(
+        data_lines(&empty_buf),
+        sink_lines,
+        "kinds= (empty) behaves exactly like no filter"
+    );
+    assert_eq!(
+        data_lines(&win_buf),
+        sink_windows,
+        "kinds=window,bogus streams exactly the window records"
+    );
+}
+
+/// Open an SSE subscription on `path`.
+fn open_events(addr: SocketAddr, path: &str) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect events");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("request events");
+    stream
+}
+
+/// Read and discard the HTTP head, asserting it is an SSE stream.
+fn strip_head(stream: &mut TcpStream, buf: &mut String) {
+    read_until(stream, buf, |s| s.contains("\r\n\r\n"));
+    let head_end = buf.find("\r\n\r\n").expect("head terminator") + 4;
+    let head: String = buf.drain(..head_end).collect();
+    assert!(head.contains("text/event-stream"), "{head}");
+}
+
+/// POST `body` to `path`; return the raw response.
+fn post(addr: SocketAddr, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    response
+}
+
+/// The payloads of complete `data:` frames, in order.
+fn data_lines(streamed: &str) -> Vec<&str> {
+    streamed
+        .split("\n\n")
+        .filter_map(|frame| frame.trim_start_matches('\n').strip_prefix("data: "))
+        .collect()
+}
+
+/// Append socket bytes to `buf` until `done(buf)` or a 10s deadline.
+fn read_until(stream: &mut TcpStream, buf: &mut String, done: impl Fn(&str) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut chunk = [0u8; 4096];
+    while !done(buf) {
+        assert!(Instant::now() < deadline, "timed out; got:\n{buf}");
+        match stream.read(&mut chunk) {
+            Ok(0) => panic!("stream closed early; got:\n{buf}"),
+            Ok(n) => buf.push_str(&String::from_utf8_lossy(&chunk[..n])),
+            Err(_) => {} // read timeout tick; check the predicate again
+        }
+    }
+}

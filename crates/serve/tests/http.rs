@@ -68,18 +68,45 @@ fn endpoints_serve_health_metrics_and_errors() {
 
     let (status, body) = request(addr, "GET", "/readyz", "");
     assert_eq!(status, 200);
-    assert_eq!(body, "ready\n");
+    let ready = uarch_obs::json::parse(body.trim()).expect("readyz is JSON");
+    assert_eq!(ready.get("status").and_then(|v| v.as_str()), Some("ready"));
+    assert_eq!(
+        ready.get("version").and_then(|v| v.as_str()),
+        Some(env!("CARGO_PKG_VERSION")),
+        "{body}"
+    );
+    for key in ["uptime_s", "ingest_sessions", "ledger_sink"] {
+        assert!(ready.get(key).is_some(), "missing {key} in {body}");
+    }
 
     let (status, _) = request(addr, "GET", "/nowhere", "");
     assert_eq!(status, 404);
     let (status, _) = request(addr, "POST", "/metrics", "");
     assert_eq!(status, 405);
 
+    // A streamed ingest batch retires windows and closes its session.
+    let ingest = r#"{"session":"t","window":2,"insts":[
+        {"pc":0,"op":"alu","dst":"r1","next_pc":4},
+        {"pc":4,"op":"alu","dst":"r2","srcs":["r1"],"next_pc":8},
+        {"pc":8,"op":"ld","dst":"r1","srcs":["r2"],"mem":4096,"next_pc":12},
+        {"pc":12,"op":"alu","next_pc":16}],"done":true}"#;
+    let (status, body) = request(addr, "POST", "/ingest", ingest);
+    assert_eq!(status, 200, "{body}");
+    let doc = uarch_obs::json::parse(body.trim()).expect("ingest response is JSON");
+    assert_eq!(doc.get("ingested").and_then(|v| v.as_num()), Some(4.0));
+    assert_eq!(doc.get("windows").and_then(|v| v.as_num()), Some(2.0));
+    let (status, err) = request(addr, "POST", "/ingest", "{}");
+    assert_eq!(status, 400);
+    assert!(err.contains("session"), "{err}");
+
     // A metrics scrape renders a checkable exposition document.
     let (status, text) = request(addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
     uarch_obs::prom::check(&text).expect("exposition passes the checker");
     assert!(text.contains("serve_requests"), "{text}");
+    for needle in ["ingest_sessions{registry=\"ingest\"}", "window_evals"] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
 
     server.shutdown();
 }
@@ -313,6 +340,7 @@ fn bearer_token_gates_every_endpoint() {
         ("GET", "/metrics"),
         ("GET", "/events"),
         ("POST", "/query"),
+        ("POST", "/ingest"),
     ] {
         let response = raw_request(addr, method, path, "", "");
         assert!(

@@ -193,6 +193,12 @@ impl OpClass {
             OpClass::Nop => "nop",
         }
     }
+
+    /// Inverse of [`OpClass::mnemonic`]: the class a short mnemonic
+    /// names, if any — the wire decoder for streamed instruction JSON.
+    pub fn from_mnemonic(s: &str) -> Option<OpClass> {
+        OpClass::ALL.iter().copied().find(|op| op.mnemonic() == s)
+    }
 }
 
 impl fmt::Display for OpClass {
@@ -290,6 +296,15 @@ impl fmt::Display for Inst {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mnemonics_roundtrip_through_from_mnemonic() {
+        for op in OpClass::ALL {
+            assert_eq!(OpClass::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(OpClass::from_mnemonic("xyzzy"), None);
+        assert_eq!(OpClass::from_mnemonic("LD"), None, "mnemonics are exact");
+    }
 
     #[test]
     fn reg_namespaces_do_not_collide() {
