@@ -60,6 +60,15 @@ pub struct LedgerSummary {
     pub window_insts: u64,
     /// Per-batch report records seen.
     pub reports: u64,
+    /// Attribution audit records seen.
+    pub audits: u64,
+    /// Audit records whose overall verdict was `confirmed`.
+    pub audit_confirmed: u64,
+    /// Audit records whose overall verdict was `refuted`.
+    pub audit_refuted: u64,
+    /// Audit records whose overall verdict was `unmodeled` (nothing
+    /// checkable above the noise floor).
+    pub audit_unmodeled: u64,
 }
 
 impl LedgerSummary {
@@ -103,6 +112,14 @@ impl LedgerSummary {
                     s.window_insts += w.end.saturating_sub(w.start);
                 }
                 LedgerRecord::Report(_) => s.reports += 1,
+                LedgerRecord::Audit(a) => {
+                    s.audits += 1;
+                    match a.verdict.as_str() {
+                        "confirmed" => s.audit_confirmed += 1,
+                        "refuted" => s.audit_refuted += 1,
+                        _ => s.audit_unmodeled += 1,
+                    }
+                }
             }
         }
         s
@@ -121,6 +138,13 @@ impl LedgerSummary {
     pub fn from_text_lenient(text: &str) -> Result<(LedgerSummary, u64), String> {
         let (records, skipped) = parse_ledger_lenient(text)?;
         Ok((LedgerSummary::from_records(&records), skipped))
+    }
+
+    /// Fraction of audit records refuted, in `[0, 1]`; `None` when the
+    /// ledger carries no audit records. This is what the
+    /// `icost-obs audit --max-refuted` gate compares against.
+    pub fn audit_refuted_rate(&self) -> Option<f64> {
+        (self.audits > 0).then(|| self.audit_refuted as f64 / self.audits as f64)
     }
 
     /// Percentage of jobs answered without simulating, in `[0, 100]`;
@@ -182,6 +206,12 @@ impl LedgerSummary {
         if self.reports > 0 {
             row("report_records", self.reports.to_string());
         }
+        if self.audits > 0 {
+            row("audit_records", self.audits.to_string());
+            row("  confirmed", self.audit_confirmed.to_string());
+            row("  refuted", self.audit_refuted.to_string());
+            row("  unmodeled", self.audit_unmodeled.to_string());
+        }
         if !self.stalls.is_empty() {
             out.push_str("  stall cycles by cause:\n");
             for (name, v) in &self.stalls {
@@ -219,6 +249,19 @@ impl LedgerSummary {
         obj.insert("window_records".into(), Value::Num(self.windows as f64));
         obj.insert("window_insts".into(), Value::Num(self.window_insts as f64));
         obj.insert("report_records".into(), Value::Num(self.reports as f64));
+        obj.insert("audit_records".into(), Value::Num(self.audits as f64));
+        obj.insert(
+            "audit_confirmed".into(),
+            Value::Num(self.audit_confirmed as f64),
+        );
+        obj.insert(
+            "audit_refuted".into(),
+            Value::Num(self.audit_refuted as f64),
+        );
+        obj.insert(
+            "audit_unmodeled".into(),
+            Value::Num(self.audit_unmodeled as f64),
+        );
         obj.insert(
             "plan_backends".into(),
             Value::Obj(
@@ -527,6 +570,7 @@ pub fn render_watch_record(record: &LedgerRecord) -> String {
             "plan run {}  {}  via {}  reason {}\n",
             p.run, p.query, p.backend, p.reason
         ),
+        LedgerRecord::Audit(a) => uarch_audit::render_waterfall(a),
     }
 }
 
@@ -755,6 +799,70 @@ mod tests {
         let out = render_watch_record(&report);
         assert!(out.starts_with("report run 2  queries 3"), "{out}");
         assert!(out.contains("jobs 4 (1 deduped)"), "{out}");
+    }
+
+    fn audit(run: u64, verdict: &str) -> LedgerRecord {
+        use uarch_obs::ledger::AuditRecord;
+        LedgerRecord::Audit(AuditRecord {
+            run,
+            scope: "run".into(),
+            baseline: 900,
+            tolerance_pm: 250,
+            score_pm: if verdict == "refuted" { 400 } else { 40 },
+            confirmed: if verdict == "refuted" { 4 } else { 5 },
+            refuted: u64::from(verdict == "refuted"),
+            unmodeled: 3,
+            verdict: verdict.into(),
+            attributed: [("dmiss".to_string(), 120i64), ("win".to_string(), 40)]
+                .into_iter()
+                .collect(),
+            counters: [("dmiss".to_string(), 110i64), ("win".to_string(), 45)]
+                .into_iter()
+                .collect(),
+            divergence: [("dmiss".to_string(), 30i64), ("win".to_string(), -30)]
+                .into_iter()
+                .collect(),
+            evidence: "largest divergence dmiss".into(),
+        })
+    }
+
+    #[test]
+    fn summary_tabulates_audit_records_by_verdict() {
+        let s = LedgerSummary::from_records(&[
+            audit(1, "confirmed"),
+            audit(1, "confirmed"),
+            audit(2, "refuted"),
+            audit(2, "unmodeled"),
+        ]);
+        assert_eq!(s.audits, 4);
+        assert_eq!(s.audit_confirmed, 2);
+        assert_eq!(s.audit_refuted, 1);
+        assert_eq!(s.audit_unmodeled, 1);
+        assert_eq!(s.audit_refuted_rate(), Some(0.25));
+        assert!(s.to_table().contains("audit_records"));
+        assert!(s.to_table().contains("refuted"));
+        let doc = uarch_obs::json::parse(&s.to_json()).expect("valid JSON");
+        assert_eq!(doc.get("audit_records").and_then(Value::as_num), Some(4.0));
+        assert_eq!(doc.get("audit_refuted").and_then(Value::as_num), Some(1.0));
+        // Audit-free ledgers carry no rate (nothing to gate).
+        assert_eq!(sample().audit_refuted_rate(), None);
+        assert!(!sample().to_table().contains("audit_records"));
+    }
+
+    #[test]
+    fn watch_renders_audit_records_as_waterfalls() {
+        let record = audit(7, "refuted");
+        let out = render_watch_record(&record);
+        let LedgerRecord::Audit(a) = &record else {
+            unreachable!()
+        };
+        assert_eq!(
+            out,
+            uarch_audit::render_waterfall(a),
+            "watch and audit render identically"
+        );
+        assert!(out.contains("refuted"), "{out}");
+        assert!(out.contains("dmiss"), "{out}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! icost-obs serve [--addr HOST:PORT] [--workload NAME] [--insts N] [--threads N] [--workers N]
 //!                 [--token TOKEN]
 //! icost-obs watch (--addr HOST:PORT | --ledger FILE) [--kinds K1,K2] [--limit N] [--token TOKEN]
+//! icost-obs audit (<ledger.jsonl> | --addr HOST:PORT) [--max-refuted F] [--limit N] [--token TOKEN]
 //! ```
 //!
 //! Exit codes: `0` success / no regressions, `1` regressions found by
@@ -31,6 +32,8 @@ USAGE:
                     [--threads N] [--workers N] [--token TOKEN]
     icost-obs watch (--addr HOST:PORT | --ledger FILE)
                     [--kinds K1,K2] [--limit N] [--token TOKEN]
+    icost-obs audit (<ledger.jsonl> | --addr HOST:PORT)
+                    [--max-refuted F] [--limit N] [--token TOKEN]
 
 COMMANDS:
     summarize     Aggregate a ledger into run/job/provenance/cycle totals
@@ -53,6 +56,14 @@ COMMANDS:
                   server's GET /events SSE stream (with the kinds filter
                   applied server-side); --ledger tails a JSONL ledger
                   file. Runs until killed unless --limit is given.
+    audit         Render attribution-audit waterfalls (the counter-vs-
+                  graph cross-validation records producers emit under
+                  ICOST_AUDIT=1): per-category attributed vs counter
+                  shares, signed divergence bars, and the verdict. Reads
+                  a ledger file, or tails a server's audit stream with
+                  --addr. With --max-refuted F, exits 1 when the fraction
+                  of refuted audits exceeds F — the CI gate for
+                  attribution quality.
 
 OPTIONS:
     --json             Emit JSON instead of the aligned table
@@ -73,8 +84,10 @@ OPTIONS:
     --ledger FILE      watch source: tail this JSONL ledger file
     --kinds K1,K2      watch record-kind filter (default window; 'all'
                        renders every kind)
-    --limit N          watch exits after rendering N records (default:
-                       run until killed)
+    --limit N          watch/audit exit after rendering N records
+                       (default: run until killed / end of file)
+    --max-refuted F    audit gate: exit 1 when refuted/total exceeds F
+                       (default: report only, never gate)
 ";
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
@@ -278,6 +291,30 @@ fn main() -> ExitCode {
                 _ => fail("watch takes exactly one of --addr or --ledger (see --help)"),
             }
         }
+        "audit" => {
+            let addr = match take_opt::<String>(&mut args, "--addr") {
+                Ok(a) => a,
+                Err(e) => return fail(e),
+            };
+            let max_refuted = match take_opt::<f64>(&mut args, "--max-refuted") {
+                Ok(m) => m,
+                Err(e) => return fail(e),
+            };
+            let limit = match take_opt::<u64>(&mut args, "--limit") {
+                Ok(n) => n,
+                Err(e) => return fail(e),
+            };
+            let token = match take_opt::<String>(&mut args, "--token") {
+                Ok(Some(t)) => Some(t),
+                Ok(None) => std::env::var("ICOST_SERVE_TOKEN").ok(),
+                Err(e) => return fail(e),
+            };
+            match (addr, args.as_slice()) {
+                (Some(addr), []) => audit_sse(&addr, limit, max_refuted, token),
+                (None, [path]) => audit_ledger(path, limit, max_refuted),
+                _ => fail("audit takes a ledger path or --addr, not both (see --help)"),
+            }
+        }
         other => fail(format!("unknown command {other:?} (see --help)")),
     }
 }
@@ -324,72 +361,90 @@ fn watch_line(line: &str, kinds: Option<&[String]>) -> bool {
     true
 }
 
-/// `icost-obs watch --addr`: tail a server's `GET /events` SSE stream.
-fn watch_sse(addr: &str, kinds: &str, limit: Option<u64>, token: Option<String>) -> ExitCode {
+/// Connect to a server's SSE endpoint and feed every `data:` payload
+/// line to `on_payload`. Returns `Ok(true)` when the callback asked to
+/// stop, `Ok(false)` when the server closed the stream, `Err` on
+/// connection/protocol failures. Shared by `watch --addr` and
+/// `audit --addr`.
+fn stream_events(
+    addr: &str,
+    path: &str,
+    token: Option<String>,
+    mut on_payload: impl FnMut(&str) -> bool,
+) -> Result<bool, String> {
     use std::io::{Read as _, Write as _};
 
-    let kinds = kinds_filter(kinds);
-    let path = match &kinds {
-        Some(kinds) => format!("/events?kinds={}", kinds.join(",")),
-        None => "/events".to_string(),
-    };
-    let mut stream = match std::net::TcpStream::connect(addr) {
-        Ok(stream) => stream,
-        Err(e) => return fail(format!("cannot connect to {addr}: {e}")),
-    };
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
     let auth = token
         .filter(|t| !t.is_empty())
         .map_or(String::new(), |t| format!("Authorization: Bearer {t}\r\n"));
     let request = format!("GET {path} HTTP/1.1\r\nHost: watch\r\n{auth}\r\n");
-    if let Err(e) = stream.write_all(request.as_bytes()) {
-        return fail(format!("cannot send request: {e}"));
-    }
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("cannot send request: {e}"))?;
     let mut buf = String::new();
     let mut chunk = [0u8; 4096];
     // Read the response head first; anything but 200 is a hard error.
     while !buf.contains("\r\n\r\n") {
         match stream.read(&mut chunk) {
-            Ok(0) => return fail(format!("server closed during response head: {buf:?}")),
+            Ok(0) => return Err(format!("server closed during response head: {buf:?}")),
             Ok(n) => buf.push_str(&String::from_utf8_lossy(&chunk[..n])),
             Err(e) if would_block(&e) => {}
-            Err(e) => return fail(format!("read error: {e}")),
+            Err(e) => return Err(format!("read error: {e}")),
         }
     }
     let head_end = buf.find("\r\n\r\n").expect("head terminator") + 4;
     let head: String = buf.drain(..head_end).collect();
     if !head.starts_with("HTTP/1.1 200") {
-        return fail(format!(
+        return Err(format!(
             "server refused the stream: {}",
             head.lines().next().unwrap_or("")
         ));
     }
     eprintln!("icost-obs: watching {addr}{path}");
-    let mut rendered = 0u64;
     loop {
-        // Frames end with a blank line; data lines carry ledger records
-        // (the kind filter already ran server-side, but re-check so a
-        // pre-filter server streams the same view).
+        // Frames end with a blank line; data lines carry ledger records.
         while let Some(i) = buf.find("\n\n") {
             let frame: String = buf.drain(..i + 2).collect();
             for payload in frame.lines().filter_map(|l| l.strip_prefix("data: ")) {
-                if watch_line(payload, kinds.as_deref()) {
-                    rendered += 1;
-                    if limit.is_some_and(|n| rendered >= n) {
-                        return ExitCode::SUCCESS;
-                    }
+                if on_payload(payload) {
+                    return Ok(true);
                 }
             }
         }
         match stream.read(&mut chunk) {
             Ok(0) => {
                 eprintln!("icost-obs: event stream closed by server");
-                return ExitCode::SUCCESS;
+                return Ok(false);
             }
             Ok(n) => buf.push_str(&String::from_utf8_lossy(&chunk[..n])),
             Err(e) if would_block(&e) => {}
-            Err(e) => return fail(format!("read error: {e}")),
+            Err(e) => return Err(format!("read error: {e}")),
         }
+    }
+}
+
+/// `icost-obs watch --addr`: tail a server's `GET /events` SSE stream.
+fn watch_sse(addr: &str, kinds: &str, limit: Option<u64>, token: Option<String>) -> ExitCode {
+    let kinds = kinds_filter(kinds);
+    let path = match &kinds {
+        Some(kinds) => format!("/events?kinds={}", kinds.join(",")),
+        None => "/events".to_string(),
+    };
+    let mut rendered = 0u64;
+    // The kind filter already ran server-side, but re-check in
+    // watch_line so a pre-filter server streams the same view.
+    match stream_events(addr, &path, token, |payload| {
+        if watch_line(payload, kinds.as_deref()) {
+            rendered += 1;
+            return limit.is_some_and(|n| rendered >= n);
+        }
+        false
+    }) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => fail(e),
     }
 }
 
@@ -437,6 +492,101 @@ fn watch_ledger(path: &str, kinds: &str, limit: Option<u64>) -> ExitCode {
             }
         }
         std::thread::sleep(std::time::Duration::from_millis(250));
+    }
+}
+
+/// Parse one JSONL line as an audit record, if that's what it is.
+/// Other kinds (and unknown/malformed lines) return `None` — the audit
+/// view tails mixed ledgers and streams without failing on them.
+fn parse_audit_line(line: &str) -> Option<uarch_obs::ledger::AuditRecord> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    match uarch_obs::ledger::parse_ledger_lenient(line) {
+        Ok((records, _)) => records.into_iter().find_map(|r| match r {
+            uarch_obs::ledger::LedgerRecord::Audit(a) => Some(a),
+            _ => None,
+        }),
+        Err(_) => None,
+    }
+}
+
+/// Final report + optional CI gate shared by both `audit` sources:
+/// exit 1 when the refuted fraction exceeds `--max-refuted`.
+fn audit_gate(total: u64, refuted: u64, max_refuted: Option<f64>) -> ExitCode {
+    let rate = if total == 0 {
+        0.0
+    } else {
+        refuted as f64 / total as f64
+    };
+    eprintln!("icost-obs: {total} audit record(s), {refuted} refuted (rate {rate:.3})");
+    match max_refuted {
+        Some(max) if rate > max => {
+            eprintln!("icost-obs: refuted rate {rate:.3} exceeds --max-refuted {max}");
+            ExitCode::FAILURE
+        }
+        _ => ExitCode::SUCCESS,
+    }
+}
+
+/// `icost-obs audit <ledger.jsonl>`: render every audit record's
+/// waterfall, then report the refuted rate (and gate on it).
+fn audit_ledger(path: &str, limit: Option<u64>, max_refuted: Option<f64>) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => return fail(format!("cannot read {path}: {e}")),
+    };
+    let (records, skipped) = match uarch_obs::ledger::parse_ledger_lenient(&text) {
+        Ok(parsed) => parsed,
+        Err(e) => return fail(format!("{path}: {e}")),
+    };
+    if skipped > 0 {
+        eprintln!("icost-obs: {path}: skipped {skipped} record(s) of unknown kind");
+    }
+    let mut total = 0u64;
+    let mut refuted = 0u64;
+    for record in &records {
+        if let uarch_obs::ledger::LedgerRecord::Audit(a) = record {
+            if limit.is_some_and(|n| total >= n) {
+                break;
+            }
+            print!("{}", uarch_audit::render_waterfall(a));
+            total += 1;
+            refuted += u64::from(a.verdict == "refuted");
+        }
+    }
+    if total == 0 {
+        eprintln!("icost-obs: {path}: no audit records (producers emit them under ICOST_AUDIT=1)");
+    }
+    audit_gate(total, refuted, max_refuted)
+}
+
+/// `icost-obs audit --addr`: tail a server's audit stream, rendering
+/// waterfalls live; applies the gate when the stream ends or --limit is
+/// reached.
+fn audit_sse(
+    addr: &str,
+    limit: Option<u64>,
+    max_refuted: Option<f64>,
+    token: Option<String>,
+) -> ExitCode {
+    let mut total = 0u64;
+    let mut refuted = 0u64;
+    let result = stream_events(addr, "/events?kinds=audit", token, |payload| {
+        let Some(a) = parse_audit_line(payload) else {
+            return false;
+        };
+        print!("{}", uarch_audit::render_waterfall(&a));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        total += 1;
+        refuted += u64::from(a.verdict == "refuted");
+        limit.is_some_and(|n| total >= n)
+    });
+    match result {
+        Ok(_) => audit_gate(total, refuted, max_refuted),
+        Err(e) => fail(e),
     }
 }
 

@@ -24,10 +24,19 @@ impl ServerProcess {
         ServerProcess::spawn_with(&[], "main")
     }
 
+    /// [`ServerProcess::spawn_with`] plus extra environment variables.
+    fn spawn_with_env(extra_args: &[&str], tag: &str, envs: &[(&str, &str)]) -> ServerProcess {
+        ServerProcess::spawn_inner(extra_args, tag, envs)
+    }
+
     /// [`ServerProcess::spawn`] with extra CLI arguments and a distinct
     /// ledger file per `tag` (tests run in one process; sharing a
     /// ledger file would interleave their records).
     fn spawn_with(extra_args: &[&str], tag: &str) -> ServerProcess {
+        ServerProcess::spawn_inner(extra_args, tag, &[])
+    }
+
+    fn spawn_inner(extra_args: &[&str], tag: &str, envs: &[(&str, &str)]) -> ServerProcess {
         let dir = std::env::temp_dir().join(format!("icost-serve-e2e-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let ledger_path = dir.join(format!("serve-{tag}.jsonl"));
@@ -45,6 +54,7 @@ impl ServerProcess {
                 "2",
             ])
             .args(extra_args)
+            .envs(envs.iter().copied())
             .env("ICOST_LEDGER_FILE", &ledger_path)
             .stdout(Stdio::piped())
             .stderr(Stdio::null())
@@ -347,6 +357,116 @@ fn streamed_ingest_matches_ledger_and_watch_renders_windows() {
         doc.get("ledger_sink"),
         Some(&uarch_obs::json::Value::Bool(true))
     );
+}
+
+/// The audit plane end to end: `POST /explain` answers with the audit
+/// record itself (plus provenance fields), the identical record lands
+/// in the ledger and on `/events?kinds=audit`, `icost-obs audit`
+/// renders the byte-identical waterfall and gates on the refuted rate,
+/// `/metrics` carries the `audit_*` series, and `/readyz` reports the
+/// audit subsystem state.
+#[test]
+fn explain_and_cli_audit_produce_identical_waterfalls() {
+    let server = ServerProcess::spawn_with_env(&[], "audit", &[("ICOST_AUDIT", "1")]);
+    let addr = server.addr;
+
+    // Subscribe to audit records before provoking any.
+    let mut events = TcpStream::connect(addr).expect("connect events");
+    events
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .unwrap();
+    events
+        .write_all(b"GET /events?kinds=audit HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("request events");
+    let mut streamed = String::new();
+    read_until(&mut events, &mut streamed, |s| s.contains("\r\n\r\n"));
+    let head_end = streamed.find("\r\n\r\n").unwrap() + 4;
+    streamed.drain(..head_end);
+
+    // Whole-run explain: the response body IS the ledger record, with
+    // workload/provenance spliced in for the HTTP consumer.
+    let (status, body) = request(addr, "POST", "/explain", "");
+    assert_eq!(status, 200, "{body}");
+    let doc = uarch_obs::json::parse(body.trim()).expect("explain JSON");
+    assert_eq!(doc.get("kind").and_then(|v| v.as_str()), Some("audit"));
+    assert_eq!(doc.get("workload").and_then(|v| v.as_str()), Some("gzip"));
+    assert_eq!(
+        doc.get("provenance").and_then(|v| v.as_str()),
+        Some("graph+counters")
+    );
+    assert_eq!(doc.get("scope").and_then(|v| v.as_str()), Some("run"));
+    // Unknown-field tolerance makes the response parse as exactly the
+    // ledger's audit record.
+    let (records, _) = uarch_obs::ledger::parse_ledger_lenient(body.trim()).expect("parses");
+    let uarch_obs::ledger::LedgerRecord::Audit(from_http) = &records[0] else {
+        panic!("not an audit record: {body}");
+    };
+    let http_waterfall = uarch_audit::render_waterfall(from_http);
+    assert!(http_waterfall.contains("category"), "{http_waterfall}");
+
+    // Sub-range explain and request validation.
+    let (status, ranged) = request(addr, "POST", "/explain", r#"{"start":0,"end":1000}"#);
+    assert_eq!(status, 200, "{ranged}");
+    let doc = uarch_obs::json::parse(ranged.trim()).expect("ranged JSON");
+    assert_eq!(
+        doc.get("scope").and_then(|v| v.as_str()),
+        Some("range 0..1000")
+    );
+    let (status, _) = request(addr, "POST", "/explain", r#"{"start":5}"#);
+    assert_eq!(status, 400, "start without end must be rejected");
+    let (status, _) = request(addr, "POST", "/explain", r#"{"start":0,"end":999999}"#);
+    assert_eq!(status, 400, "out-of-range end must be rejected");
+
+    // Acceptance: the CLI renders the identical waterfall from the
+    // ledger file, and its --max-refuted gate passes at the lax bound.
+    let ledger_text = std::fs::read_to_string(&server.ledger_path).expect("ledger file");
+    let audit_lines: Vec<&str> = ledger_text
+        .lines()
+        .filter(|l| l.starts_with("{\"kind\":\"audit\""))
+        .collect();
+    assert_eq!(audit_lines.len(), 2, "{ledger_text}");
+    let out = Command::new(BIN)
+        .arg("audit")
+        .arg(&server.ledger_path)
+        .args(["--max-refuted", "1.0"])
+        .output()
+        .expect("icost-obs audit runs");
+    assert!(out.status.success(), "{out:?}");
+    let cli = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        cli.contains(&http_waterfall),
+        "CLI waterfall must be byte-identical to the /explain one.\nCLI:\n{cli}\nHTTP:\n{http_waterfall}"
+    );
+    let gate_note = String::from_utf8_lossy(&out.stderr);
+    assert!(gate_note.contains("2 audit record(s)"), "{gate_note}");
+
+    // The SSE subscriber saw the same records the ledger file holds.
+    read_until(&mut events, &mut streamed, |s| data_lines(s).len() >= 2);
+    assert_eq!(
+        data_lines(&streamed),
+        audit_lines,
+        "SSE audit records must match the ICOST_LEDGER_FILE lines byte-for-byte"
+    );
+
+    // audit_* series are on /metrics.
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    uarch_obs::prom::check(&metrics).expect("exposition parses");
+    for needle in ["audit_checks", "audit_confirmed", "audit_residual_pm_dmiss"] {
+        assert!(metrics.contains(needle), "missing {needle} in:\n{metrics}");
+    }
+
+    // /readyz reports the audit plane enabled with its running state.
+    let (status, ready) = request(addr, "GET", "/readyz", "");
+    assert_eq!(status, 200);
+    let doc = uarch_obs::json::parse(ready.trim()).expect("readyz JSON");
+    let audit_state = doc.get("audit").expect("audit state in readyz");
+    assert_eq!(
+        audit_state.get("enabled"),
+        Some(&uarch_obs::json::Value::Bool(true)),
+        "{ready}"
+    );
+    assert!(audit_state.get("refuted_rate").is_some(), "{ready}");
 }
 
 /// The payloads of complete `data:` frames, in order.

@@ -67,4 +67,6 @@ pub use custom::InstIdealization;
 pub use eval::NodeTimes;
 pub use lanes::{LaneScratch, DEFAULT_CHUNK, MAX_LANES};
 pub use model::{DepGraph, EdgeKind, GraphInst, GraphParams, NodeKind, ProducerEdge};
-pub use stream::{StreamingBuilder, WindowBreakdown, DEFAULT_TOP_PAIRS, DEFAULT_WINDOW};
+pub use stream::{
+    breakdown_lattice, StreamingBuilder, WindowBreakdown, DEFAULT_TOP_PAIRS, DEFAULT_WINDOW,
+};

@@ -24,7 +24,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use uarch_sim::{Idealization, Simulator};
+use uarch_sim::{Idealization, PipelineStalls, Simulator};
 use uarch_trace::{EventClass, EventSet, Inst, MachineConfig, Trace};
 
 use crate::lanes::{LaneScratch, DEFAULT_CHUNK};
@@ -54,6 +54,14 @@ pub struct WindowBreakdown {
     /// are omitted), largest `|icost|` first; ties break toward the
     /// lexically earlier set so the selection is deterministic.
     pub pairs: Vec<(EventSet, i64)>,
+    /// Every nonzero pairwise interaction cost, same order as `pairs`
+    /// but untruncated — the attribution auditor's overlap split needs
+    /// all of them, not just the top few the ledger keeps.
+    pub all_pairs: Vec<(EventSet, i64)>,
+    /// Per-cause stall counters of the window's baseline simulation —
+    /// the counter side the audit plane reconciles `costs`/`all_pairs`
+    /// against.
+    pub stalls: PipelineStalls,
     /// Instructions already ingested beyond `end` when this window was
     /// evaluated — how far attribution trails the ingest frontier.
     pub frontier_lag: u64,
@@ -237,8 +245,8 @@ impl StreamingBuilder {
         let trace = Trace::from_insts(insts);
         let result = Simulator::new(&self.config).run(&trace, Idealization::none());
         let graph = DepGraph::build(&trace, &result, &self.config);
-        let (baseline, costs, pairs) =
-            window_lattice(&graph, self.chunk, self.top_pairs, &mut self.scratch);
+        let (baseline, costs, all_pairs) = breakdown_lattice(&graph, self.chunk, &mut self.scratch);
+        let pairs = all_pairs.iter().take(self.top_pairs).copied().collect();
         let breakdown = WindowBreakdown {
             window: self.next_window,
             start: self.retired,
@@ -246,6 +254,8 @@ impl StreamingBuilder {
             baseline,
             costs,
             pairs,
+            all_pairs,
+            stalls: result.stalls,
             frontier_lag: self.pending.len() as u64,
             eval_us: start.elapsed().as_micros() as u64,
         };
@@ -267,14 +277,15 @@ fn all_pairs() -> Vec<EventSet> {
     pairs
 }
 
-/// Evaluate the window lattice — baseline, the 8 singletons, and all
-/// 28 pairs in one chunked lane pass — and reduce it to the breakdown:
-/// singleton costs plus the `top_pairs` largest nonzero pairwise
-/// interaction costs.
-fn window_lattice(
+/// Evaluate the breakdown lattice of `graph` — baseline, the 8
+/// singletons, and all 28 pairs in one chunked lane pass — and reduce
+/// it to `(t(∅), singleton costs, nonzero pairwise icosts)`, the pairs
+/// magnitude-sorted (ties toward the lexically earlier set). Callers
+/// truncate the pairs for the ledger; the attribution auditor consumes
+/// the full list.
+pub fn breakdown_lattice(
     graph: &DepGraph,
     chunk: usize,
-    top_pairs: usize,
     scratch: &mut LaneScratch,
 ) -> (u64, [i64; 8], Vec<(EventSet, i64)>) {
     let mut sets = Vec::with_capacity(1 + 8 + 28);
@@ -305,7 +316,6 @@ fn window_lattice(
             .cmp(&v1.abs())
             .then_with(|| s1.bits().cmp(&s2.bits()))
     });
-    pairs.truncate(top_pairs);
     (baseline, costs, pairs)
 }
 
@@ -359,7 +369,7 @@ mod tests {
                     class
                 );
             }
-            for (set, icost) in &w.pairs {
+            for (set, icost) in w.pairs.iter().chain(&w.all_pairs) {
                 let mut it = set.iter();
                 let (a, b) = (it.next().unwrap(), it.next().unwrap());
                 let expect = graph.cost(*set)
@@ -367,6 +377,11 @@ mod tests {
                     - graph.cost(EventSet::single(b));
                 assert_eq!(*icost, expect, "window {} icost({})", w.window, set);
             }
+            // The truncated top-k list is a prefix of the full list,
+            // and the stall counters match the isolated batch sim.
+            assert_eq!(w.pairs.as_slice(), &w.all_pairs[..w.pairs.len()]);
+            assert!(w.all_pairs.iter().all(|(_, v)| *v != 0));
+            assert_eq!(w.stalls, result.stalls, "window {}", w.window);
         }
     }
 

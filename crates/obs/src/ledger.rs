@@ -205,6 +205,44 @@ pub struct ReportRecord {
     pub sim_us: u64,
 }
 
+/// One attribution audit: the reconciliation of a graph-side icost
+/// breakdown against the simulator's per-cause stall counters for one
+/// analyzed range (a whole run, a query batch, or a retired streaming
+/// window). Self-contained on purpose — the maps carry everything a
+/// renderer needs to reproduce the waterfall byte-for-byte, so the CLI
+/// and `POST /explain` agree without re-deriving anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// The run (or ingest session) this audit belongs to.
+    pub run: u64,
+    /// What range was audited (e.g. `run`, `window 3`, `range 0..512`).
+    pub scope: String,
+    /// Baseline critical-path cycles `t(∅)` of the audited range.
+    pub baseline: u64,
+    /// Per-category share-divergence tolerance, in per-mille.
+    pub tolerance_pm: u64,
+    /// Overall divergence score: total-variation distance between the
+    /// attributed and counter share vectors, in per-mille.
+    pub score_pm: u64,
+    /// Categories whose attribution the counters confirmed.
+    pub confirmed: u64,
+    /// Categories whose attribution the counters refuted.
+    pub refuted: u64,
+    /// Categories with no counter coverage (not checkable).
+    pub unmodeled: u64,
+    /// Overall verdict: `confirmed`, `refuted`, or `unmodeled`.
+    pub verdict: String,
+    /// Overlap-adjusted attributed cycles per category, name-sorted.
+    pub attributed: BTreeMap<String, i64>,
+    /// Mapped stall-counter cycles per checkable category, name-sorted.
+    pub counters: BTreeMap<String, i64>,
+    /// Signed share divergence (attributed − counter) per checkable
+    /// category, in per-mille, name-sorted.
+    pub divergence: BTreeMap<String, i64>,
+    /// Human-readable refuting evidence; empty when nothing refuted.
+    pub evidence: String,
+}
+
 /// One parsed (or to-be-written) ledger line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LedgerRecord {
@@ -220,6 +258,8 @@ pub enum LedgerRecord {
     Window(WindowRecord),
     /// A per-batch `RunReport` summary.
     Report(ReportRecord),
+    /// A counter-vs-graph attribution audit.
+    Audit(AuditRecord),
 }
 
 impl LedgerRecord {
@@ -289,6 +329,22 @@ impl LedgerRecord {
                 w.eval_us,
                 render_i64_map(&w.costs),
                 render_i64_map(&w.pairs),
+            ),
+            LedgerRecord::Audit(a) => format!(
+                "{{\"kind\":\"audit\",\"run\":{},\"scope\":{},\"baseline\":{},\"tolerance_pm\":{},\"score_pm\":{},\"confirmed\":{},\"refuted\":{},\"unmodeled\":{},\"verdict\":{},\"attributed\":{},\"counters\":{},\"divergence\":{},\"evidence\":{}}}",
+                a.run,
+                quote(&a.scope),
+                a.baseline,
+                a.tolerance_pm,
+                a.score_pm,
+                a.confirmed,
+                a.refuted,
+                a.unmodeled,
+                quote(&a.verdict),
+                render_i64_map(&a.attributed),
+                render_i64_map(&a.counters),
+                render_i64_map(&a.divergence),
+                quote(&a.evidence),
             ),
             LedgerRecord::Report(r) => format!(
                 "{{\"kind\":\"report\",\"run\":{},\"queries\":{},\"jobs\":{},\"deduped\":{},\"cache_hits\":{},\"disk_hits\":{},\"sims_run\":{},\"cycles\":{},\"insts\":{},\"threads\":{},\"expand_us\":{},\"sim_us\":{}}}",
@@ -372,6 +428,21 @@ impl LedgerRecord {
                 eval_us: field_u64(&doc, "eval_us")?,
                 costs: field_i64_map(&doc, "costs")?,
                 pairs: field_i64_map(&doc, "pairs")?,
+            })),
+            "audit" => Ok(LedgerRecord::Audit(AuditRecord {
+                run: field_u64(&doc, "run")?,
+                scope: field_str(&doc, "scope")?,
+                baseline: field_u64(&doc, "baseline")?,
+                tolerance_pm: field_u64(&doc, "tolerance_pm")?,
+                score_pm: field_u64(&doc, "score_pm")?,
+                confirmed: field_u64(&doc, "confirmed")?,
+                refuted: field_u64(&doc, "refuted")?,
+                unmodeled: field_u64(&doc, "unmodeled")?,
+                verdict: field_str(&doc, "verdict")?,
+                attributed: field_i64_map(&doc, "attributed")?,
+                counters: field_i64_map(&doc, "counters")?,
+                divergence: field_i64_map(&doc, "divergence")?,
+                evidence: field_str(&doc, "evidence")?,
             })),
             "report" => Ok(LedgerRecord::Report(ReportRecord {
                 run: field_u64(&doc, "run")?,
@@ -832,6 +903,30 @@ mod tests {
         }
     }
 
+    fn audit() -> AuditRecord {
+        AuditRecord {
+            run: 11,
+            scope: "window 3".into(),
+            baseline: 4096,
+            tolerance_pm: 150,
+            score_pm: 312,
+            confirmed: 4,
+            refuted: 1,
+            unmodeled: 3,
+            verdict: "refuted".into(),
+            attributed: [("dmiss".to_string(), 820), ("win".to_string(), 140)]
+                .into_iter()
+                .collect(),
+            counters: [("dmiss".to_string(), 1400), ("win".to_string(), 120)]
+                .into_iter()
+                .collect(),
+            divergence: [("dmiss".to_string(), -214), ("win".to_string(), 31)]
+                .into_iter()
+                .collect(),
+            evidence: "dmiss: attributed 31.0% vs counters 52.4%".into(),
+        }
+    }
+
     fn report() -> ReportRecord {
         ReportRecord {
             run: 7,
@@ -858,10 +953,32 @@ mod tests {
             LedgerRecord::Plan(plan()),
             LedgerRecord::Window(window()),
             LedgerRecord::Report(report()),
+            LedgerRecord::Audit(audit()),
         ] {
             let line = record.to_json_line();
             assert_eq!(LedgerRecord::parse(&line).expect("parses"), record);
         }
+    }
+
+    #[test]
+    fn audit_wire_format_is_name_sorted_and_stable() {
+        let line = LedgerRecord::Audit(audit()).to_json_line();
+        assert_eq!(
+            line,
+            "{\"kind\":\"audit\",\"run\":11,\"scope\":\"window 3\",\"baseline\":4096,\
+             \"tolerance_pm\":150,\"score_pm\":312,\"confirmed\":4,\"refuted\":1,\
+             \"unmodeled\":3,\"verdict\":\"refuted\",\
+             \"attributed\":{\"dmiss\":820,\"win\":140},\
+             \"counters\":{\"dmiss\":1400,\"win\":120},\
+             \"divergence\":{\"dmiss\":-214,\"win\":31},\
+             \"evidence\":\"dmiss: attributed 31.0% vs counters 52.4%\"}"
+        );
+        // An audit line with fields from the future still parses.
+        let extended = line.replacen('{', "{\"schema\":9,", 1);
+        assert_eq!(
+            LedgerRecord::parse(&extended).expect("parses"),
+            LedgerRecord::Audit(audit())
+        );
     }
 
     #[test]
@@ -952,6 +1069,15 @@ mod tests {
         let ok_then_bad = format!("{}\nnot json\n", LedgerRecord::Run(header()).to_json_line());
         let err = parse_ledger(&ok_then_bad).unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
+        // A known kind with missing fields errors (with its line), even
+        // under lenient parsing — leniency covers unknown kinds only.
+        let truncated_audit = format!(
+            "{}\n{{\"kind\":\"audit\",\"run\":1}}\n",
+            LedgerRecord::Audit(audit()).to_json_line()
+        );
+        let err = parse_ledger_lenient(&truncated_audit).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("scope"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Property tests for the ledger wire format: every record kind —
+//! run, job, calib, plan, window, report, audit — survives
+//! serialize→parse with arbitrary field contents, including strings
+//! that need escaping and maps with arbitrary name/value pairs.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use uarch_obs::ledger::{
+    parse_ledger, parse_ledger_lenient, AuditRecord, CalibRecord, JobRecord, LedgerRecord,
+    PlanRecord, Provenance, ReportRecord, RunHeader, WindowRecord,
+};
+
+/// Strings biased toward what actually appears on the wire (set names,
+/// context ids) plus the characters that exercise JSON escaping.
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u32>(), 0..24).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| match c % 8 {
+                0 => '"',
+                1 => '\\',
+                2 => char::from_u32(c % 0x20).unwrap(),
+                3 => '+',
+                _ => char::from_u32(b'a' as u32 + (c % 26)).unwrap(),
+            })
+            .collect()
+    })
+}
+
+// Map values stay within `i32` range: the JSON transport is `f64`, so
+// only integers up to 2^53 are exact — the wire never carries more.
+fn arb_i64_map() -> impl Strategy<Value = BTreeMap<String, i64>> {
+    proptest::collection::vec((arb_name(), any::<i32>()), 0..6)
+        .prop_map(|entries| entries.into_iter().map(|(k, v)| (k, v as i64)).collect())
+}
+
+fn arb_u64_map() -> impl Strategy<Value = BTreeMap<String, u64>> {
+    proptest::collection::vec((arb_name(), any::<u32>()), 0..6)
+        .prop_map(|entries| entries.into_iter().map(|(k, v)| (k, v as u64)).collect())
+}
+
+/// One arbitrary record of every kind, from a flat tuple of seeds.
+/// Numeric fields stay within `u32` range so the JSON `f64` transport
+/// is exact.
+#[allow(clippy::too_many_arguments)]
+fn arb_record() -> impl Strategy<Value = LedgerRecord> {
+    (
+        any::<u8>(),
+        proptest::collection::vec(any::<u32>(), 13),
+        proptest::collection::vec(arb_name(), 4),
+        arb_i64_map(),
+        arb_i64_map(),
+        arb_u64_map(),
+    )
+        .prop_map(|(kind, n, s, map_a, map_b, stalls)| match kind % 7 {
+            0 => LedgerRecord::Run(RunHeader {
+                run: n[0] as u64,
+                ctx: s[0].clone(),
+                queries: n[1] as u64,
+                threads: n[2] as u64,
+                insts: n[3] as u64,
+                ts_ms: n[4] as u64,
+            }),
+            1 => LedgerRecord::Job(JobRecord {
+                run: n[0] as u64,
+                set: s[0].clone(),
+                provenance: match n[1] % 3 {
+                    0 => Provenance::Computed,
+                    1 => Provenance::Memory,
+                    _ => Provenance::Disk,
+                },
+                cycles: n[2] as u64,
+                wall_us: n[3] as u64,
+                hash: s[1].clone(),
+                stalls,
+            }),
+            2 => LedgerRecord::Calib(CalibRecord {
+                sim_ctx: s[0].clone(),
+                graph_ctx: s[1].clone(),
+                set: s[2].clone(),
+                graph_cost: n[0] as i64 - n[1] as i64,
+                sim_cost: n[2] as i64 - n[3] as i64,
+            }),
+            3 => LedgerRecord::Plan(PlanRecord {
+                run: n[0] as u64,
+                query: s[0].clone(),
+                backend: s[1].clone(),
+                confidence_pm: (n[1] % 1001) as u64,
+                reason: s[2].clone(),
+            }),
+            4 => LedgerRecord::Window(WindowRecord {
+                run: n[0] as u64,
+                window: n[1] as u64,
+                start: n[2] as u64,
+                end: n[3] as u64,
+                baseline: n[4] as u64,
+                lag: n[5] as u64,
+                eval_us: n[6] as u64,
+                costs: map_a,
+                pairs: map_b,
+            }),
+            5 => LedgerRecord::Report(ReportRecord {
+                run: n[0] as u64,
+                queries: n[1] as u64,
+                jobs: n[2] as u64,
+                deduped: n[3] as u64,
+                cache_hits: n[4] as u64,
+                disk_hits: n[5] as u64,
+                sims_run: n[6] as u64,
+                cycles: n[7] as u64,
+                insts: n[8] as u64,
+                threads: n[9] as u64,
+                expand_us: n[10] as u64,
+                sim_us: n[11] as u64,
+            }),
+            _ => LedgerRecord::Audit(AuditRecord {
+                run: n[0] as u64,
+                scope: s[0].clone(),
+                baseline: n[1] as u64,
+                tolerance_pm: (n[2] % 1001) as u64,
+                score_pm: (n[3] % 1001) as u64,
+                confirmed: (n[4] % 9) as u64,
+                refuted: (n[5] % 9) as u64,
+                unmodeled: (n[6] % 9) as u64,
+                verdict: s[1].clone(),
+                attributed: map_a,
+                counters: map_b,
+                divergence: BTreeMap::new(),
+                evidence: s[2].clone(),
+            }),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_record_kind_roundtrips(record in arb_record()) {
+        let line = record.to_json_line();
+        prop_assert_eq!(LedgerRecord::parse(&line).expect("parses"), record);
+    }
+
+    #[test]
+    fn documents_of_mixed_kinds_roundtrip(
+        records in proptest::collection::vec(arb_record(), 0..8)
+    ) {
+        let text: String = records
+            .iter()
+            .map(|r| format!("{}\n", r.to_json_line()))
+            .collect();
+        prop_assert_eq!(parse_ledger(&text).expect("parses"), records.clone());
+        // Lenient parsing agrees on all-known documents, and still
+        // recovers every known record when a future kind is spliced in.
+        let (lenient, skipped) = parse_ledger_lenient(&text).expect("lenient");
+        prop_assert_eq!(&lenient, &records);
+        prop_assert_eq!(skipped, 0);
+        let spliced = format!("{{\"kind\":\"from_the_future\",\"x\":1}}\n{text}");
+        let (lenient, skipped) = parse_ledger_lenient(&spliced).expect("lenient");
+        prop_assert_eq!(lenient, records);
+        prop_assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn unknown_fields_are_tolerated_on_every_kind(record in arb_record()) {
+        let line = record.to_json_line();
+        let extended = line.replacen('{', "{\"future_field\":\"?\",", 1);
+        prop_assert_eq!(LedgerRecord::parse(&extended).expect("parses"), record);
+    }
+}

@@ -15,10 +15,10 @@
 //! the JSONL run ledger ([`Calibrator::replay`]), so a restarted server
 //! does not begin life uncalibrated.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
-use uarch_obs::ledger::LedgerRecord;
+use uarch_obs::ledger::{CalibRecord, LedgerRecord};
 
 use crate::PlanConfig;
 
@@ -26,15 +26,30 @@ use crate::PlanConfig;
 /// the oldest sample rolls off so the fit tracks the recent regime.
 const MAX_SAMPLES: usize = 4096;
 
+/// Sentinel `set` name on a `calib` ledger record that marks a context
+/// pair refuted by the attribution auditor instead of carrying a
+/// residual sample. `:` cannot appear in a real `EventSet` display
+/// name, so the sentinel can never collide with an observed set.
+pub const AUDIT_REFUTED_SET: &str = "audit:refuted";
+
 /// Absolute residuals per `(sim ctx, graph ctx)` pair, oldest first.
 type ResidualStore = BTreeMap<(String, String), VecDeque<u64>>;
+
+#[derive(Debug, Default)]
+struct CalibratorInner {
+    residuals: ResidualStore,
+    /// Context pairs whose graph-side attributions the audit plane has
+    /// refuted against hardware-style counters: the planner must not
+    /// serve graph answers for these until recalibrated.
+    refuted: BTreeSet<(String, String)>,
+}
 
 /// Shared, thread-safe store of per-context residual history. Cloning
 /// hands out another handle to the same store, so a long-lived server
 /// can thread one calibrator through every planner it builds.
 #[derive(Debug, Clone, Default)]
 pub struct Calibrator {
-    inner: Arc<Mutex<ResidualStore>>,
+    inner: Arc<Mutex<CalibratorInner>>,
 }
 
 /// One context pair's fitted state (the `icost-obs plan` view).
@@ -55,6 +70,9 @@ pub struct ContextCalibration {
     /// The per-set tolerance the confidence model uses, or `None`
     /// while under `min_samples`.
     pub tolerance: Option<u64>,
+    /// Whether the attribution auditor has refuted this context pair
+    /// (see [`Calibrator::mark_refuted`]).
+    pub refuted: bool,
 }
 
 impl Calibrator {
@@ -69,6 +87,7 @@ impl Calibrator {
         let residual = graph_cost.abs_diff(sim_cost);
         let mut inner = self.inner.lock().expect("calibrator poisoned");
         let samples = inner
+            .residuals
             .entry((sim_ctx.to_string(), graph_ctx.to_string()))
             .or_default();
         if samples.len() >= MAX_SAMPLES {
@@ -77,14 +96,57 @@ impl Calibrator {
         samples.push_back(residual);
     }
 
+    /// Mark a context pair as refuted by the attribution auditor and
+    /// log the decision as a `calib` update (a record whose `set` is
+    /// the [`AUDIT_REFUTED_SET`] sentinel), so a replaying restart
+    /// restores the escalation rule. Idempotent.
+    pub fn mark_refuted(&self, sim_ctx: &str, graph_ctx: &str) {
+        let fresh = self
+            .inner
+            .lock()
+            .expect("calibrator poisoned")
+            .refuted
+            .insert((sim_ctx.to_string(), graph_ctx.to_string()));
+        let ledger = uarch_obs::ledger::global();
+        if fresh && (ledger.is_enabled() || ledger.has_subscribers()) {
+            ledger.append(&LedgerRecord::Calib(CalibRecord {
+                sim_ctx: sim_ctx.to_string(),
+                graph_ctx: graph_ctx.to_string(),
+                set: AUDIT_REFUTED_SET.to_string(),
+                graph_cost: 0,
+                sim_cost: 0,
+            }));
+            let _ = ledger.flush();
+        }
+    }
+
+    /// Whether the attribution auditor has refuted this context pair.
+    pub fn is_refuted(&self, sim_ctx: &str, graph_ctx: &str) -> bool {
+        self.inner
+            .lock()
+            .expect("calibrator poisoned")
+            .refuted
+            .contains(&(sim_ctx.to_string(), graph_ctx.to_string()))
+    }
+
     /// Absorb every `calib` record in `records`; returns how many were
-    /// absorbed. Non-calib records are ignored, so callers can feed a
-    /// whole parsed ledger straight through.
+    /// absorbed. Refutation sentinels restore the refuted set instead
+    /// of contributing a (fake) zero residual. Non-calib records are
+    /// ignored, so callers can feed a whole parsed ledger straight
+    /// through.
     pub fn replay(&self, records: &[LedgerRecord]) -> usize {
         let mut absorbed = 0;
         for record in records {
             if let LedgerRecord::Calib(c) = record {
-                self.observe(&c.sim_ctx, &c.graph_ctx, c.graph_cost, c.sim_cost);
+                if c.set == AUDIT_REFUTED_SET {
+                    self.inner
+                        .lock()
+                        .expect("calibrator poisoned")
+                        .refuted
+                        .insert((c.sim_ctx.clone(), c.graph_ctx.clone()));
+                } else {
+                    self.observe(&c.sim_ctx, &c.graph_ctx, c.graph_cost, c.sim_cost);
+                }
                 absorbed += 1;
             }
         }
@@ -103,6 +165,7 @@ impl Calibrator {
         self.inner
             .lock()
             .expect("calibrator poisoned")
+            .residuals
             .get(&(sim_ctx.to_string(), graph_ctx.to_string()))
             .map_or(0, VecDeque::len)
     }
@@ -113,7 +176,9 @@ impl Calibrator {
     /// — an uncalibrated context must escalate, not guess.
     pub fn tolerance(&self, sim_ctx: &str, graph_ctx: &str, cfg: &PlanConfig) -> Option<u64> {
         let inner = self.inner.lock().expect("calibrator poisoned");
-        let samples = inner.get(&(sim_ctx.to_string(), graph_ctx.to_string()))?;
+        let samples = inner
+            .residuals
+            .get(&(sim_ctx.to_string(), graph_ctx.to_string()))?;
         if samples.len() < cfg.min_samples.max(1) {
             return None;
         }
@@ -125,6 +190,7 @@ impl Calibrator {
     pub fn snapshot(&self, cfg: &PlanConfig) -> Vec<ContextCalibration> {
         let inner = self.inner.lock().expect("calibrator poisoned");
         inner
+            .residuals
             .iter()
             .map(|((sim_ctx, graph_ctx), samples)| {
                 let tolerance = (samples.len() >= cfg.min_samples.max(1)).then(|| {
@@ -139,6 +205,9 @@ impl Calibrator {
                     p95: quantile(samples, 0.95),
                     max: samples.iter().copied().max().unwrap_or(0),
                     tolerance,
+                    refuted: inner
+                        .refuted
+                        .contains(&(sim_ctx.clone(), graph_ctx.clone())),
                 }
             })
             .collect()
@@ -221,6 +290,37 @@ mod tests {
         cfg.safety = 1.0;
         cfg.tolerance_floor = 1;
         assert_eq!(c.tolerance("s", "g", &cfg), Some(7));
+    }
+
+    #[test]
+    fn refutation_marks_survive_replay_without_fake_residuals() {
+        let c = Calibrator::new();
+        assert!(!c.is_refuted("s", "g"));
+        c.mark_refuted("s", "g");
+        c.mark_refuted("s", "g"); // idempotent
+        assert!(c.is_refuted("s", "g"));
+        assert!(!c.is_refuted("s", "other"), "pairs are independent");
+        assert_eq!(c.samples("s", "g"), 0, "no residual sample is faked");
+
+        // The sentinel record restores the refuted set on replay, and
+        // still does not pollute the residual history.
+        let sentinel = LedgerRecord::Calib(CalibRecord {
+            sim_ctx: "s2".into(),
+            graph_ctx: "g2".into(),
+            set: AUDIT_REFUTED_SET.into(),
+            graph_cost: 0,
+            sim_cost: 0,
+        });
+        let replayed = Calibrator::new();
+        assert_eq!(replayed.replay(&[sentinel]), 1);
+        assert!(replayed.is_refuted("s2", "g2"));
+        assert_eq!(replayed.samples("s2", "g2"), 0);
+
+        // Snapshot surfaces refutation next to the residual fit.
+        c.observe("s", "g", 10, 7);
+        let snap = c.snapshot(&cfg(1));
+        assert_eq!(snap.len(), 1);
+        assert!(snap[0].refuted);
     }
 
     #[test]

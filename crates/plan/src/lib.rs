@@ -50,7 +50,7 @@
 mod calibrate;
 mod planner;
 
-pub use calibrate::{Calibrator, ContextCalibration};
+pub use calibrate::{Calibrator, ContextCalibration, AUDIT_REFUTED_SET};
 pub use planner::{
     assess, Assessment, PlanConfig, PlanProvenance, PlanReason, PlannedAnswer, Planner,
 };

@@ -122,6 +122,9 @@ pub enum PlanReason {
     PoorClass,
     /// Calibrated confidence under the threshold.
     LowMargin,
+    /// The attribution auditor refuted this context pair's graph
+    /// attributions against counters; ground truth is forced.
+    AuditRefuted,
 }
 
 impl PlanReason {
@@ -134,6 +137,7 @@ impl PlanReason {
             PlanReason::NearZero => "near_zero",
             PlanReason::PoorClass => "poor_class",
             PlanReason::LowMargin => "low_margin",
+            PlanReason::AuditRefuted => "audit_refuted",
         }
     }
 }
@@ -260,6 +264,7 @@ pub(crate) struct PlanMetrics {
     esc_near_zero: Counter,
     esc_poor_class: Counter,
     esc_low_margin: Counter,
+    esc_audit_refuted: Counter,
     residuals: Counter,
     ground_truth_sims: Counter,
     graph_evals: Counter,
@@ -281,6 +286,7 @@ impl PlanMetrics {
             esc_near_zero: registry.counter("plan.escalate.near_zero"),
             esc_poor_class: registry.counter("plan.escalate.poor_class"),
             esc_low_margin: registry.counter("plan.escalate.low_margin"),
+            esc_audit_refuted: registry.counter("plan.escalate.audit_refuted"),
             residuals: registry.counter("plan.residual_observations"),
             ground_truth_sims: registry.counter("plan.ground_truth_sims"),
             graph_evals: registry.counter("plan.graph_evals"),
@@ -294,6 +300,7 @@ impl PlanMetrics {
             PlanReason::NearZero => self.esc_near_zero.inc(),
             PlanReason::PoorClass => self.esc_poor_class.inc(),
             PlanReason::LowMargin => self.esc_low_margin.inc(),
+            PlanReason::AuditRefuted => self.esc_audit_refuted.inc(),
             PlanReason::CacheComplete | PlanReason::Trusted => {}
         }
     }
@@ -499,11 +506,18 @@ impl<'a> Planner<'a> {
             })
             .collect();
 
+        // A refuted context pair skips the graph rung outright: the
+        // auditor found its attributions disagreeing with counters, so
+        // graph answers are untrustworthy regardless of residual fit.
+        let refuted = self
+            .calibrator
+            .is_refuted(&self.sim_ctx.to_string(), &self.graph_ctx.to_string());
+
         // Rung 2: one graph wave over everything not cache-complete.
         let pending: Vec<usize> = (0..queries.len()).filter(|&i| !cache_complete[i]).collect();
         let mut graph_values = vec![0i64; queries.len()];
         let mut graph_report = None;
-        if !pending.is_empty() {
+        if !pending.is_empty() && !refuted {
             let mut graph_oracle = self.graph_oracle(cache.clone());
             let wanted: Vec<EventSet> = pending
                 .iter()
@@ -522,8 +536,18 @@ impl<'a> Planner<'a> {
         let per_set_tol = self.fitted_tolerance();
         let assessments: Vec<Option<Assessment>> = (0..queries.len())
             .map(|i| {
-                (!cache_complete[i])
-                    .then(|| assess(&queries[i], graph_values[i], per_set_tol, &self.cfg))
+                (!cache_complete[i]).then(|| {
+                    if refuted {
+                        Assessment {
+                            confidence: 0.0,
+                            reason: PlanReason::AuditRefuted,
+                            tolerance: None,
+                            escalate: true,
+                        }
+                    } else {
+                        assess(&queries[i], graph_values[i], per_set_tol, &self.cfg)
+                    }
+                })
             })
             .collect();
 

@@ -8,13 +8,17 @@
 //! shares its lower subsets with smaller queries), executes the residue as
 //! one parallel wave, and answers every query from the resulting cache.
 
+use std::collections::HashSet;
 use std::io;
 use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
 
 use icost::{icost, icost_of_sets, CostOracle};
-use uarch_graph::DepGraph;
+use uarch_audit::{audit_attribution, AuditConfig};
+use uarch_graph::{breakdown_lattice, DepGraph, LaneScratch, DEFAULT_CHUNK};
 use uarch_obs::ledger::{unix_time_ms, LedgerRecord, RunHeader};
 use uarch_obs::CounterSampler;
+use uarch_sim::{Idealization, Simulator};
 use uarch_trace::{EventSet, MachineConfig, Trace};
 
 use crate::cache::SimCache;
@@ -100,6 +104,17 @@ impl std::fmt::Display for Query {
 pub struct Runner {
     threads: usize,
     cache: SimCache,
+    /// Programmatic audit override; `None` consults `ICOST_AUDIT`.
+    audit: Option<AuditConfig>,
+}
+
+/// Simulation contexts this process has already audited — auditing is
+/// a property of the (config, trace) context, not of the batch, so one
+/// check per context keeps the enabled overhead inside the
+/// `runner_scale` perturbation budget.
+fn audited_contexts() -> &'static Mutex<HashSet<String>> {
+    static AUDITED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    AUDITED.get_or_init(|| Mutex::new(HashSet::new()))
 }
 
 impl Default for Runner {
@@ -114,7 +129,16 @@ impl Runner {
         Runner {
             threads: default_threads(),
             cache: SimCache::new(),
+            audit: None,
         }
+    }
+
+    /// Force attribution auditing with `cfg`, regardless of the
+    /// `ICOST_AUDIT` environment (tests and embedders; the env-var path
+    /// is the production switch).
+    pub fn with_audit(mut self, cfg: AuditConfig) -> Runner {
+        self.audit = Some(cfg);
+        self
     }
 
     /// Cap (or raise) the worker-thread budget.
@@ -129,6 +153,7 @@ impl Runner {
         Ok(Runner {
             threads: self.threads,
             cache: SimCache::with_disk(dir)?,
+            audit: self.audit,
         })
     }
 
@@ -274,9 +299,59 @@ impl Runner {
         // Stop sampling before take_report resets the registries, so the
         // closing counter sample carries the run's final values, not zeros.
         drop(sampler);
+        self.maybe_audit(
+            config,
+            trace,
+            warm_data,
+            warm_code,
+            &oracle.context().to_string(),
+            oracle.ledger_run_id(),
+        );
         let report = oracle.take_report();
         let _ = ledger.flush();
         (answers, report)
+    }
+
+    /// Cross-validate this context's graph attributions against its
+    /// stall counters and append an `audit` ledger record — once per
+    /// simulation context per process, and only when auditing is on
+    /// (`ICOST_AUDIT=1` or [`Runner::with_audit`]) and somebody will
+    /// read the record. Off-path cost is one env lookup.
+    fn maybe_audit(
+        &self,
+        config: &MachineConfig,
+        trace: &Trace,
+        warm_data: &[u64],
+        warm_code: &[u64],
+        ctx: &str,
+        run: Option<u64>,
+    ) {
+        let Some(cfg) = self.audit.or_else(AuditConfig::from_env) else {
+            return;
+        };
+        let ledger = uarch_obs::ledger::global();
+        if !ledger.is_enabled() && !ledger.has_subscribers() {
+            return;
+        }
+        {
+            let mut audited = audited_contexts().lock().unwrap_or_else(|e| e.into_inner());
+            if !audited.insert(ctx.to_string()) {
+                return;
+            }
+        }
+        let tracer = uarch_obs::global();
+        let _sp = tracer.span("runner", "runner.audit");
+        // The cache stores cycles only, so the audit re-simulates the
+        // baseline to recover exec records and stall counters, then
+        // checks them against a fresh graph's breakdown lattice.
+        let result =
+            Simulator::new(config).run_warmed(trace, Idealization::none(), warm_data, warm_code);
+        let graph = DepGraph::build(trace, &result, config);
+        let mut scratch = LaneScratch::new();
+        let (baseline, costs, pairs) = breakdown_lattice(&graph, DEFAULT_CHUNK, &mut scratch);
+        let audit = audit_attribution("run", baseline, &costs, &pairs, &result.stalls, &cfg);
+        let run = run.unwrap_or_else(|| ledger.next_run_id());
+        ledger.append(&LedgerRecord::Audit(audit.to_record(run)));
     }
 }
 

@@ -14,13 +14,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use icost::{icost, icost_of_sets, CostOracle};
-use uarch_graph::DepGraph;
+use uarch_audit::{audit_attribution, AuditConfig, AuditMetrics};
+use uarch_graph::{breakdown_lattice, DepGraph, LaneScratch, DEFAULT_CHUNK};
 use uarch_obs::json::{self, Value};
 use uarch_obs::ledger::{LedgerRecord, ReportRecord};
 use uarch_obs::{prom, Counter, Gauge, Histogram, Registry};
 use uarch_plan::{assess, Calibrator, PlanConfig, Planner};
 use uarch_runner::{context_id, Query, RunReport, Runner};
-use uarch_sim::{Idealization, Simulator};
+use uarch_sim::{Idealization, PipelineStalls, Simulator};
 use uarch_trace::{EventSet, MachineConfig, Trace};
 
 use crate::http::Request;
@@ -99,6 +100,19 @@ pub struct ServeHost {
     graph_ctx: String,
     /// The `POST /ingest` session table (and its `ingest.*` metrics).
     ingest: IngestSessions,
+    /// Audit tolerances in effect for background (streamed-window)
+    /// audits; `None` when `ICOST_AUDIT` is off. `POST /explain` always
+    /// answers, falling back to default tolerances.
+    audit_cfg: Option<AuditConfig>,
+    /// The `audit.*` registry `/metrics` renders.
+    audit_registry: Registry,
+    /// Shared outcome counters: `/explain` audits and streamed-window
+    /// audits both land here, so `/readyz` reports one refuted-rate.
+    audit_metrics: AuditMetrics,
+    /// Stall counters of the baseline simulation the served graph was
+    /// built from — the counter side whole-run audits reconcile
+    /// against.
+    baseline_stalls: PipelineStalls,
     /// When the host was constructed (surfaced as `/readyz` uptime).
     started: Instant,
     /// When set, every endpoint requires `Authorization: Bearer <token>`.
@@ -127,7 +141,11 @@ impl ServeHost {
     /// `ICOST_LEDGER_FILE` so the planner starts calibrated.
     pub fn new(runner: Runner, ctx: ServeContext) -> ServeHost {
         let baseline = Simulator::new(&ctx.config).run(&ctx.trace, Idealization::none());
+        let baseline_stalls = baseline.stalls;
         let graph = DepGraph::build(&ctx.trace, &baseline, &ctx.config);
+        let audit_cfg = AuditConfig::from_env();
+        let audit_registry = Registry::new();
+        let audit_metrics = AuditMetrics::bind(&audit_registry);
         let serve_registry = Registry::new();
         let sim_ctx = context_id(&ctx.config, &ctx.trace, &ctx.warm_data, &ctx.warm_code);
         let graph_ctx = sim_ctx.tagged("graph");
@@ -170,7 +188,17 @@ impl ServeHost {
             plan_cfg: PlanConfig::default(),
             sim_ctx: sim_ctx.to_string(),
             graph_ctx: graph_ctx.to_string(),
-            ingest: IngestSessions::new(ctx.config.clone()),
+            ingest: {
+                let ingest = IngestSessions::new(ctx.config.clone());
+                match audit_cfg {
+                    Some(cfg) => ingest.with_audit(cfg, audit_metrics.clone()),
+                    None => ingest,
+                }
+            },
+            audit_cfg,
+            audit_registry,
+            audit_metrics,
+            baseline_stalls,
             started: Instant::now(),
             token: None,
             runner,
@@ -178,6 +206,18 @@ impl ServeHost {
             graph,
             ready: AtomicBool::new(false),
         }
+    }
+
+    /// Enable streamed-window audits programmatically (tests and
+    /// embedders; the serve binary reads `ICOST_AUDIT` instead).
+    pub fn with_audit(mut self, cfg: AuditConfig) -> ServeHost {
+        self.audit_cfg = Some(cfg);
+        let ingest = std::mem::replace(
+            &mut self.ingest,
+            IngestSessions::new(self.ctx.config.clone()),
+        );
+        self.ingest = ingest.with_audit(cfg, self.audit_metrics.clone());
+        self
     }
 
     /// Require `Authorization: Bearer <token>` on every endpoint.
@@ -256,6 +296,7 @@ impl ServeHost {
             ("cache", self.runner.cache().metrics()),
             ("ledger", ledger.metrics()),
             ("ingest", self.ingest.metrics()),
+            ("audit", &self.audit_registry),
             ("serve", &self.serve_registry),
         ]);
         self.scrapes.inc();
@@ -274,18 +315,34 @@ impl ServeHost {
     }
 
     /// The `GET /readyz` 200 body: readiness plus build and runtime
-    /// info — crate version, uptime, open ingest sessions, and whether
-    /// the run ledger has a durable sink. (A not-ready host answers 503
-    /// before this renders.)
+    /// info — crate version, uptime, open ingest sessions, whether the
+    /// run ledger has a durable sink, and the audit plane's state
+    /// (enabled flag plus the running refuted-rate over every category
+    /// verdict issued so far). (A not-ready host answers 503 before
+    /// this renders.)
     pub fn ready_json(&self) -> String {
         let ledger = uarch_obs::ledger::global();
+        let snap = self.audit_registry.snapshot();
+        let (confirmed, refuted) = (
+            snap.counter("audit.confirmed"),
+            snap.counter("audit.refuted"),
+        );
+        let verdicts = confirmed + refuted;
+        let refuted_rate = if verdicts == 0 {
+            0.0
+        } else {
+            refuted as f64 / verdicts as f64
+        };
         format!(
-            "{{\"status\":\"ready\",\"version\":{},\"uptime_s\":{},\"ingest_sessions\":{},\"ledger_sink\":{},\"ledger_records\":{}}}\n",
+            "{{\"status\":\"ready\",\"version\":{},\"uptime_s\":{},\"ingest_sessions\":{},\"ledger_sink\":{},\"ledger_records\":{},\"audit\":{{\"enabled\":{},\"checks\":{},\"refuted_rate\":{:.3}}}}}\n",
             json::quote(env!("CARGO_PKG_VERSION")),
             self.started.elapsed().as_secs(),
             self.ingest.active(),
             ledger.is_enabled(),
             ledger.appended(),
+            self.audit_cfg.is_some(),
+            snap.counter("audit.checks"),
+            refuted_rate,
         )
     }
 
@@ -388,6 +445,74 @@ impl ServeHost {
         ))
     }
 
+    /// Answer one `POST /explain` body: cross-validate the graph-side
+    /// breakdown (base costs plus pairwise icosts) against pipeline
+    /// stall counters and return the audit as a waterfall-ready JSON
+    /// object. An empty body (or `{}`) audits the whole served trace
+    /// against the baseline simulation's counters; `{"start":N,
+    /// "end":M}` audits the instruction sub-range through a fresh
+    /// simulation, mirroring how streamed windows are audited.
+    ///
+    /// The response body is the `audit` ledger record itself with two
+    /// provenance fields spliced in — the record parser tolerates
+    /// unknown fields, so the body parses as exactly the record any
+    /// ledger reader renders, which is what makes `/explain` and
+    /// `icost-obs audit` waterfalls identical by construction.
+    pub fn handle_explain(&self, body: &[u8]) -> Result<String, String> {
+        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+        let range = parse_explain_body(text)?;
+        let cfg = self.audit_cfg.unwrap_or_default();
+        let audit = match range {
+            None => {
+                let mut scratch = LaneScratch::new();
+                let (baseline, costs, pairs) =
+                    breakdown_lattice(&self.graph, DEFAULT_CHUNK, &mut scratch);
+                audit_attribution("run", baseline, &costs, &pairs, &self.baseline_stalls, &cfg)
+            }
+            Some((start, end)) => {
+                let len = self.ctx.trace.len() as u64;
+                if start >= end || end > len {
+                    return Err(format!(
+                        "range {start}..{end} out of bounds (trace holds {len} insts)"
+                    ));
+                }
+                let sub = Trace::from_insts(
+                    self.ctx.trace.insts()[start as usize..end as usize].to_vec(),
+                );
+                let result = Simulator::new(&self.ctx.config).run(&sub, Idealization::none());
+                let graph = DepGraph::build(&sub, &result, &self.ctx.config);
+                let mut scratch = LaneScratch::new();
+                let (baseline, costs, pairs) =
+                    breakdown_lattice(&graph, DEFAULT_CHUNK, &mut scratch);
+                audit_attribution(
+                    &format!("range {start}..{end}"),
+                    baseline,
+                    &costs,
+                    &pairs,
+                    &result.stalls,
+                    &cfg,
+                )
+            }
+        };
+        let ledger = uarch_obs::ledger::global();
+        let record = audit.to_record(ledger.next_run_id());
+        self.audit_metrics.observe(&record);
+        if record.verdict == "refuted" {
+            // Confirmed refutations feed the planner: this context's
+            // graph answers escalate to ground truth until retrained.
+            self.calibrator.mark_refuted(&self.sim_ctx, &self.graph_ctx);
+        }
+        let record = LedgerRecord::Audit(record);
+        let line = record.to_json_line();
+        ledger.append(&record);
+        let _ = ledger.flush();
+        let provenance = format!(
+            "{{\"kind\":\"audit\",\"workload\":{},\"provenance\":\"graph+counters\",",
+            json::quote(&self.ctx.name)
+        );
+        Ok(line.replacen("{\"kind\":\"audit\",", &provenance, 1) + "\n")
+    }
+
     /// Evaluate a batch on the dependence-graph kernel, folding the
     /// short-lived oracle's `graph.*` counters into the aggregate
     /// registry (this is [`Runner::run_graph`] plus counter retention).
@@ -444,6 +569,31 @@ pub fn parse_query_body(text: &str) -> Result<(Vec<Query>, Backend), String> {
         .map(|(i, item)| parse_one_query(item).map_err(|e| format!("queries[{i}]: {e}")))
         .collect::<Result<Vec<Query>, String>>()?;
     Ok((queries, backend))
+}
+
+/// Parse a `POST /explain` body: empty (or `{}`) for the whole served
+/// trace, or `{"start": N, "end": M}` for an instruction sub-range.
+fn parse_explain_body(text: &str) -> Result<Option<(u64, u64)>, String> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    let doc = json::parse(trimmed).map_err(|e| format!("invalid JSON: {e}"))?;
+    let bound = |field: &str| -> Result<Option<u64>, String> {
+        match doc.get(field) {
+            None => Ok(None),
+            Some(v) => v
+                .as_num()
+                .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                .map(|n| Some(n as u64))
+                .ok_or_else(|| format!("\"{field}\" must be a non-negative integer")),
+        }
+    };
+    match (bound("start")?, bound("end")?) {
+        (None, None) => Ok(None),
+        (Some(start), Some(end)) => Ok(Some((start, end))),
+        _ => Err("\"start\" and \"end\" must be provided together".into()),
+    }
 }
 
 /// Append one answered batch's [`RunReport`] to the global ledger as a

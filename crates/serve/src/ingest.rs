@@ -34,6 +34,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use uarch_audit::{audit_attribution, AuditConfig, AuditMetrics};
 use uarch_graph::{StreamingBuilder, DEFAULT_WINDOW};
 use uarch_obs::json::{self, Value};
 use uarch_obs::ledger::{LedgerRecord, WindowRecord};
@@ -80,6 +81,10 @@ pub struct IngestSessions {
     window_evals: Counter,
     window_eval_us: Histogram,
     window_lag: Gauge,
+    /// When set, every retired window is cross-validated against its
+    /// baseline stall counters and the audit lands on the ledger right
+    /// after the window record (see [`IngestSessions::with_audit`]).
+    audit: Option<(AuditConfig, AuditMetrics)>,
 }
 
 /// What one ingest request did (rendered as the response JSON).
@@ -129,7 +134,17 @@ impl IngestSessions {
             registry,
             config,
             sessions: Mutex::new(HashMap::new()),
+            audit: None,
         }
+    }
+
+    /// Audit every retired window under `cfg`, counting outcomes in
+    /// `metrics` (cloned handles — bind them into whatever registry
+    /// should render the `audit.*` families, so streamed-window audits
+    /// and `/explain` audits share one running refuted-rate).
+    pub fn with_audit(mut self, cfg: AuditConfig, metrics: AuditMetrics) -> IngestSessions {
+        self.audit = Some((cfg, metrics));
+        self
     }
 
     /// The `ingest.*` / `window.*` registry.
@@ -244,6 +259,19 @@ impl IngestSessions {
         self.window_evals.inc();
         self.window_eval_us.record(window.eval_us);
         self.window_lag.set(window.frontier_lag as i64);
+        if let Some((cfg, metrics)) = &self.audit {
+            let audit = audit_attribution(
+                &format!("window {}", window.window),
+                window.baseline,
+                &window.costs,
+                &window.all_pairs,
+                &window.stalls,
+                cfg,
+            );
+            let record = audit.to_record(run);
+            metrics.observe(&record);
+            uarch_obs::ledger::global().append(&LedgerRecord::Audit(record));
+        }
     }
 }
 
@@ -478,6 +506,37 @@ mod tests {
         let outcome = last.to_json();
         let doc = json::parse(&outcome).expect("response is JSON");
         assert_eq!(doc.get("windows").and_then(num_u64), Some(4));
+    }
+
+    #[test]
+    fn audited_sessions_emit_one_audit_per_retired_window() {
+        let registry = Registry::new();
+        let table = IngestSessions::new(MachineConfig::table6())
+            .with_audit(AuditConfig::default(), AuditMetrics::bind(&registry));
+        let sub = uarch_obs::ledger::global().subscribe(256);
+        let insts = sample_insts(100);
+        let outcome = table
+            .handle(body("aud", Some(32), &insts, true).as_bytes())
+            .expect("batch");
+        let audits: Vec<uarch_obs::ledger::AuditRecord> = sub
+            .drain()
+            .iter()
+            .filter_map(|line| match uarch_obs::ledger::LedgerRecord::parse(line) {
+                Ok(uarch_obs::ledger::LedgerRecord::Audit(a)) => Some(a),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            audits.len() as u64,
+            outcome.windows,
+            "one audit per retired window"
+        );
+        for (i, a) in audits.iter().enumerate() {
+            assert_eq!(a.scope, format!("window {i}"));
+            assert!(!a.attributed.is_empty(), "audits are self-contained");
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("audit.checks"), outcome.windows);
     }
 
     #[test]

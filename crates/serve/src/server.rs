@@ -359,6 +359,16 @@ fn route(host: &ServeHost, stream: &mut TcpStream, request: &Request) {
                     http::write_response(stream, 400, "text/plain", format!("{msg}\n").as_bytes());
             }
         },
+        ("POST", "/explain") => match host.handle_explain(&request.body) {
+            Ok(body) => {
+                let _ = http::write_response(stream, 200, "application/json", body.as_bytes());
+            }
+            Err(msg) => {
+                host.count_error();
+                let _ =
+                    http::write_response(stream, 400, "text/plain", format!("{msg}\n").as_bytes());
+            }
+        },
         ("POST", "/ingest") => match host.handle_ingest(&request.body) {
             Ok(outcome) => {
                 let _ = http::write_response(
@@ -374,7 +384,10 @@ fn route(host: &ServeHost, stream: &mut TcpStream, request: &Request) {
                     http::write_response(stream, 400, "text/plain", format!("{msg}\n").as_bytes());
             }
         },
-        (_, "/metrics" | "/healthz" | "/readyz" | "/events" | "/query" | "/ingest") => {
+        (
+            _,
+            "/metrics" | "/healthz" | "/readyz" | "/events" | "/query" | "/explain" | "/ingest",
+        ) => {
             host.count_error();
             let _ = http::write_response(stream, 405, "text/plain", b"method not allowed\n");
         }

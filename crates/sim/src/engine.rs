@@ -156,6 +156,9 @@ struct Engine<'a> {
     fu_busy: HashMap<FuClass, Vec<u64>>,
     /// Outstanding L1D line misses: line → (fill cycle, originating load).
     outstanding: HashMap<u64, (u64, u32)>,
+    /// Latest fill-end cycle already charged to a load-fill stall
+    /// counter; spans before it are someone else's charge.
+    fill_charged_until: u64,
 
     // Commit state.
     next_commit: usize,
@@ -217,9 +220,29 @@ impl<'a> Engine<'a> {
             ready_q: BTreeSet::new(),
             fu_busy,
             outstanding: HashMap::new(),
+            fill_charged_until: 0,
             next_commit: 0,
             in_flight: 0,
         }
+    }
+
+    /// Charge a load fill's stall cycles, counting each cycle at most
+    /// once across overlapping misses. A per-load latency sum would
+    /// double-count parallel misses — two memory fills in flight would
+    /// book 2× the elapsed cycles — which is exactly the naive-counter
+    /// inflation interaction costs exist to correct; charging only the
+    /// span past `fill_charged_until` keeps these counters comparable
+    /// to critical-path attributions. The wait starts at `wait_from`
+    /// (issue plus the hit latency the load would pay anyway).
+    fn charge_fill(&mut self, level: MissLevel, wait_from: u64, fill_end: u64) {
+        let cycles = fill_end.saturating_sub(wait_from.max(self.fill_charged_until));
+        if cycles > 0 {
+            match level {
+                MissLevel::Mem => self.stalls.load_mem_fill += cycles,
+                _ => self.stalls.load_l2_fill += cycles,
+            }
+        }
+        self.fill_charged_until = self.fill_charged_until.max(fill_end);
     }
 
     /// Execution latency of a non-memory op under the current idealization.
@@ -632,7 +655,7 @@ impl<'a> Engine<'a> {
                 } else {
                     0
                 };
-                self.stalls.load_l2_fill += (fill - t).max(hit_lat) - hit_lat;
+                self.charge_fill(MissLevel::L2, t + hit_lat, fill);
                 return (
                     (fill - t).max(hit_lat) + tlb_extra,
                     MemOutcome {
@@ -661,13 +684,13 @@ impl<'a> Engine<'a> {
             MissLevel::Hit => {}
             MissLevel::L2 => {
                 self.counts.l1d_load_misses += 1;
-                self.stalls.load_l2_fill += latency.saturating_sub(hit_lat);
+                self.charge_fill(MissLevel::L2, t + hit_lat, t + latency);
                 self.outstanding.insert(line, (t + latency, i as u32));
             }
             MissLevel::Mem => {
                 self.counts.l1d_load_misses += 1;
                 self.counts.mem_load_misses += 1;
-                self.stalls.load_mem_fill += latency.saturating_sub(hit_lat);
+                self.charge_fill(MissLevel::Mem, t + hit_lat, t + latency);
                 self.outstanding.insert(line, (t + latency, i as u32));
             }
         }

@@ -109,9 +109,12 @@ pub struct PipelineStalls {
     /// Cycles commit waited on an incomplete or too-recent head
     /// instruction (long-latency work blocking retirement).
     pub commit_head_wait: u64,
-    /// Extra load-latency cycles from L1D misses served by L2.
+    /// Non-overlapped fill cycles of L1D misses served by L2: each
+    /// cycle some L2 fill was the newest outstanding charge counts
+    /// once, however many loads were waiting on it.
     pub load_l2_fill: u64,
-    /// Extra load-latency cycles from loads that went to memory.
+    /// Non-overlapped fill cycles of loads that went to memory (same
+    /// single-charge accounting as [`PipelineStalls::load_l2_fill`]).
     pub load_mem_fill: u64,
 }
 
