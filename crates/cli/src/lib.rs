@@ -743,6 +743,7 @@ mod tests {
             threads: 2,
             expand_us: 1,
             sim_us: 2,
+            skipped: 0,
         });
         let s = LedgerSummary::from_records(&[window(0), window(1), report]);
         assert_eq!(s.windows, 2);
@@ -795,6 +796,7 @@ mod tests {
             threads: 2,
             expand_us: 10,
             sim_us: 20,
+            skipped: 37,
         });
         let out = render_watch_record(&report);
         assert!(out.starts_with("report run 2  queries 3"), "{out}");

@@ -3,7 +3,7 @@
 //! ```text
 //! icost-obs summarize <ledger.jsonl> [--json]
 //! icost-obs diff <base.jsonl> <new.jsonl> [--tolerance F] [--wall-tolerance F] [--json]
-//! icost-obs bench-export <ledger.jsonl> --tag TAG [--out FILE]
+//! icost-obs bench-export <ledger.jsonl> --tag TAG [--out FILE] [--allow-empty]
 //! icost-obs plan <ledger.jsonl> [--json]
 //! icost-obs serve [--addr HOST:PORT] [--workload NAME] [--insts N] [--threads N] [--workers N]
 //!                 [--token TOKEN]
@@ -26,7 +26,7 @@ icost-obs — regression tracking over interaction-cost run ledgers
 USAGE:
     icost-obs summarize <ledger.jsonl> [--json]
     icost-obs diff <base.jsonl> <new.jsonl> [--tolerance F] [--wall-tolerance F] [--json]
-    icost-obs bench-export <ledger.jsonl> --tag TAG [--out FILE]
+    icost-obs bench-export <ledger.jsonl> --tag TAG [--out FILE] [--allow-empty]
     icost-obs plan <ledger.jsonl> [--json]
     icost-obs serve [--addr HOST:PORT] [--workload NAME] [--insts N]
                     [--threads N] [--workers N] [--token TOKEN]
@@ -39,7 +39,9 @@ COMMANDS:
     summarize     Aggregate a ledger into run/job/provenance/cycle totals
     diff          Compare a candidate ledger against a baseline; exit 1
                   when a gated metric regresses beyond tolerance
-    bench-export  Write the summary as BENCH_<TAG>.json (or --out FILE)
+    bench-export  Write the summary as BENCH_<TAG>.json (or --out FILE);
+                  exits 2 when the ledger holds no run or job records
+                  unless --allow-empty is given
     plan          Inspect the mixed-fidelity planner's ledger trail:
                   answers by backend and routing reason, plus the
                   per-context graph-residual calibration replayed from
@@ -73,6 +75,8 @@ OPTIONS:
                        wall clocks differ wildly across machines)
     --tag TAG          Benchmark tag for bench-export (required)
     --out FILE         Output path for bench-export (default BENCH_<TAG>.json)
+    --allow-empty      bench-export: export even when the ledger holds no
+                       run or job records (default: warn and exit 2)
     --addr HOST:PORT   serve listen address (port 0 picks a free port)
     --workload NAME    serve benchmark profile (default mcf)
     --insts N          serve trace length in instructions (default 20000)
@@ -191,6 +195,7 @@ fn main() -> ExitCode {
             }
         }
         "bench-export" => {
+            let allow_empty = take_flag(&mut args, "--allow-empty");
             let tag = match take_opt::<String>(&mut args, "--tag") {
                 Ok(Some(t)) => t,
                 Ok(None) => return fail("bench-export requires --tag TAG"),
@@ -207,6 +212,23 @@ fn main() -> ExitCode {
                 Ok(s) => s,
                 Err(e) => return fail(e),
             };
+            // An exported benchmark file with zero run headers and zero
+            // job records gates nothing downstream — it is almost always
+            // a mis-pointed ICOST_LEDGER_FILE. Refuse unless the caller
+            // explicitly opts in.
+            if summary.runs == 0 && summary.jobs == 0 {
+                if allow_empty {
+                    eprintln!(
+                        "icost-obs: {path}: no run or job records; exporting empty \
+                         summary (--allow-empty)"
+                    );
+                } else {
+                    return fail(format!(
+                        "{path}: no run or job records — refusing to export an empty \
+                         benchmark summary (pass --allow-empty to override)"
+                    ));
+                }
+            }
             let doc = summary.to_bench_json(&tag, path);
             if let Err(e) = std::fs::write(&out, doc) {
                 return fail(format!("cannot write {out}: {e}"));

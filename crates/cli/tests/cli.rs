@@ -142,6 +142,48 @@ fn bench_export_writes_deterministic_document() {
     );
 }
 
+/// A ledger with no run or job records exports nothing worth gating on:
+/// bench-export must refuse (exit 2, file untouched) unless the caller
+/// passes --allow-empty, in which case it warns and writes the document.
+#[test]
+fn bench_export_refuses_empty_ledger_unless_allowed() {
+    // Records exist, but none of them are run headers or jobs.
+    let ledger = write_fixture(
+        "empty-bench.jsonl",
+        r#"{"kind":"calib","sim_ctx":"00000000deadbeef","graph_ctx":"00000000feedface","set":"dmiss","graph_cost":100,"sim_cost":93}
+"#,
+    );
+    let out_path = write_fixture("BENCH_EMPTY.json", "sentinel");
+    let mut args = vec![
+        "bench-export",
+        "--tag",
+        "EMPTY",
+        "--out",
+        out_path.to_str().unwrap(),
+        ledger.to_str().unwrap(),
+    ];
+    let out = run(&args);
+    assert_eq!(out.status.code(), Some(2), "empty export must exit 2");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no run or job records"),
+        "stderr explains the refusal: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read_to_string(&out_path).unwrap(),
+        "sentinel",
+        "refused export must not touch the output file"
+    );
+
+    args.insert(1, "--allow-empty");
+    let out = run(&args);
+    assert!(out.status.success(), "--allow-empty overrides the guard");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--allow-empty"));
+    let doc =
+        uarch_obs::json::parse(&std::fs::read_to_string(&out_path).unwrap()).expect("valid JSON");
+    assert_eq!(doc.get("tag").and_then(|v| v.as_str()), Some("EMPTY"));
+}
+
 /// A ledger written by a (hypothetical) newer build: a record kind this
 /// build has never heard of, plus an extra field on a known kind. Both
 /// must be tolerated — version skew between the process that wrote the

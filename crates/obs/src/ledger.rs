@@ -203,6 +203,11 @@ pub struct ReportRecord {
     pub expand_us: u64,
     /// Wall microseconds spent simulating (sum over jobs).
     pub sim_us: u64,
+    /// Idle cycles the discrete-event scheduler skipped across those
+    /// jobs (0 from ticking-engine runs and from pre-scheduler ledgers:
+    /// the parser defaults the field when absent, keeping old ledgers
+    /// readable).
+    pub skipped: u64,
 }
 
 /// One attribution audit: the reconciliation of a graph-side icost
@@ -347,7 +352,7 @@ impl LedgerRecord {
                 quote(&a.evidence),
             ),
             LedgerRecord::Report(r) => format!(
-                "{{\"kind\":\"report\",\"run\":{},\"queries\":{},\"jobs\":{},\"deduped\":{},\"cache_hits\":{},\"disk_hits\":{},\"sims_run\":{},\"cycles\":{},\"insts\":{},\"threads\":{},\"expand_us\":{},\"sim_us\":{}}}",
+                "{{\"kind\":\"report\",\"run\":{},\"queries\":{},\"jobs\":{},\"deduped\":{},\"cache_hits\":{},\"disk_hits\":{},\"sims_run\":{},\"cycles\":{},\"insts\":{},\"threads\":{},\"expand_us\":{},\"sim_us\":{},\"skipped\":{}}}",
                 r.run,
                 r.queries,
                 r.jobs,
@@ -360,6 +365,7 @@ impl LedgerRecord {
                 r.threads,
                 r.expand_us,
                 r.sim_us,
+                r.skipped,
             ),
         }
     }
@@ -457,6 +463,9 @@ impl LedgerRecord {
                 threads: field_u64(&doc, "threads")?,
                 expand_us: field_u64(&doc, "expand_us")?,
                 sim_us: field_u64(&doc, "sim_us")?,
+                // Absent in pre-scheduler ledgers; default rather than
+                // reject so old files stay parseable.
+                skipped: field_u64(&doc, "skipped").unwrap_or(0),
             })),
             other => Err(format!("unknown record kind {other:?}")),
         }
@@ -941,6 +950,7 @@ mod tests {
             threads: 8,
             expand_us: 40,
             sim_us: 1234,
+            skipped: 420,
         }
     }
 

@@ -113,6 +113,7 @@ fn arb_record() -> impl Strategy<Value = LedgerRecord> {
                 threads: n[9] as u64,
                 expand_us: n[10] as u64,
                 sim_us: n[11] as u64,
+                skipped: n[12] as u64,
             }),
             _ => LedgerRecord::Audit(AuditRecord {
                 run: n[0] as u64,

@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 use icost::CostOracle;
 use uarch_obs::ledger::{JobRecord, Ledger, LedgerRecord, Provenance};
 use uarch_obs::{global, Registry};
-use uarch_sim::{Idealization, PipelineStalls, Simulator};
+use uarch_sim::{EngineStats, Idealization, PipelineStalls, Simulator};
 use uarch_trace::{EventSet, MachineConfig, Trace};
 
 use crate::cache::SimCache;
@@ -187,7 +187,7 @@ impl<'a> ParallelMultiSimOracle<'a> {
         }
     }
 
-    fn simulate(&self, set: EventSet) -> (u64, PipelineStalls) {
+    fn simulate(&self, set: EventSet) -> (u64, PipelineStalls, EngineStats) {
         let tracer = global();
         let _sp = if tracer.is_enabled() {
             tracer.span_with("runner", "sim", vec![("set", set.to_string())])
@@ -200,16 +200,23 @@ impl<'a> ParallelMultiSimOracle<'a> {
             self.warm_data,
             self.warm_code,
         );
-        (r.cycles, r.stalls)
+        (r.cycles, r.stalls, r.engine)
     }
 
     /// Book one executed simulation: counters, stall taxonomy, cache.
-    fn record_sim(&self, set: EventSet, cycles: u64, stalls: &PipelineStalls) {
+    fn record_sim(
+        &self,
+        set: EventSet,
+        cycles: u64,
+        stalls: &PipelineStalls,
+        engine: &EngineStats,
+    ) {
         self.metrics.sims_run.inc();
         self.metrics.cycles_simulated.add(cycles);
         self.metrics.insts_simulated.add(self.trace.len() as u64);
         self.metrics.sim_cycles.record(cycles);
         self.metrics.absorb_stalls(stalls);
+        self.metrics.absorb_engine(engine);
         self.cache.insert(self.ctx, set, cycles);
     }
 
@@ -231,10 +238,10 @@ impl<'a> ParallelMultiSimOracle<'a> {
             return cycles;
         }
         let start = Instant::now();
-        let (cycles, stalls) = self.simulate(set);
+        let (cycles, stalls, engine) = self.simulate(set);
         let wall = start.elapsed();
         Metrics::add_wall(&self.metrics.sim_wall_us, wall);
-        self.record_sim(set, cycles, &stalls);
+        self.record_sim(set, cycles, &stalls, &engine);
         self.ledger_job(set, Provenance::Computed, cycles, wall, Some(&stalls));
         cycles
     }
@@ -301,13 +308,13 @@ impl CostOracle for ParallelMultiSimOracle<'_> {
             };
             parallel_map(&jobs, self.threads, |&set| {
                 let job_start = Instant::now();
-                let (cycles, stalls) = self.simulate(set);
-                (cycles, stalls, job_start.elapsed())
+                let (cycles, stalls, engine) = self.simulate(set);
+                (cycles, stalls, engine, job_start.elapsed())
             })
         };
         Metrics::add_wall(&self.metrics.sim_wall_us, sim_start.elapsed());
-        for (&set, (cycles, stalls, wall)) in jobs.iter().zip(&results) {
-            self.record_sim(set, *cycles, stalls);
+        for (&set, (cycles, stalls, engine, wall)) in jobs.iter().zip(&results) {
+            self.record_sim(set, *cycles, stalls, engine);
             self.ledger_job(set, Provenance::Computed, *cycles, *wall, Some(stalls));
         }
     }

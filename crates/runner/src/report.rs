@@ -11,7 +11,7 @@
 use std::time::Duration;
 
 use uarch_obs::{Counter, Gauge, Histogram, Registry};
-use uarch_sim::PipelineStalls;
+use uarch_sim::{EngineStats, PipelineStalls};
 
 /// Bucket bounds for the per-simulation cycle-count histogram.
 const SIM_CYCLES_BOUNDS: [u64; 6] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
@@ -37,6 +37,14 @@ pub(crate) struct Metrics {
     pub sim_cycles: Histogram,
     /// One counter per [`PipelineStalls`] row, in row order.
     stall_counters: Vec<Counter>,
+    /// Cycles the event scheduler actually ticked (`sim.event.ticks`).
+    pub engine_ticks: Counter,
+    /// Idle cycles jumped over without running the stage functions
+    /// (`sim.skipped_cycles`; always 0 under the ticking engine).
+    pub engine_skipped: Counter,
+    /// Idle spans bulk-attributed in one next-event jump each
+    /// (`sim.event.spans`).
+    pub engine_spans: Counter,
 }
 
 impl Metrics {
@@ -62,6 +70,9 @@ impl Metrics {
             sim_wall_us: registry.counter("runner.sim_wall_us"),
             sim_cycles: registry.histogram("runner.sim_cycles", &SIM_CYCLES_BOUNDS),
             stall_counters,
+            engine_ticks: registry.counter("sim.event.ticks"),
+            engine_skipped: registry.counter("sim.skipped_cycles"),
+            engine_spans: registry.counter("sim.event.spans"),
             registry,
         };
         m.threads.set(threads as i64);
@@ -79,6 +90,13 @@ impl Metrics {
         for (counter, (_, v)) in self.stall_counters.iter().zip(stalls.rows()) {
             counter.add(v);
         }
+    }
+
+    /// Add one simulation's run-loop telemetry (ticked vs skipped).
+    pub fn absorb_engine(&self, engine: &EngineStats) {
+        self.engine_ticks.add(engine.ticked_cycles);
+        self.engine_skipped.add(engine.skipped_cycles);
+        self.engine_spans.add(engine.idle_spans);
     }
 
     /// Add `d` to a wall-time counter, in whole microseconds.
@@ -114,6 +132,11 @@ impl Metrics {
             sim_cycles_p95: quantile(0.95),
             sim_cycles_p99: quantile(0.99),
             stalls: PipelineStalls::from_row_values(stall_values),
+            engine: EngineStats {
+                ticked_cycles: self.engine_ticks.get(),
+                skipped_cycles: self.engine_skipped.get(),
+                idle_spans: self.engine_spans.get(),
+            },
         }
     }
 
@@ -167,6 +190,10 @@ pub struct RunReport {
     /// Simulated-machine pipeline stalls, summed over every simulation
     /// this report covers (idealized runs included).
     pub stalls: PipelineStalls,
+    /// Run-loop telemetry summed over every simulation: cycles actually
+    /// ticked vs skipped by the discrete-event scheduler, and how many
+    /// idle spans were bulk-attributed.
+    pub engine: EngineStats,
 }
 
 impl RunReport {
@@ -197,6 +224,7 @@ impl RunReport {
         self.sim_cycles_p95 = self.sim_cycles_p95.max(other.sim_cycles_p95);
         self.sim_cycles_p99 = self.sim_cycles_p99.max(other.sim_cycles_p99);
         self.stalls.absorb(&other.stalls);
+        self.engine.absorb(&other.engine);
     }
 
     /// Fraction of non-empty requests that skipped simulation, in
@@ -275,6 +303,15 @@ impl RunReport {
         for (name, v) in self.stalls.rows() {
             registry.counter(&format!("sim.stall.{name}")).add(v);
         }
+        registry
+            .counter("sim.event.ticks")
+            .add(self.engine.ticked_cycles);
+        registry
+            .counter("sim.skipped_cycles")
+            .add(self.engine.skipped_cycles);
+        registry
+            .counter("sim.event.spans")
+            .add(self.engine.idle_spans);
     }
 
     /// The report as a standalone metrics registry (the snapshot/JSON/
@@ -328,6 +365,12 @@ impl RunReport {
                     out.push_str(&format!("    stall.{name:<20} {v:>14}\n"));
                 }
             }
+        }
+        if self.engine.skipped_cycles > 0 {
+            out.push_str(&format!(
+                "  {:<24} {:>14}\n  {:<24} {:>14}\n",
+                "cycles skipped", self.engine.skipped_cycles, "idle spans", self.engine.idle_spans
+            ));
         }
         out
     }

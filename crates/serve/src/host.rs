@@ -615,6 +615,7 @@ fn publish_report_record(report: &RunReport) {
         threads: report.threads as u64,
         expand_us: report.expand_wall.as_micros() as u64,
         sim_us: report.sim_wall.as_micros() as u64,
+        skipped: report.engine.skipped_cycles,
     }));
     let _ = ledger.flush();
 }

@@ -5,18 +5,91 @@
 //! zero-latency idealized chains can collapse within a cycle), dispatch,
 //! and fetch. All per-instruction timestamps are recorded in
 //! [`ExecRecord`]s for the dependence-graph model.
+//!
+//! Two run loops drive those stages:
+//!
+//! - **Ticking** ([`EngineMode::Ticking`]): run every stage every cycle,
+//!   `t += 1` — the original engine, kept as the differential-testing
+//!   reference.
+//! - **Events** ([`EngineMode::Events`], the default): when a cycle makes
+//!   no progress (nothing delivered, committed, issued, dispatched, or
+//!   fetched, and no fetch-side state changed), every following cycle
+//!   behaves identically until the earliest *future event* — the next
+//!   operand-ready wakeup, the earliest functional-unit free time a ready
+//!   instruction waits on, the ROB head's `complete + complete_to_commit`,
+//!   the fetch-queue front maturing past the front-end depth, an I-line
+//!   fill completing, or a misprediction redirect. The loop therefore
+//!   charges the span's stall cycles in bulk (the idle cycle's per-cause
+//!   stall delta times the span length) and jumps `t` straight to the
+//!   event. Results are bit-identical to ticking by construction; only
+//!   [`SimResult::engine`] telemetry differs.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::OnceLock;
 
 use crate::branch::BranchPredictor;
 use crate::cache::{MemSystem, MissLevel};
 use crate::ideal::Idealization;
-use crate::record::{EventCounts, ExecRecord, PipelineStalls, SimResult};
+use crate::record::{EngineStats, EventCounts, ExecRecord, PipelineStalls, SimResult};
 use uarch_trace::{FuClass, Inst, MachineConfig, OpClass, Reg, Trace};
 
 /// A very large width standing in for "infinite bandwidth" (paper Table 1).
 const INFINITE: usize = 1 << 24;
+
+/// List terminator for the wakeup-edge arena ([`Engine::waiter_head`]).
+const EDGE_NONE: u32 = u32::MAX;
+
+/// FxHash-style multiply-rotate hasher for the outstanding-miss map.
+/// The keys are line addresses inside a simulator (no untrusted input,
+/// no DoS surface), where SipHash's per-load cost is pure overhead.
+#[derive(Default)]
+struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+/// Environment variable selecting the run loop: `ticking` (or `cycle`)
+/// forces the cycle-ticking reference engine; anything else — including
+/// unset — selects the discrete-event scheduler.
+pub const SIM_ENGINE_ENV: &str = "ICOST_SIM_ENGINE";
+
+/// Which run loop drives the simulation. Both produce bit-identical
+/// [`SimResult`]s (cycles, records, counts, stalls); the event-driven
+/// loop skips idle cycles instead of ticking through them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EngineMode {
+    /// Tick the five stage functions every cycle (reference engine).
+    Ticking,
+    /// Jump over idle cycles with next-event computation (default).
+    #[default]
+    Events,
+}
+
+impl EngineMode {
+    /// The process-wide default, resolved once from [`SIM_ENGINE_ENV`].
+    pub fn from_env() -> EngineMode {
+        static MODE: OnceLock<EngineMode> = OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var(SIM_ENGINE_ENV).as_deref() {
+            Ok("ticking") | Ok("cycle") | Ok("tick") => EngineMode::Ticking,
+            _ => EngineMode::Events,
+        })
+    }
+}
 
 /// The simulator: construct once per machine configuration, run per trace.
 #[derive(Debug, Clone)]
@@ -37,9 +110,15 @@ impl<'a> Simulator<'a> {
     }
 
     /// Run `trace` to completion under `ideal`, returning timing and
-    /// per-instruction records.
+    /// per-instruction records. Uses [`EngineMode::from_env`].
     pub fn run(&self, trace: &Trace, ideal: Idealization) -> SimResult {
-        Engine::new(self.config, trace, ideal).run()
+        self.run_with_mode(trace, ideal, EngineMode::from_env())
+    }
+
+    /// [`Simulator::run`] under an explicit run loop (differential
+    /// testing: run both modes, assert bit-identical results).
+    pub fn run_with_mode(&self, trace: &Trace, ideal: Idealization, mode: EngineMode) -> SimResult {
+        Engine::new(self.config, trace, ideal).run(mode)
     }
 
     /// Run with pre-warmed caches and TLBs: every address in `warm_data`
@@ -54,6 +133,18 @@ impl<'a> Simulator<'a> {
         warm_data: &[u64],
         warm_code: &[u64],
     ) -> SimResult {
+        self.run_warmed_with_mode(trace, ideal, warm_data, warm_code, EngineMode::from_env())
+    }
+
+    /// [`Simulator::run_warmed`] under an explicit run loop.
+    pub fn run_warmed_with_mode(
+        &self,
+        trace: &Trace,
+        ideal: Idealization,
+        warm_data: &[u64],
+        warm_code: &[u64],
+        mode: EngineMode,
+    ) -> SimResult {
         let mut engine = Engine::new(self.config, trace, ideal);
         for &a in warm_data {
             engine.mem.data_access(a);
@@ -61,7 +152,7 @@ impl<'a> Simulator<'a> {
         for &a in warm_code {
             engine.mem.inst_access(a);
         }
-        engine.run()
+        engine.run(mode)
     }
 
     /// Convenience: run and return only the cycle count.
@@ -148,14 +239,31 @@ struct Engine<'a> {
 
     // Rename / wakeup state.
     reg_map: [Option<u32>; Reg::COUNT],
-    waiters: Vec<Vec<(u32, u8)>>,
+    /// Wakeup lists as an intrusive edge arena: edge `c * 2 + s` is
+    /// consumer `c` waiting on its source slot `s`; `waiter_head[p]`
+    /// starts producer `p`'s chain through `waiter_next`. Two flat
+    /// allocations up front instead of a `Vec` push per dependence edge.
+    waiter_head: Vec<u32>,
+    waiter_next: Vec<u32>,
     ready_events: BinaryHeap<Reverse<(u64, u32)>>,
-    ready_q: BTreeSet<u32>,
+    /// Ready-to-issue instructions, kept sorted (oldest first). A plain
+    /// sorted `Vec` beats a `BTreeSet` here: the queue is small, inserts
+    /// arrive nearly in order, and the issue loop wants slice iteration.
+    ready_q: Vec<u32>,
+    /// Scratch for the oldest-first ready-queue scan in
+    /// [`Engine::issue_fixpoint`] — reused across passes and cycles so
+    /// the hot loop never allocates.
+    issue_scratch: Vec<u32>,
 
     // Execute state.
-    fu_busy: HashMap<FuClass, Vec<u64>>,
+    /// Per-class functional-unit free times, indexed by
+    /// [`FuClass::index`]; a unit with value `<= t` is free at `t`.
+    /// Empty vectors under infinite bandwidth (no structural hazards).
+    fu_units: [Vec<u64>; FuClass::ALL.len()],
+    /// Whether the idealization removed structural hazards entirely.
+    fu_infinite: bool,
     /// Outstanding L1D line misses: line → (fill cycle, originating load).
-    outstanding: HashMap<u64, (u64, u32)>,
+    outstanding: HashMap<u64, (u64, u32), BuildHasherDefault<LineHasher>>,
     /// Latest fill-end cycle already charged to a load-fill stall
     /// counter; spans before it are someone else's charge.
     fill_charged_until: u64,
@@ -163,20 +271,26 @@ struct Engine<'a> {
     // Commit state.
     next_commit: usize,
     in_flight: usize,
+
+    // Run-loop telemetry (ticked vs skipped cycles).
+    stats: EngineStats,
 }
 
 impl<'a> Engine<'a> {
     fn new(cfg: &'a MachineConfig, trace: &'a Trace, ideal: Idealization) -> Engine<'a> {
         let n = trace.len();
         let inf = ideal.infinite_bw();
-        let mut fu_busy = HashMap::new();
-        if !inf {
-            fu_busy.insert(FuClass::IntAlu, vec![0u64; cfg.fu_int_alu.count]);
-            fu_busy.insert(FuClass::IntMult, vec![0; cfg.fu_int_mult.count]);
-            fu_busy.insert(FuClass::FpAlu, vec![0; cfg.fu_fp_alu.count]);
-            fu_busy.insert(FuClass::FpMultDiv, vec![0; cfg.fu_fp_mult.count]);
-            fu_busy.insert(FuClass::LdSt, vec![0; cfg.fu_ld_st.count]);
-        }
+        let fu_units: [Vec<u64>; FuClass::ALL.len()] = if inf {
+            Default::default()
+        } else {
+            let mut units: [Vec<u64>; FuClass::ALL.len()] = Default::default();
+            units[FuClass::IntAlu.index()] = vec![0u64; cfg.fu_int_alu.count];
+            units[FuClass::IntMult.index()] = vec![0; cfg.fu_int_mult.count];
+            units[FuClass::FpAlu.index()] = vec![0; cfg.fu_fp_alu.count];
+            units[FuClass::FpMultDiv.index()] = vec![0; cfg.fu_fp_mult.count];
+            units[FuClass::LdSt.index()] = vec![0; cfg.fu_ld_st.count];
+            units
+        };
         Engine {
             cfg,
             trace,
@@ -215,14 +329,18 @@ impl<'a> Engine<'a> {
             stalled_on: None,
             redirect_at: 0,
             reg_map: [None; Reg::COUNT],
-            waiters: vec![Vec::new(); n],
+            waiter_head: vec![EDGE_NONE; n],
+            waiter_next: vec![EDGE_NONE; n * 2],
             ready_events: BinaryHeap::new(),
-            ready_q: BTreeSet::new(),
-            fu_busy,
-            outstanding: HashMap::new(),
+            ready_q: Vec::new(),
+            issue_scratch: Vec::new(),
+            fu_units,
+            fu_infinite: inf,
+            outstanding: HashMap::default(),
             fill_charged_until: 0,
             next_commit: 0,
             in_flight: 0,
+            stats: EngineStats::default(),
         }
     }
 
@@ -301,7 +419,26 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(mut self) -> SimResult {
+    fn run(self, mode: EngineMode) -> SimResult {
+        match mode {
+            EngineMode::Ticking => self.run_ticking(),
+            EngineMode::Events => self.run_events(),
+        }
+    }
+
+    fn finish(self) -> SimResult {
+        let cycles = self.records[self.trace.len() - 1].commit;
+        SimResult {
+            cycles,
+            records: self.records,
+            counts: self.counts,
+            stalls: self.stalls,
+            engine: self.stats,
+        }
+    }
+
+    /// The reference run loop: every stage, every cycle.
+    fn run_ticking(mut self) -> SimResult {
         let n = self.trace.len();
         if n == 0 {
             return SimResult::default();
@@ -313,32 +450,141 @@ impl<'a> Engine<'a> {
             self.issue_fixpoint(t);
             self.dispatch(t);
             self.fetch(t);
+            self.stats.ticked_cycles += 1;
             t += 1;
             debug_assert!(
                 t < 1_000 * (n as u64 + 16) + 1_000_000,
                 "simulation did not converge (deadlock?)"
             );
         }
-        let cycles = self.records[n - 1].commit;
-        SimResult {
-            cycles,
-            records: self.records,
-            counts: self.counts,
-            stalls: self.stalls,
+        self.finish()
+    }
+
+    /// The discrete-event run loop: tick a cycle; if it made no progress,
+    /// jump to the next cycle where any stage's behavior can change,
+    /// bulk-charging the skipped span with the idle cycle's exact stall
+    /// delta. Bit-identical to [`Engine::run_ticking`] because a
+    /// no-progress cycle leaves every piece of machine state except the
+    /// stall counters untouched, so the cycles inside the span are
+    /// carbon copies of the one that was actually executed.
+    fn run_events(mut self) -> SimResult {
+        let n = self.trace.len();
+        if n == 0 {
+            return SimResult::default();
+        }
+        let mut t: u64 = 0;
+        while self.next_commit < n {
+            let before = self.stalls;
+            let mut progress = self.deliver_events(t);
+            progress |= self.commit(t);
+            progress |= self.issue_fixpoint(t);
+            progress |= self.dispatch(t);
+            progress |= self.fetch(t);
+            self.stats.ticked_cycles += 1;
+            if !progress && self.next_commit < n {
+                if let Some(next) = self.next_event(t) {
+                    debug_assert!(next > t, "next event {next} not after {t}");
+                    let skip = next - (t + 1);
+                    if skip > 0 {
+                        let delta = self.stalls.delta_since(&before);
+                        self.stalls.add_scaled(&delta, skip);
+                        self.stats.skipped_cycles += skip;
+                        self.stats.idle_spans += 1;
+                        t = next;
+                        continue;
+                    }
+                }
+                // No future event: the machine is wedged. Fall through to
+                // single-cycle ticking so behavior (and the convergence
+                // assert below) matches the reference engine.
+            }
+            t += 1;
+            debug_assert!(
+                t < 1_000 * (n as u64 + 16) + 1_000_000,
+                "simulation did not converge (deadlock?)"
+            );
+        }
+        self.finish()
+    }
+
+    /// The earliest cycle after `t` at which any stage could behave
+    /// differently than it did at `t`, given that cycle `t` made no
+    /// progress. Every source of forward progress or stall-regime change
+    /// is time-driven once the machine is idle:
+    ///
+    /// - a pending operand wakeup ([`Engine::ready_events`] head);
+    /// - a functional unit a ready instruction is blocked on freeing up;
+    /// - the issued ROB head reaching `complete + complete_to_commit`;
+    /// - the fetch-queue front maturing past the front-end depth (it may
+    ///   then dispatch — or begin charging `dispatch_window_full`);
+    /// - an I-side line/translation fill completing (`line_ready_at`);
+    /// - a misprediction redirect releasing fetch (`redirect_at`).
+    ///
+    /// Anything else (a stalled-on branch resolving, the fetch queue
+    /// draining, the window freeing) requires one of the above to fire
+    /// first, so the minimum is a safe jump target. `None` means no event
+    /// is pending (deadlock).
+    fn next_event(&self, t: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut consider = |cycle: u64| {
+            if cycle > t && next.is_none_or(|n| cycle < n) {
+                next = Some(cycle);
+            }
+        };
+        if let Some(&Reverse((cycle, _))) = self.ready_events.peek() {
+            consider(cycle);
+        }
+        if !self.ready_q.is_empty() && !self.fu_infinite {
+            // Ready instructions are blocked on structural hazards only:
+            // the earliest free time of each blocked class is an event.
+            let mut classes_seen = 0u8;
+            for &idx in &self.ready_q {
+                let class = fu_class(self.trace.inst(idx as usize).op);
+                let bit = 1u8 << class.index();
+                if classes_seen & bit != 0 {
+                    continue;
+                }
+                classes_seen |= bit;
+                if let Some(&free) = self.fu_units[class.index()].iter().min() {
+                    consider(free);
+                }
+            }
+        }
+        if self.next_commit < self.trace.len() && self.sched[self.next_commit].issued {
+            consider(self.records[self.next_commit].complete + self.cfg.complete_to_commit);
+        }
+        if let Some(&front) = self.fetch_queue.front() {
+            consider(self.records[front as usize].fetch + self.cfg.front_end_depth);
+        }
+        if self.next_fetch < self.trace.len() && self.stalled_on.is_none() {
+            consider(self.redirect_at);
+            consider(self.line_ready_at);
+        }
+        next
+    }
+
+    /// Insert into the sorted ready queue (each index enters at most once).
+    fn ready_q_insert(&mut self, idx: u32) {
+        match self.ready_q.binary_search(&idx) {
+            Ok(_) => debug_assert!(false, "instruction {idx} already ready"),
+            Err(pos) => self.ready_q.insert(pos, idx),
         }
     }
 
-    fn deliver_events(&mut self, t: u64) {
+    fn deliver_events(&mut self, t: u64) -> bool {
+        let mut delivered = false;
         while let Some(&Reverse((cycle, idx))) = self.ready_events.peek() {
             if cycle > t {
                 break;
             }
             self.ready_events.pop();
-            self.ready_q.insert(idx);
+            self.ready_q_insert(idx);
+            delivered = true;
         }
+        delivered
     }
 
-    fn commit(&mut self, t: u64) {
+    fn commit(&mut self, t: u64) -> bool {
         let mut slots = self.commit_width;
         while slots > 0 && self.next_commit < self.trace.len() {
             let i = self.next_commit;
@@ -362,29 +608,44 @@ impl<'a> Engine<'a> {
                 self.stalls.commit_head_wait += 1;
             }
         }
+        slots < self.commit_width
     }
 
-    fn issue_fixpoint(&mut self, t: u64) {
+    fn issue_fixpoint(&mut self, t: u64) -> bool {
+        if self.ready_q.is_empty() {
+            return false;
+        }
+        let mut issued_any = false;
         let mut slots = self.issue_width;
+        // Reuse the scratch buffer for the oldest-first scans — the
+        // borrow is handed back before returning, so the hot loop never
+        // allocates once the buffer has grown to the high-water mark.
+        let mut candidates = std::mem::take(&mut self.issue_scratch);
         loop {
             let mut progressed = false;
-            // Oldest-first scan of the ready queue.
-            let candidates: Vec<u32> = self.ready_q.iter().copied().collect();
-            for idx in candidates {
+            // Oldest-first scan of the ready queue (kept sorted).
+            candidates.clear();
+            candidates.extend_from_slice(&self.ready_q);
+            for &idx in &candidates {
                 if slots == 0 {
                     break;
                 }
                 if !self.try_issue(idx, t) {
                     continue;
                 }
-                self.ready_q.remove(&idx);
+                if let Ok(pos) = self.ready_q.binary_search(&idx) {
+                    self.ready_q.remove(pos);
+                }
                 slots -= 1;
                 progressed = true;
+                issued_any = true;
             }
             if !progressed || slots == 0 {
                 break;
             }
         }
+        self.issue_scratch = candidates;
+        issued_any
     }
 
     /// Attempt to issue instruction `idx` at cycle `t`; returns success.
@@ -394,7 +655,8 @@ impl<'a> Engine<'a> {
         let class = fu_class(inst.op);
 
         // Structural hazard check (skipped under infinite bandwidth).
-        if let Some(units) = self.fu_busy.get_mut(&class) {
+        if !self.fu_infinite {
+            let units = &mut self.fu_units[class.index()];
             let Some(unit) = units.iter_mut().find(|u| **u <= t) else {
                 self.stalls.issue_fu_busy += 1;
                 return false;
@@ -424,12 +686,15 @@ impl<'a> Engine<'a> {
         self.sched[i].avail = avail;
         self.sched[i].issued = true;
 
-        // Wake consumers.
-        let waiters = std::mem::take(&mut self.waiters[i]);
-        for (consumer, slot) in waiters {
-            let c = consumer as usize;
-            self.records[c].wakeup_bubble[slot as usize] = avail - complete;
+        // Wake consumers (drain this producer's edge chain).
+        let mut edge = std::mem::replace(&mut self.waiter_head[i], EDGE_NONE);
+        while edge != EDGE_NONE {
+            let next = self.waiter_next[edge as usize];
+            let consumer = edge >> 1;
+            let slot = (edge & 1) as usize;
+            self.records[consumer as usize].wakeup_bubble[slot] = avail - complete;
             self.operand_arrived(consumer, avail, t);
+            edge = next;
         }
 
         // Release the front end if it was stalled on this branch.
@@ -456,13 +721,13 @@ impl<'a> Engine<'a> {
         let ready = self.sched[i].ready_time;
         self.records[i].ready = ready;
         if ready <= t {
-            self.ready_q.insert(idx);
+            self.ready_q_insert(idx);
         } else {
             self.ready_events.push(Reverse((ready, idx)));
         }
     }
 
-    fn dispatch(&mut self, t: u64) {
+    fn dispatch(&mut self, t: u64) -> bool {
         let mut slots = self.dispatch_width;
         while slots > 0 && !self.fetch_queue.is_empty() {
             let idx = *self.fetch_queue.front().expect("non-empty");
@@ -497,7 +762,9 @@ impl<'a> Engine<'a> {
                     ready_time = ready_time.max(avail);
                 } else {
                     pending += 1;
-                    self.waiters[p].push((idx, slot as u8));
+                    let edge = idx * 2 + slot as u32;
+                    self.waiter_next[edge as usize] = self.waiter_head[p];
+                    self.waiter_head[p] = edge;
                 }
             }
             if let Some(dst) = inst.live_dst() {
@@ -510,15 +777,20 @@ impl<'a> Engine<'a> {
                 self.mark_ready(idx, t);
             }
         }
+        slots < self.dispatch_width
     }
 
-    fn fetch(&mut self, t: u64) {
+    /// Returns whether the fetch side made progress — fetched at least
+    /// one instruction *or* changed fetch-side state (started an I-side
+    /// fill). Pure stall cycles (redirect wait, fill wait, queue full)
+    /// return `false`: they repeat identically until a timed event.
+    fn fetch(&mut self, t: u64) -> bool {
         let fetch_left = self.next_fetch < self.trace.len();
         if self.stalled_on.is_some() || t < self.redirect_at {
             if fetch_left {
                 self.stalls.fetch_bmisp_recovery += 1;
             }
-            return;
+            return false;
         }
         if t < self.line_ready_at {
             if fetch_left {
@@ -529,7 +801,7 @@ impl<'a> Engine<'a> {
                     _ => self.stalls.fetch_imiss_mem_fill += 1,
                 }
             }
-            return;
+            return false;
         }
         let mut slots = self.fetch_width;
         let mut taken_seen = 0usize;
@@ -557,12 +829,14 @@ impl<'a> Engine<'a> {
                     if acc.extra_latency > 0 {
                         // Line (or translation) arrives later; record the
                         // penalty on the instruction we are about to fetch
-                        // and stall the front end.
+                        // and stall the front end. Starting the fill is
+                        // fetch-side progress even when nothing was
+                        // fetched this cycle.
                         self.line_ready_at = t + acc.extra_latency;
                         self.pending_icache_extra = acc.extra_latency;
                         self.pending_icache_level = acc.level;
                         self.pending_itlb_miss = acc.tlb_miss;
-                        return;
+                        return true;
                     }
                 }
             }
@@ -594,12 +868,12 @@ impl<'a> Engine<'a> {
                     self.counts.mispredicts += 1;
                     self.records[i].mispredicted = true;
                     self.stalled_on = Some(idx);
-                    return;
+                    return true;
                 }
                 if inst.taken {
                     taken_seen += 1;
                     if taken_seen >= self.fetch_taken_limit {
-                        return;
+                        return true;
                     }
                 }
             }
@@ -610,6 +884,7 @@ impl<'a> Engine<'a> {
         {
             self.stalls.fetch_queue_full += 1;
         }
+        fetched > 0
     }
 
     /// Latency of executing instruction `i` at cycle `t`, plus the memory

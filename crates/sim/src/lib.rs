@@ -54,6 +54,6 @@ mod record;
 
 pub use branch::{BranchOutcome, BranchPredictor};
 pub use cache::{Cache, MemSystem, MissLevel, Tlb};
-pub use engine::Simulator;
+pub use engine::{EngineMode, Simulator, SIM_ENGINE_ENV};
 pub use ideal::Idealization;
-pub use record::{EventCounts, ExecRecord, PipelineStalls, SimResult};
+pub use record::{EngineStats, EventCounts, ExecRecord, PipelineStalls, SimResult};

@@ -154,6 +154,37 @@ impl PipelineStalls {
         }
     }
 
+    /// Fold `times` copies of another run's stall counts into this one.
+    ///
+    /// This is the bulk-attribution primitive of the event-driven run
+    /// loop: an idle span of `k` cycles charges `k` copies of the
+    /// per-cycle stall delta its first cycle charged, which is exactly
+    /// what ticking through the span would have accumulated.
+    pub fn add_scaled(&mut self, other: &PipelineStalls, times: u64) {
+        self.fetch_bmisp_recovery += other.fetch_bmisp_recovery * times;
+        self.fetch_imiss_l2_fill += other.fetch_imiss_l2_fill * times;
+        self.fetch_imiss_mem_fill += other.fetch_imiss_mem_fill * times;
+        self.fetch_queue_full += other.fetch_queue_full * times;
+        self.dispatch_window_full += other.dispatch_window_full * times;
+        self.issue_fu_busy += other.issue_fu_busy * times;
+        self.commit_rob_empty += other.commit_rob_empty * times;
+        self.commit_head_wait += other.commit_head_wait * times;
+        self.load_l2_fill += other.load_l2_fill * times;
+        self.load_mem_fill += other.load_mem_fill * times;
+    }
+
+    /// Per-row difference `self - other` (saturating). Meaningful when
+    /// `other` is an earlier snapshot of the same monotone counters.
+    pub fn delta_since(&self, other: &PipelineStalls) -> PipelineStalls {
+        let a = self.rows();
+        let b = other.rows();
+        let mut v = [0u64; 10];
+        for (slot, (x, y)) in v.iter_mut().zip(a.iter().zip(b.iter())) {
+            *slot = x.1.saturating_sub(y.1);
+        }
+        PipelineStalls::from_row_values(v)
+    }
+
     /// Fold another run's stall counts into this one.
     pub fn absorb(&mut self, other: &PipelineStalls) {
         self.fetch_bmisp_recovery += other.fetch_bmisp_recovery;
@@ -174,6 +205,32 @@ impl PipelineStalls {
     }
 }
 
+/// How the run loop spent its iterations — scheduler telemetry, not part
+/// of the architectural result. The discrete-event engine must produce
+/// bit-identical `cycles`/`records`/`counts`/`stalls`; these counters are
+/// the only place the two run loops are allowed to differ, and they are
+/// what makes the idle-cycle win observable (`sim.skipped_cycles`,
+/// `sim.event.*` metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Cycles on which the five stage functions actually ran.
+    pub ticked_cycles: u64,
+    /// Idle cycles the event scheduler jumped over without running the
+    /// stage functions (always 0 under the ticking engine).
+    pub skipped_cycles: u64,
+    /// Idle spans bulk-attributed in one next-event jump each.
+    pub idle_spans: u64,
+}
+
+impl EngineStats {
+    /// Fold another run's scheduler telemetry into this one.
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.ticked_cycles += other.ticked_cycles;
+        self.skipped_cycles += other.skipped_cycles;
+        self.idle_spans += other.idle_spans;
+    }
+}
+
 /// Result of simulating one trace.
 #[derive(Debug, Clone, Default)]
 pub struct SimResult {
@@ -186,6 +243,9 @@ pub struct SimResult {
     pub counts: EventCounts,
     /// Per-cause pipeline stall counters.
     pub stalls: PipelineStalls,
+    /// Run-loop scheduler telemetry (how many cycles were ticked vs
+    /// skipped). Excluded from bit-identity comparisons between engines.
+    pub engine: EngineStats,
 }
 
 impl SimResult {
@@ -289,6 +349,50 @@ mod tests {
         assert_eq!(r.cpi(), 0.0);
         assert_eq!(r.mispredict_rate(), None);
         assert_eq!(r.load_miss_rate(), None);
+    }
+
+    #[test]
+    fn scaled_add_matches_repeated_absorb() {
+        let delta = PipelineStalls {
+            fetch_bmisp_recovery: 1,
+            fetch_imiss_l2_fill: 2,
+            fetch_imiss_mem_fill: 3,
+            fetch_queue_full: 4,
+            dispatch_window_full: 5,
+            issue_fu_busy: 6,
+            commit_rob_empty: 7,
+            commit_head_wait: 8,
+            load_l2_fill: 9,
+            load_mem_fill: 10,
+        };
+        let mut scaled = PipelineStalls::default();
+        scaled.add_scaled(&delta, 7);
+        let mut looped = PipelineStalls::default();
+        for _ in 0..7 {
+            looped.absorb(&delta);
+        }
+        assert_eq!(scaled, looped);
+        // Zero copies is a no-op.
+        let mut zero = delta;
+        zero.add_scaled(&delta, 0);
+        assert_eq!(zero, delta);
+    }
+
+    #[test]
+    fn delta_since_inverts_absorb() {
+        let base = PipelineStalls {
+            commit_head_wait: 3,
+            load_mem_fill: 40,
+            ..PipelineStalls::default()
+        };
+        let mut later = base;
+        let step = PipelineStalls {
+            commit_head_wait: 2,
+            fetch_queue_full: 5,
+            ..PipelineStalls::default()
+        };
+        later.absorb(&step);
+        assert_eq!(later.delta_since(&base), step);
     }
 
     #[test]

@@ -71,6 +71,12 @@ impl FuClass {
         FuClass::FpMultDiv,
         FuClass::LdSt,
     ];
+
+    /// Dense index of this class in [`FuClass::ALL`] order — lets hot
+    /// paths keep per-class state in a fixed array instead of a map.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 }
 
 /// Count and latency of one functional-unit class.
