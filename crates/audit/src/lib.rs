@@ -234,6 +234,9 @@ impl Audit {
             counters,
             divergence,
             evidence: self.evidence.clone(),
+            // Left empty: Ledger::append stamps the appending thread's
+            // causal context at write time.
+            trace: String::new(),
         }
     }
 }

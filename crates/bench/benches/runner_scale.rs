@@ -119,11 +119,16 @@ fn main() {
     );
 
     // Runner path again, observability on: identical work (fresh cache),
-    // every span recorded, every run and job appended to the ledger.
-    // The delta bounds the full instrumentation cost.
+    // every span recorded, every run and job appended to the ledger —
+    // under a causal trace binding, as a traced POST /query would run,
+    // so the overhead gate prices ctx propagation and id stamping too.
     global().set_enabled(true);
     uarch_obs::ledger::global().set_enabled(true);
+    let ctx = uarch_obs::TraceCtx::mint();
+    let trace_hex = ctx.trace_hex();
+    let trace_guard = uarch_obs::causal::set_current(ctx);
     let (traced_answers, traced_report, traced_wall) = runner_sweep(&cfg, &w.trace, &rounds);
+    drop(trace_guard);
     global().set_enabled(false);
     uarch_obs::ledger::global().set_enabled(false);
     println!(
@@ -196,6 +201,12 @@ fn main() {
             shape.check(
                 "ledger computed-job records match the telemetry sims_run",
                 computed as u64 == traced_report.sims_run,
+            );
+            shape.check(
+                "every ledger record carries the sweep's causal trace id",
+                records
+                    .iter()
+                    .all(|r| r.trace().is_none_or(|t| t == trace_hex)),
             );
         }
         Err(e) => {

@@ -27,6 +27,11 @@ use uarch_workloads::Workload;
 /// Send one request to `addr` and return the full response text (the
 /// server closes the connection after each response).
 fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    request_with(addr, method, path, "", body)
+}
+
+/// `request` plus extra header lines (each ending in `\r\n`).
+fn request_with(addr: SocketAddr, method: &str, path: &str, extra: &str, body: &str) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
@@ -34,7 +39,7 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
     stream
         .write_all(
             format!(
-                "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+                "{method} {path} HTTP/1.1\r\nHost: bench\r\n{extra}Content-Length: {}\r\n\r\n{body}",
                 body.len()
             )
             .as_bytes(),
@@ -65,12 +70,17 @@ fn start_server(w: &Workload, cfg: &MachineConfig) -> (Arc<ServeHost>, Server) {
 }
 
 /// Drive the sweep through `POST /query`, one batch per focus round.
+/// With `trace_ids`, round `i` adopts the i-th id via `x-icost-trace`
+/// (so the pass exercises receipts and trace-id stamping end to end).
 /// Returns (answer strings in order, wall time).
-fn http_sweep(addr: SocketAddr, rounds: &[String]) -> (Vec<i64>, Duration) {
+fn http_sweep(addr: SocketAddr, rounds: &[String], trace_ids: &[String]) -> (Vec<i64>, Duration) {
     let start = Instant::now();
     let mut answers: Vec<i64> = Vec::new();
-    for round in rounds {
-        let response = request(addr, "POST", "/query", round);
+    for (i, round) in rounds.iter().enumerate() {
+        let header = trace_ids
+            .get(i)
+            .map_or(String::new(), |id| format!("x-icost-trace: {id}-{id}\r\n"));
+        let response = request_with(addr, "POST", "/query", &header, round);
         assert!(response.starts_with("HTTP/1.1 200"), "{response}");
         let doc = uarch_obs::json::parse(body_of(&response)).expect("response JSON");
         let batch = doc.get("answers").and_then(Value::as_arr).expect("answers");
@@ -115,13 +125,19 @@ fn main() {
     // Pass 1: HTTP plane up but unscraped. This is the wall-time
     // baseline the perturbation gate compares against.
     let (_bare_host, bare_server) = start_server(&w, &cfg);
-    let (bare_answers, bare_wall) = http_sweep(bare_server.addr(), &rounds);
+    let (bare_answers, bare_wall) = http_sweep(bare_server.addr(), &rounds, &[]);
     println!("sweep:  {bare_wall:>10.3?}  (no scraper)");
     drop(bare_server);
 
-    // Pass 2: identical sweep on a fresh host while a scraper thread
-    // polls GET /metrics as fast as it can (1ms breather between
-    // scrapes), timing each scrape end to end at the client.
+    // Pass 2: identical sweep on a fresh host — every round under an
+    // adopted trace binding — while a scraper thread polls GET /metrics
+    // as fast as it can (1ms breather between scrapes), timing each
+    // scrape end to end at the client, and a second thread hammers
+    // GET /trace/<id> of the first round the same way (404 until that
+    // round's receipt lands, 200 after).
+    let trace_ids: Vec<String> = (0..rounds.len())
+        .map(|i| format!("{:016x}", 0xb000 + i as u64))
+        .collect();
     let (host, server) = start_server(&w, &cfg);
     let addr = server.addr();
     let stop = Arc::new(AtomicBool::new(false));
@@ -139,12 +155,39 @@ fn main() {
             (latencies, last_scrape)
         })
     };
-    let (scraped_answers, scraped_wall) = http_sweep(addr, &rounds);
+    let trace_path = format!("/trace/{}", trace_ids[0]);
+    let trace_poller = {
+        let stop = Arc::clone(&stop);
+        let path = trace_path.clone();
+        std::thread::spawn(move || {
+            let mut latencies: Vec<Duration> = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let start = Instant::now();
+                let response = request(addr, "GET", &path, "");
+                if response.starts_with("HTTP/1.1 200") {
+                    latencies.push(start.elapsed());
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            latencies
+        })
+    };
+    let (scraped_answers, scraped_wall) = http_sweep(addr, &rounds, &trace_ids);
     stop.store(true, Ordering::Relaxed);
     let (mut latencies, _) = scraper.join().expect("scraper thread");
+    let mut trace_latencies = trace_poller.join().expect("trace poller thread");
+    // On a fast box the sweep can end before the poller lands many 200s;
+    // top the sample up so the median below is always meaningful.
+    while trace_latencies.len() < 20 {
+        let start = Instant::now();
+        let response = request(addr, "GET", &trace_path, "");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        trace_latencies.push(start.elapsed());
+    }
     // The post-sweep scrape sees the full exposition (all rounds
     // published) and is what the series checks below inspect.
     let final_scrape = request(addr, "GET", "/metrics", "");
+    let final_trace = request(addr, "GET", &trace_path, "");
 
     latencies.sort_unstable();
     let median = latencies
@@ -162,11 +205,20 @@ fn main() {
         .unwrap_or_default();
     let overhead = scraped_wall.as_secs_f64() / bare_wall.as_secs_f64().max(1e-9) - 1.0;
     let delta = scraped_wall.saturating_sub(bare_wall);
+    trace_latencies.sort_unstable();
+    let trace_median = trace_latencies
+        .get(trace_latencies.len() / 2)
+        .copied()
+        .unwrap_or_default();
     println!(
         "sweep:  {scraped_wall:>10.3?}  ({} scrapes riding along)",
         latencies.len()
     );
     println!("scrape latency: median {median:.3?}, p95 {p95:.3?}");
+    println!(
+        "trace lookup latency: median {trace_median:.3?} over {} hits",
+        trace_latencies.len()
+    );
     println!("scrape perturbation: {:+.2}%\n", 100.0 * overhead);
     println!(
         "serve telemetry:\n{}",
@@ -184,6 +236,15 @@ fn main() {
     shape.check(
         "a /metrics scrape under load completes in under 10ms (median)",
         median < Duration::from_millis(10),
+    );
+    shape.check(
+        "a GET /trace/<id> lookup completes in under 10ms (median)",
+        trace_median < Duration::from_millis(10),
+    );
+    shape.check(
+        "the traced round's receipt and span tree are served back",
+        body_of(&final_trace).contains(&trace_ids[0])
+            && body_of(&final_trace).contains("\"receipt\""),
     );
     shape.check(
         "scraping perturbs sweep wall-time under 3% (or < 50ms absolute)",

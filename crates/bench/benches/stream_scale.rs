@@ -73,6 +73,7 @@ fn main() {
             eval_us: win.eval_us,
             costs: win.costs_by_name(),
             pairs: win.pairs_by_name(),
+            trace: String::new(),
         }));
     }
     ledger.flush().expect("flush ledger");

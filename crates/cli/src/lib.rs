@@ -60,6 +60,10 @@ pub struct LedgerSummary {
     pub window_insts: u64,
     /// Per-batch report records seen.
     pub reports: u64,
+    /// Per-batch wall times (expand + sim) from report records, in
+    /// microseconds and ledger order — the query-latency distribution
+    /// `summarize` reports percentiles over.
+    pub report_walls: Vec<u64>,
     /// Attribution audit records seen.
     pub audits: u64,
     /// Audit records whose overall verdict was `confirmed`.
@@ -111,7 +115,10 @@ impl LedgerSummary {
                     s.windows += 1;
                     s.window_insts += w.end.saturating_sub(w.start);
                 }
-                LedgerRecord::Report(_) => s.reports += 1,
+                LedgerRecord::Report(r) => {
+                    s.reports += 1;
+                    s.report_walls.push(r.expand_us + r.sim_us);
+                }
                 LedgerRecord::Audit(a) => {
                     s.audits += 1;
                     match a.verdict.as_str() {
@@ -145,6 +152,22 @@ impl LedgerSummary {
     /// `icost-obs audit --max-refuted` gate compares against.
     pub fn audit_refuted_rate(&self) -> Option<f64> {
         (self.audits > 0).then(|| self.audit_refuted as f64 / self.audits as f64)
+    }
+
+    /// Nearest-rank `(p50, p95, p99)` of per-batch query wall time
+    /// (expand + sim microseconds) over `report` records; `None` when
+    /// the ledger carries none.
+    pub fn report_wall_percentiles(&self) -> Option<(u64, u64, u64)> {
+        if self.report_walls.is_empty() {
+            return None;
+        }
+        let mut sorted = self.report_walls.clone();
+        sorted.sort_unstable();
+        let pick = |q: f64| {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            sorted[rank - 1]
+        };
+        Some((pick(0.50), pick(0.95), pick(0.99)))
     }
 
     /// Percentage of jobs answered without simulating, in `[0, 100]`;
@@ -205,6 +228,11 @@ impl LedgerSummary {
         }
         if self.reports > 0 {
             row("report_records", self.reports.to_string());
+            if let Some((p50, p95, p99)) = self.report_wall_percentiles() {
+                row("  wall_p50_us", p50.to_string());
+                row("  wall_p95_us", p95.to_string());
+                row("  wall_p99_us", p99.to_string());
+            }
         }
         if self.audits > 0 {
             row("audit_records", self.audits.to_string());
@@ -249,6 +277,11 @@ impl LedgerSummary {
         obj.insert("window_records".into(), Value::Num(self.windows as f64));
         obj.insert("window_insts".into(), Value::Num(self.window_insts as f64));
         obj.insert("report_records".into(), Value::Num(self.reports as f64));
+        if let Some((p50, p95, p99)) = self.report_wall_percentiles() {
+            obj.insert("report_wall_p50_us".into(), Value::Num(p50 as f64));
+            obj.insert("report_wall_p95_us".into(), Value::Num(p95 as f64));
+            obj.insert("report_wall_p99_us".into(), Value::Num(p99 as f64));
+        }
         obj.insert("audit_records".into(), Value::Num(self.audits as f64));
         obj.insert(
             "audit_confirmed".into(),
@@ -588,6 +621,7 @@ mod tests {
             wall_us: 10,
             hash: hash.into(),
             stalls: BTreeMap::new(),
+            trace: String::new(),
         })
     }
 
@@ -599,6 +633,7 @@ mod tests {
             threads: 8,
             insts: 100,
             ts_ms: 0,
+            trace: String::new(),
         })
     }
 
@@ -642,6 +677,42 @@ mod tests {
                 .and_then(Value::as_num),
             Some(180.0)
         );
+    }
+
+    #[test]
+    fn report_wall_percentiles_use_nearest_rank() {
+        fn report(expand_us: u64, sim_us: u64) -> LedgerRecord {
+            LedgerRecord::Report(uarch_obs::ledger::ReportRecord {
+                run: 1,
+                queries: 1,
+                jobs: 1,
+                deduped: 0,
+                cache_hits: 0,
+                disk_hits: 0,
+                sims_run: 1,
+                cycles: 10,
+                insts: 10,
+                threads: 1,
+                expand_us,
+                sim_us,
+                skipped: 0,
+                trace: String::new(),
+            })
+        }
+        assert_eq!(sample().report_wall_percentiles(), None);
+        // Walls 10,20,...,100: nearest-rank p50 is the 5th value.
+        let records: Vec<LedgerRecord> = (1..=10).map(|i| report(i * 10, 0)).collect();
+        let s = LedgerSummary::from_records(&records);
+        assert_eq!(s.report_wall_percentiles(), Some((50, 100, 100)));
+        // A single sample is every percentile, and expand+sim sum.
+        let s = LedgerSummary::from_records(&[report(30, 12)]);
+        assert_eq!(s.report_wall_percentiles(), Some((42, 42, 42)));
+        let doc = uarch_obs::json::parse(&s.to_json()).expect("valid JSON");
+        assert_eq!(
+            doc.get("report_wall_p95_us").and_then(Value::as_num),
+            Some(42.0)
+        );
+        assert!(s.to_table().contains("wall_p99_us"));
     }
 
     #[test]
@@ -728,6 +799,7 @@ mod tests {
                 eval_us: 5,
                 costs: [("dmiss".to_string(), 80)].into_iter().collect(),
                 pairs: BTreeMap::new(),
+                trace: String::new(),
             })
         };
         let report = LedgerRecord::Report(ReportRecord {
@@ -744,6 +816,7 @@ mod tests {
             expand_us: 1,
             sim_us: 2,
             skipped: 0,
+            trace: String::new(),
         });
         let s = LedgerSummary::from_records(&[window(0), window(1), report]);
         assert_eq!(s.windows, 2);
@@ -775,6 +848,7 @@ mod tests {
                 .into_iter()
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
+            trace: String::new(),
         });
         let out = render_watch_record(&record);
         assert!(out.contains("window    3  insts [96,128)"), "{out}");
@@ -797,6 +871,7 @@ mod tests {
             expand_us: 10,
             sim_us: 20,
             skipped: 37,
+            trace: String::new(),
         });
         let out = render_watch_record(&report);
         assert!(out.starts_with("report run 2  queries 3"), "{out}");
@@ -825,6 +900,7 @@ mod tests {
                 .into_iter()
                 .collect(),
             evidence: "largest divergence dmiss".into(),
+            trace: String::new(),
         })
     }
 
@@ -883,6 +959,7 @@ mod tests {
             backend: "graph".into(),
             confidence_pm: 910,
             reason: "trusted".into(),
+            trace: String::new(),
         });
         let text = format!(
             "{}\n{}\n{{\"kind\":\"future\",\"x\":1}}\n",

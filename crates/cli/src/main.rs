@@ -9,6 +9,7 @@
 //!                 [--token TOKEN]
 //! icost-obs watch (--addr HOST:PORT | --ledger FILE) [--kinds K1,K2] [--limit N] [--token TOKEN]
 //! icost-obs audit (<ledger.jsonl> | --addr HOST:PORT) [--max-refuted F] [--limit N] [--token TOKEN]
+//! icost-obs flame (<trace.json> | --addr HOST:PORT [--secs N]) [--token TOKEN]
 //! ```
 //!
 //! Exit codes: `0` success / no regressions, `1` regressions found by
@@ -34,6 +35,8 @@ USAGE:
                     [--kinds K1,K2] [--limit N] [--token TOKEN]
     icost-obs audit (<ledger.jsonl> | --addr HOST:PORT)
                     [--max-refuted F] [--limit N] [--token TOKEN]
+    icost-obs flame (<trace.json> | --addr HOST:PORT [--secs N])
+                    [--token TOKEN]
 
 COMMANDS:
     summarize     Aggregate a ledger into run/job/provenance/cycle totals
@@ -66,6 +69,11 @@ COMMANDS:
                   --addr. With --max-refuted F, exits 1 when the fraction
                   of refuted audits exceeds F — the CI gate for
                   attribution quality.
+    flame         Fold spans into flamegraph folded stacks on stdout
+                  ('stack;frames self_us' lines, ready for any
+                  flamegraph renderer). Reads a Chrome trace file (the
+                  ICOST_TRACE_FILE output), or fetches a live server's
+                  GET /profile window with --addr.
 
 OPTIONS:
     --json             Emit JSON instead of the aligned table
@@ -92,6 +100,7 @@ OPTIONS:
                        (default: run until killed / end of file)
     --max-refuted F    audit gate: exit 1 when refuted/total exceeds F
                        (default: report only, never gate)
+    --secs N           flame --addr: profile window in seconds (default 60)
 ";
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
@@ -337,8 +346,88 @@ fn main() -> ExitCode {
                 _ => fail("audit takes a ledger path or --addr, not both (see --help)"),
             }
         }
+        "flame" => {
+            let addr = match take_opt::<String>(&mut args, "--addr") {
+                Ok(a) => a,
+                Err(e) => return fail(e),
+            };
+            let secs = match take_opt::<u64>(&mut args, "--secs") {
+                Ok(n) => n.unwrap_or(60),
+                Err(e) => return fail(e),
+            };
+            let token = match take_opt::<String>(&mut args, "--token") {
+                Ok(Some(t)) => Some(t),
+                Ok(None) => std::env::var("ICOST_SERVE_TOKEN").ok(),
+                Err(e) => return fail(e),
+            };
+            match (addr, args.as_slice()) {
+                (Some(addr), []) => flame_addr(&addr, secs, token),
+                (None, [path]) => flame_file(path),
+                _ => fail("flame takes a Chrome trace path or --addr, not both (see --help)"),
+            }
+        }
         other => fail(format!("unknown command {other:?} (see --help)")),
     }
+}
+
+/// `icost-obs flame <trace.json>`: fold a Chrome trace file (the
+/// `ICOST_TRACE_FILE` output) into flamegraph folded stacks.
+fn flame_file(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => return fail(format!("cannot read {path}: {e}")),
+    };
+    match uarch_obs::Profile::from_chrome_json(&text) {
+        Ok(profile) => {
+            print!("{}", profile.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("{path}: {e}")),
+    }
+}
+
+/// `icost-obs flame --addr`: fetch a live server's `GET /profile`
+/// window — already folded server-side — and print it.
+fn flame_addr(addr: &str, secs: u64, token: Option<String>) -> ExitCode {
+    match http_get(addr, &format!("/profile?secs={secs}"), token) {
+        Ok(body) => {
+            print!("{body}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+/// One plain HTTP GET against a server: send the request, require a
+/// 200, read the body to EOF (the server closes after each response).
+fn http_get(addr: &str, path: &str, token: Option<String>) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+    let auth = token
+        .filter(|t| !t.is_empty())
+        .map_or(String::new(), |t| format!("Authorization: Bearer {t}\r\n"));
+    let request = format!("GET {path} HTTP/1.1\r\nHost: flame\r\n{auth}\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read error: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response from {addr}"))?;
+    if !head.starts_with("HTTP/1.1 200") {
+        return Err(format!(
+            "server refused {path}: {} — {}",
+            head.lines().next().unwrap_or(""),
+            body.trim()
+        ));
+    }
+    Ok(body.to_string())
 }
 
 /// Parse the `--kinds` value: `all` (or empty) means no filter.

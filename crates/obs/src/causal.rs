@@ -1,0 +1,222 @@
+//! Request-scoped causal trace context.
+//!
+//! A [`TraceCtx`] is minted (or accepted from an incoming
+//! `x-icost-trace` header) at the edge of the system — one per served
+//! request or top-level batch — and installed on the current thread
+//! with [`set_current`]. Everything downstream reads it back with
+//! [`current`]: the ledger stamps it on every record it appends, spans
+//! attach it as an argument, and the thread pool re-installs it on
+//! worker threads so cross-thread work stays attributed to the request
+//! that caused it.
+//!
+//! Identity is two 64-bit ids rendered as 16 hex digits each: the
+//! *trace id* names the whole causal tree (stable across threads and,
+//! eventually, fleet hops) and the *span id* names the minting scope
+//! within it. The wire form ([`TraceCtx::header_value`]) is
+//! `<16hex>-<16hex>`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// HTTP header carrying a [`TraceCtx`] between processes
+/// (`x-icost-trace: <16hex>-<16hex>`).
+pub const TRACE_HEADER: &str = "x-icost-trace";
+
+/// A request-scoped causal identity: which trace this work belongs to,
+/// and which span within it caused the current scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    /// 64-bit id of the whole causal tree (16 hex digits on the wire).
+    pub trace_id: u64,
+    /// 64-bit id of the minting/parent span within the trace.
+    pub span_id: u64,
+}
+
+/// Process-wide sequence feeding id minting; combined with wall-clock
+/// nanos so two processes minting at the same instant still diverge.
+static SEQ: AtomicU64 = AtomicU64::new(0x9e37);
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation. Good
+/// enough for id uniqueness; not a cryptographic boundary.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn mint_id() -> u64 {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id() as u64;
+    // 0 is reserved as "absent" in the wire form; remap it.
+    splitmix64(nanos ^ seq.rotate_left(32) ^ pid.rotate_left(48)).max(1)
+}
+
+impl TraceCtx {
+    /// Mint a fresh context (new trace id, new root span id).
+    pub fn mint() -> TraceCtx {
+        TraceCtx {
+            trace_id: mint_id(),
+            span_id: mint_id(),
+        }
+    }
+
+    /// A child context: same trace, fresh span id. What a fleet hop
+    /// sends downstream so the callee's spans parent correctly.
+    pub fn child(&self) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace_id,
+            span_id: mint_id(),
+        }
+    }
+
+    /// The trace id as 16 lowercase hex digits — the form stamped on
+    /// ledger records and returned as `trace_id` in receipts.
+    pub fn trace_hex(&self) -> String {
+        format!("{:016x}", self.trace_id)
+    }
+
+    /// The wire form for the [`TRACE_HEADER`] header:
+    /// `<trace 16hex>-<span 16hex>`.
+    pub fn header_value(&self) -> String {
+        format!("{:016x}-{:016x}", self.trace_id, self.span_id)
+    }
+
+    /// Parse the [`TRACE_HEADER`] wire form. Lenient about case and a
+    /// missing span half (`<16hex>` alone mints a fresh span id), strict
+    /// about everything else — a malformed header yields `None` and the
+    /// caller mints a fresh context instead of failing the request.
+    pub fn parse(s: &str) -> Option<TraceCtx> {
+        let s = s.trim();
+        let (trace, span) = match s.split_once('-') {
+            Some((t, sp)) => (t, Some(sp)),
+            None => (s, None),
+        };
+        let parse_half = |h: &str| {
+            (h.len() == 16)
+                .then(|| u64::from_str_radix(h, 16).ok())
+                .flatten()
+                .filter(|&v| v != 0)
+        };
+        let trace_id = parse_half(trace)?;
+        let span_id = match span {
+            Some(sp) => parse_half(sp)?,
+            None => mint_id(),
+        };
+        Some(TraceCtx { trace_id, span_id })
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceCtx>> = const { Cell::new(None) };
+}
+
+/// The context installed on this thread, if any.
+pub fn current() -> Option<TraceCtx> {
+    CURRENT.with(Cell::get)
+}
+
+/// The current trace id as 16 hex digits, if a context is installed —
+/// the exact string the ledger stamps into `trace` fields.
+pub fn current_trace_hex() -> Option<String> {
+    current().map(|ctx| ctx.trace_hex())
+}
+
+/// Install `ctx` as this thread's context until the returned guard
+/// drops (the previous context, if any, is restored). Guards nest.
+#[must_use = "dropping the guard immediately uninstalls the context"]
+pub fn set_current(ctx: TraceCtx) -> CtxGuard {
+    let prev = CURRENT.with(|c| c.replace(Some(ctx)));
+    CtxGuard { prev }
+}
+
+/// RAII guard from [`set_current`]; restores the previously installed
+/// context (or none) when dropped.
+#[derive(Debug)]
+pub struct CtxGuard {
+    prev: Option<TraceCtx>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| c.set(prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_ids_are_nonzero_and_distinct() {
+        let a = TraceCtx::mint();
+        let b = TraceCtx::mint();
+        assert_ne!(a.trace_id, 0);
+        assert_ne!(a.span_id, 0);
+        assert_ne!(a.trace_id, b.trace_id);
+        let child = a.child();
+        assert_eq!(child.trace_id, a.trace_id);
+        assert_ne!(child.span_id, a.span_id);
+    }
+
+    #[test]
+    fn header_value_roundtrips() {
+        let ctx = TraceCtx {
+            trace_id: 0x00ab_cdef_1234_5678,
+            span_id: 0xdead_beef_cafe_f00d,
+        };
+        assert_eq!(ctx.header_value(), "00abcdef12345678-deadbeefcafef00d");
+        assert_eq!(TraceCtx::parse(&ctx.header_value()), Some(ctx));
+        assert_eq!(ctx.trace_hex(), "00abcdef12345678");
+    }
+
+    #[test]
+    fn parse_accepts_bare_trace_and_rejects_junk() {
+        let ctx = TraceCtx::parse("00abcdef12345678").expect("bare trace id");
+        assert_eq!(ctx.trace_id, 0x00ab_cdef_1234_5678);
+        assert_ne!(ctx.span_id, 0, "span id minted");
+        for bad in [
+            "",
+            "xyz",
+            "00abcdef1234567",                   // 15 digits
+            "00abcdef123456789",                 // 17 digits
+            "0000000000000000-0000000000000000", // zero is "absent"
+            "00abcdef12345678-short",
+            "00abcdef12345678-00abcdef12345678-extra",
+        ] {
+            assert!(TraceCtx::parse(bad).is_none(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn guard_installs_and_restores_nested_contexts() {
+        assert_eq!(current(), None);
+        let outer = TraceCtx::mint();
+        {
+            let _g = set_current(outer);
+            assert_eq!(current(), Some(outer));
+            let inner = outer.child();
+            {
+                let _g2 = set_current(inner);
+                assert_eq!(current(), Some(inner));
+            }
+            assert_eq!(current(), Some(outer), "inner guard restored outer");
+            assert_eq!(current_trace_hex(), Some(outer.trace_hex()));
+        }
+        assert_eq!(current(), None, "outer guard restored none");
+    }
+
+    #[test]
+    fn contexts_are_thread_local() {
+        let ctx = TraceCtx::mint();
+        let _g = set_current(ctx);
+        let seen = std::thread::spawn(current).join().expect("join");
+        assert_eq!(seen, None, "fresh threads start without a context");
+    }
+}

@@ -88,6 +88,12 @@ pub struct RunHeader {
     pub insts: u64,
     /// Wall-clock start, milliseconds since the Unix epoch.
     pub ts_ms: u64,
+    /// Causal trace id (16 hex digits) of the request that caused this
+    /// run; empty for untraced runs. Omitted from the wire when empty
+    /// and defaulted when absent, so pre-tracing ledgers stay readable.
+    /// [`Ledger::append`] stamps it automatically from
+    /// [`crate::causal::current`] when left empty.
+    pub trace: String,
 }
 
 /// One answered simulation job.
@@ -109,6 +115,9 @@ pub struct JobRecord {
     /// Nonzero pipeline-stall rows of the simulation, name-sorted.
     /// Empty for cache-served jobs (no simulation ran).
     pub stalls: BTreeMap<String, u64>,
+    /// Causal trace id (16 hex digits); empty for untraced jobs. See
+    /// [`RunHeader::trace`].
+    pub trace: String,
 }
 
 /// One paired graph/sim observation of the same event set under the
@@ -144,6 +153,9 @@ pub struct PlanRecord {
     pub confidence_pm: u64,
     /// Why the planner routed there (e.g. `uncalibrated`, `near_zero`).
     pub reason: String,
+    /// Causal trace id (16 hex digits); empty for untraced decisions.
+    /// See [`RunHeader::trace`].
+    pub trace: String,
 }
 
 /// One retired window of a streaming ingest: the icost breakdown of
@@ -172,6 +184,9 @@ pub struct WindowRecord {
     pub costs: BTreeMap<String, i64>,
     /// Top pairwise `icost(a+b)` values, set-name-sorted on the wire.
     pub pairs: BTreeMap<String, i64>,
+    /// Causal trace id (16 hex digits); empty for untraced windows.
+    /// See [`RunHeader::trace`].
+    pub trace: String,
 }
 
 /// One batch's `RunReport` summary, so per-client reports stream over
@@ -208,6 +223,9 @@ pub struct ReportRecord {
     /// the parser defaults the field when absent, keeping old ledgers
     /// readable).
     pub skipped: u64,
+    /// Causal trace id (16 hex digits); empty for untraced batches.
+    /// See [`RunHeader::trace`].
+    pub trace: String,
 }
 
 /// One attribution audit: the reconciliation of a graph-side icost
@@ -246,6 +264,9 @@ pub struct AuditRecord {
     pub divergence: BTreeMap<String, i64>,
     /// Human-readable refuting evidence; empty when nothing refuted.
     pub evidence: String,
+    /// Causal trace id (16 hex digits); empty for untraced audits.
+    /// See [`RunHeader::trace`].
+    pub trace: String,
 }
 
 /// One parsed (or to-be-written) ledger line.
@@ -274,13 +295,14 @@ impl LedgerRecord {
     pub fn to_json_line(&self) -> String {
         match self {
             LedgerRecord::Run(h) => format!(
-                "{{\"kind\":\"run\",\"run\":{},\"ctx\":{},\"queries\":{},\"threads\":{},\"insts\":{},\"ts_ms\":{}}}",
+                "{{\"kind\":\"run\",\"run\":{},\"ctx\":{},\"queries\":{},\"threads\":{},\"insts\":{},\"ts_ms\":{}{}}}",
                 h.run,
                 quote(&h.ctx),
                 h.queries,
                 h.threads,
                 h.insts,
                 h.ts_ms,
+                trace_suffix(&h.trace),
             ),
             LedgerRecord::Job(j) => {
                 let mut line = format!(
@@ -304,6 +326,7 @@ impl LedgerRecord {
                     }
                     line.push('}');
                 }
+                line.push_str(&trace_suffix(&j.trace));
                 line.push('}');
                 line
             }
@@ -316,15 +339,16 @@ impl LedgerRecord {
                 c.sim_cost,
             ),
             LedgerRecord::Plan(p) => format!(
-                "{{\"kind\":\"plan\",\"run\":{},\"query\":{},\"backend\":{},\"confidence_pm\":{},\"reason\":{}}}",
+                "{{\"kind\":\"plan\",\"run\":{},\"query\":{},\"backend\":{},\"confidence_pm\":{},\"reason\":{}{}}}",
                 p.run,
                 quote(&p.query),
                 quote(&p.backend),
                 p.confidence_pm,
                 quote(&p.reason),
+                trace_suffix(&p.trace),
             ),
             LedgerRecord::Window(w) => format!(
-                "{{\"kind\":\"window\",\"run\":{},\"window\":{},\"start\":{},\"end\":{},\"baseline\":{},\"lag\":{},\"eval_us\":{},\"costs\":{},\"pairs\":{}}}",
+                "{{\"kind\":\"window\",\"run\":{},\"window\":{},\"start\":{},\"end\":{},\"baseline\":{},\"lag\":{},\"eval_us\":{},\"costs\":{},\"pairs\":{}{}}}",
                 w.run,
                 w.window,
                 w.start,
@@ -334,9 +358,10 @@ impl LedgerRecord {
                 w.eval_us,
                 render_i64_map(&w.costs),
                 render_i64_map(&w.pairs),
+                trace_suffix(&w.trace),
             ),
             LedgerRecord::Audit(a) => format!(
-                "{{\"kind\":\"audit\",\"run\":{},\"scope\":{},\"baseline\":{},\"tolerance_pm\":{},\"score_pm\":{},\"confirmed\":{},\"refuted\":{},\"unmodeled\":{},\"verdict\":{},\"attributed\":{},\"counters\":{},\"divergence\":{},\"evidence\":{}}}",
+                "{{\"kind\":\"audit\",\"run\":{},\"scope\":{},\"baseline\":{},\"tolerance_pm\":{},\"score_pm\":{},\"confirmed\":{},\"refuted\":{},\"unmodeled\":{},\"verdict\":{},\"attributed\":{},\"counters\":{},\"divergence\":{},\"evidence\":{}{}}}",
                 a.run,
                 quote(&a.scope),
                 a.baseline,
@@ -350,9 +375,10 @@ impl LedgerRecord {
                 render_i64_map(&a.counters),
                 render_i64_map(&a.divergence),
                 quote(&a.evidence),
+                trace_suffix(&a.trace),
             ),
             LedgerRecord::Report(r) => format!(
-                "{{\"kind\":\"report\",\"run\":{},\"queries\":{},\"jobs\":{},\"deduped\":{},\"cache_hits\":{},\"disk_hits\":{},\"sims_run\":{},\"cycles\":{},\"insts\":{},\"threads\":{},\"expand_us\":{},\"sim_us\":{},\"skipped\":{}}}",
+                "{{\"kind\":\"report\",\"run\":{},\"queries\":{},\"jobs\":{},\"deduped\":{},\"cache_hits\":{},\"disk_hits\":{},\"sims_run\":{},\"cycles\":{},\"insts\":{},\"threads\":{},\"expand_us\":{},\"sim_us\":{},\"skipped\":{}{}}}",
                 r.run,
                 r.queries,
                 r.jobs,
@@ -366,7 +392,36 @@ impl LedgerRecord {
                 r.expand_us,
                 r.sim_us,
                 r.skipped,
+                trace_suffix(&r.trace),
             ),
+        }
+    }
+
+    /// The causal trace id stamped on this record, if its kind carries
+    /// one (`Some("")` = carries the field but unstamped; `None` =
+    /// calib records, which are context-keyed, not request-caused).
+    pub fn trace(&self) -> Option<&str> {
+        match self {
+            LedgerRecord::Run(h) => Some(&h.trace),
+            LedgerRecord::Job(j) => Some(&j.trace),
+            LedgerRecord::Calib(_) => None,
+            LedgerRecord::Plan(p) => Some(&p.trace),
+            LedgerRecord::Window(w) => Some(&w.trace),
+            LedgerRecord::Report(r) => Some(&r.trace),
+            LedgerRecord::Audit(a) => Some(&a.trace),
+        }
+    }
+
+    /// Set the causal trace id (no-op for kinds without the field).
+    pub fn set_trace(&mut self, trace: &str) {
+        match self {
+            LedgerRecord::Run(h) => h.trace = trace.to_string(),
+            LedgerRecord::Job(j) => j.trace = trace.to_string(),
+            LedgerRecord::Calib(_) => {}
+            LedgerRecord::Plan(p) => p.trace = trace.to_string(),
+            LedgerRecord::Window(w) => w.trace = trace.to_string(),
+            LedgerRecord::Report(r) => r.trace = trace.to_string(),
+            LedgerRecord::Audit(a) => a.trace = trace.to_string(),
         }
     }
 
@@ -385,6 +440,7 @@ impl LedgerRecord {
                 threads: field_u64(&doc, "threads")?,
                 insts: field_u64(&doc, "insts")?,
                 ts_ms: field_u64(&doc, "ts_ms")?,
+                trace: field_trace(&doc),
             })),
             "job" => {
                 let stalls = match doc.get("stalls") {
@@ -408,6 +464,7 @@ impl LedgerRecord {
                     wall_us: field_u64(&doc, "wall_us")?,
                     hash: field_str(&doc, "hash")?,
                     stalls,
+                    trace: field_trace(&doc),
                 }))
             }
             "calib" => Ok(LedgerRecord::Calib(CalibRecord {
@@ -423,6 +480,7 @@ impl LedgerRecord {
                 backend: field_str(&doc, "backend")?,
                 confidence_pm: field_u64(&doc, "confidence_pm")?,
                 reason: field_str(&doc, "reason")?,
+                trace: field_trace(&doc),
             })),
             "window" => Ok(LedgerRecord::Window(WindowRecord {
                 run: field_u64(&doc, "run")?,
@@ -434,6 +492,7 @@ impl LedgerRecord {
                 eval_us: field_u64(&doc, "eval_us")?,
                 costs: field_i64_map(&doc, "costs")?,
                 pairs: field_i64_map(&doc, "pairs")?,
+                trace: field_trace(&doc),
             })),
             "audit" => Ok(LedgerRecord::Audit(AuditRecord {
                 run: field_u64(&doc, "run")?,
@@ -449,6 +508,7 @@ impl LedgerRecord {
                 counters: field_i64_map(&doc, "counters")?,
                 divergence: field_i64_map(&doc, "divergence")?,
                 evidence: field_str(&doc, "evidence")?,
+                trace: field_trace(&doc),
             })),
             "report" => Ok(LedgerRecord::Report(ReportRecord {
                 run: field_u64(&doc, "run")?,
@@ -466,10 +526,27 @@ impl LedgerRecord {
                 // Absent in pre-scheduler ledgers; default rather than
                 // reject so old files stay parseable.
                 skipped: field_u64(&doc, "skipped").unwrap_or(0),
+                trace: field_trace(&doc),
             })),
             other => Err(format!("unknown record kind {other:?}")),
         }
     }
+}
+
+/// Render the optional trailing `"trace"` field: empty traces render
+/// nothing, keeping pre-tracing wire strings byte-identical.
+fn trace_suffix(trace: &str) -> String {
+    if trace.is_empty() {
+        String::new()
+    } else {
+        format!(",\"trace\":{}", quote(trace))
+    }
+}
+
+/// Parse the optional `"trace"` field: absent (pre-tracing ledgers) or
+/// non-string values default to empty rather than erroring.
+fn field_trace(doc: &Value) -> String {
+    field_str(doc, "trace").unwrap_or_default()
 }
 
 /// Render a name→i64 map as a JSON object; `BTreeMap` iteration keeps
@@ -727,7 +804,18 @@ impl Ledger {
         if !self.is_enabled() && !has_subscribers {
             return;
         }
-        let line = record.to_json_line();
+        // Stamp the thread's causal context onto unstamped records, so
+        // every line a traced request causes — including ones built on
+        // pool worker threads that adopted the context — carries its
+        // trace id. Pre-stamped records (fleet hops) pass through.
+        let line = match crate::causal::current() {
+            Some(ctx) if record.trace() == Some("") => {
+                let mut stamped = record.clone();
+                stamped.set_trace(&ctx.trace_hex());
+                stamped.to_json_line()
+            }
+            _ => record.to_json_line(),
+        };
         if self.is_enabled() {
             let mut sink = lock_unpoisoned(&self.inner.sink);
             let result = match &mut *sink {
@@ -851,6 +939,7 @@ mod tests {
             threads: 8,
             insts: 900,
             ts_ms: 1_722_945_600_000,
+            trace: String::new(),
         }
     }
 
@@ -868,6 +957,7 @@ mod tests {
             ]
             .into_iter()
             .collect(),
+            trace: String::new(),
         }
     }
 
@@ -888,6 +978,7 @@ mod tests {
             backend: "graph".into(),
             confidence_pm: 875,
             reason: "calibrated".into(),
+            trace: String::new(),
         }
     }
 
@@ -909,6 +1000,7 @@ mod tests {
             ]
             .into_iter()
             .collect(),
+            trace: String::new(),
         }
     }
 
@@ -933,6 +1025,7 @@ mod tests {
                 .into_iter()
                 .collect(),
             evidence: "dmiss: attributed 31.0% vs counters 52.4%".into(),
+            trace: String::new(),
         }
     }
 
@@ -951,6 +1044,7 @@ mod tests {
             expand_us: 40,
             sim_us: 1234,
             skipped: 420,
+            trace: String::new(),
         }
     }
 
@@ -1088,6 +1182,40 @@ mod tests {
         let err = parse_ledger_lenient(&truncated_audit).unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
         assert!(err.contains("scope"), "{err}");
+    }
+
+    #[test]
+    fn append_stamps_the_current_causal_context() {
+        let l = Ledger::in_memory();
+        let ctx = crate::causal::TraceCtx::mint();
+        {
+            let _g = crate::causal::set_current(ctx);
+            l.append(&LedgerRecord::Run(header()));
+            // Calib records carry no trace field; stamping skips them.
+            l.append(&LedgerRecord::Calib(calib()));
+            // Pre-stamped records (fleet hops) pass through untouched.
+            let mut hop = LedgerRecord::Job(job());
+            hop.set_trace("feedfacefeedface");
+            l.append(&hop);
+        }
+        // Outside any context, records stay unstamped.
+        l.append(&LedgerRecord::Job(job()));
+        let records = parse_ledger(&l.buffered_text().unwrap()).expect("valid");
+        assert_eq!(records[0].trace(), Some(ctx.trace_hex().as_str()));
+        assert_eq!(records[1].trace(), None, "calib has no trace field");
+        assert_eq!(records[2].trace(), Some("feedfacefeedface"));
+        assert_eq!(records[3].trace(), Some(""));
+        // The stamped wire line carries the field explicitly...
+        let text = l.buffered_text().unwrap();
+        assert!(
+            text.lines()
+                .next()
+                .unwrap()
+                .contains(&format!("\"trace\":\"{}\"", ctx.trace_hex())),
+            "{text}"
+        );
+        // ...and the unstamped one omits it entirely.
+        assert!(!text.lines().nth(3).unwrap().contains("trace"), "{text}");
     }
 
     #[test]

@@ -29,6 +29,12 @@
 //!   snapshots (name/label sanitization, cumulative `_bucket`/`_sum`/
 //!   `_count` expansion of the fixed-bucket histograms), used by the
 //!   `uarch-serve` `/metrics` endpoint.
+//! * [`causal`] — request-scoped trace contexts ([`TraceCtx`]): minted
+//!   at the serve edge (or accepted from `x-icost-trace`), installed
+//!   thread-locally, stamped on every ledger record the request
+//!   causes, and re-installed on pool worker threads.
+//! * [`profile`] — folds the span stream into flamegraph-compatible
+//!   folded-stack text (`icost-obs flame`, `GET /profile?secs=N`).
 //!
 //! Everything is thread-safe and shared by handle: cloning a
 //! [`Registry`], [`Counter`], or [`Tracer`] hands out another reference
@@ -42,16 +48,23 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod causal;
 pub mod json;
 pub mod ledger;
+pub mod profile;
 pub mod prom;
 mod registry;
 mod sampler;
 mod span;
 
+pub use causal::TraceCtx;
+pub use profile::Profile;
 pub use registry::{Counter, Gauge, Histogram, Registry, Snapshot, SnapshotValue};
 pub use sampler::{CounterSampler, COUNTER_INTERVAL_ENV, DEFAULT_COUNTER_INTERVAL};
-pub use span::{flush_global, global, install_global, Span, TraceEvent, Tracer, TRACE_FILE_ENV};
+pub use span::{
+    flush_global, global, install_global, Span, TraceEvent, Tracer, DEFAULT_TRACE_MAX_EVENTS,
+    TRACE_FILE_ENV, TRACE_MAX_EVENTS_ENV,
+};
 
 /// RAII guard that flushes the global trace and ledger when dropped.
 ///

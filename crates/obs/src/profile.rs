@@ -1,0 +1,246 @@
+//! Span-profile aggregation: fold a span stream into flamegraph
+//! folded-stack text.
+//!
+//! A Chrome trace answers "what did this one request do, when"; a
+//! profile answers "where does the time go in aggregate". This module
+//! folds balanced `B`/`E` span events into per-stack *self time* — the
+//! classic semicolon-separated folded-stack format every flamegraph
+//! renderer (Brendan Gregg's `flamegraph.pl`, speedscope, inferno)
+//! accepts:
+//!
+//! ```text
+//! runner.run;expand 120
+//! runner.run;sim 4512
+//! ```
+//!
+//! Stacks are reconstructed per thread track from event order; a
+//! span's self time is its duration minus the durations of its direct
+//! children. Folding is deterministic: stacks render name-sorted
+//! (`BTreeMap` order), so the same events always produce byte-identical
+//! text. Unbalanced boundaries — an `E` with no open span, or spans
+//! still open when the stream ends (both normal for a windowed capture
+//! of a live process) — are tolerated and dropped rather than guessed
+//! at.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Value};
+use crate::span::TraceEvent;
+
+/// A folded span profile: semicolon-joined stack → self microseconds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    folded: BTreeMap<String, u64>,
+}
+
+/// One open span while folding (per-thread stack frame).
+struct Frame {
+    name: String,
+    begin_us: u64,
+    /// Summed durations of direct children, subtracted for self time.
+    child_us: u64,
+}
+
+impl Profile {
+    /// Fold recorded tracer events (see [`crate::Tracer::events`]).
+    /// Only `B`/`E` events participate; instants, counters, and flow
+    /// events pass through untimed.
+    pub fn from_events(events: &[TraceEvent]) -> Profile {
+        Self::fold(
+            events
+                .iter()
+                .map(|ev| (ev.tid, ev.phase, ev.name.as_ref(), ev.ts_us)),
+        )
+    }
+
+    /// Fold a Chrome trace-event JSON document (the `ICOST_TRACE_FILE`
+    /// format written by [`crate::flush_global`]).
+    pub fn from_chrome_json(text: &str) -> Result<Profile, String> {
+        let doc = json::parse(text)?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .ok_or("missing \"traceEvents\" array")?;
+        let mut rows = Vec::with_capacity(events.len());
+        for ev in events {
+            let phase = ev
+                .get("ph")
+                .and_then(Value::as_str)
+                .and_then(|s| s.chars().next())
+                .ok_or("event missing \"ph\"")?;
+            let name = ev
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("event missing \"name\"")?;
+            let ts = ev.get("ts").and_then(Value::as_num).unwrap_or(0.0) as u64;
+            let tid = ev.get("tid").and_then(Value::as_num).unwrap_or(0.0) as u64;
+            rows.push((tid, phase, name.to_string(), ts));
+        }
+        Ok(Self::fold(rows.iter().map(|(tid, ph, name, ts)| {
+            (*tid, *ph, name.as_str(), *ts)
+        })))
+    }
+
+    /// Shared folding core over `(tid, phase, name, ts_us)` rows in
+    /// record order.
+    fn fold<'a>(rows: impl Iterator<Item = (u64, char, &'a str, u64)>) -> Profile {
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        let mut stacks: BTreeMap<u64, Vec<Frame>> = BTreeMap::new();
+        for (tid, phase, name, ts_us) in rows {
+            let stack = stacks.entry(tid).or_default();
+            match phase {
+                'B' => stack.push(Frame {
+                    name: name.to_string(),
+                    begin_us: ts_us,
+                    child_us: 0,
+                }),
+                'E' => {
+                    // Tolerate an unmatched E (window started mid-span).
+                    let Some(frame) = stack.pop() else { continue };
+                    let dur = ts_us.saturating_sub(frame.begin_us);
+                    let self_us = dur.saturating_sub(frame.child_us);
+                    let mut key = String::new();
+                    for parent in stack.iter() {
+                        key.push_str(&parent.name);
+                        key.push(';');
+                    }
+                    key.push_str(&frame.name);
+                    *folded.entry(key).or_insert(0) += self_us;
+                    if let Some(parent) = stack.last_mut() {
+                        parent.child_us += dur;
+                    }
+                }
+                // Instants, counters, flow events: no duration to fold.
+                _ => {}
+            }
+        }
+        // Spans still open at the end of the capture are dropped — a
+        // windowed profile of a live process always truncates some.
+        Profile { folded }
+    }
+
+    /// The folded stacks: semicolon-joined frames → self microseconds.
+    pub fn folded(&self) -> &BTreeMap<String, u64> {
+        &self.folded
+    }
+
+    /// Total self time across all stacks, in microseconds. Equals the
+    /// summed wall time of all *closed* root spans, since every
+    /// microsecond of a closed span is self time at exactly one depth.
+    pub fn total_self_us(&self) -> u64 {
+        self.folded.values().sum()
+    }
+
+    /// Whether nothing folded (no balanced spans in the input).
+    pub fn is_empty(&self) -> bool {
+        self.folded.is_empty()
+    }
+
+    /// Render as folded-stack text: one `stack self_us` line per stack,
+    /// name-sorted — byte-reproducible for identical inputs, and
+    /// directly consumable by flamegraph renderers.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(self.folded.len() * 48);
+        for (stack, self_us) in &self.folded {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&self_us.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    fn event(tid: u64, phase: char, name: &str, ts_us: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string().into(),
+            cat: "test",
+            phase,
+            ts_us,
+            tid,
+            args: Vec::new(),
+            value: None,
+            flow_id: None,
+        }
+    }
+
+    #[test]
+    fn folds_nested_spans_into_self_time() {
+        // outer [0,100) with inner [10,40) and inner2 [50,60).
+        let events = vec![
+            event(0, 'B', "outer", 0),
+            event(0, 'B', "inner", 10),
+            event(0, 'E', "inner", 40),
+            event(0, 'B', "inner2", 50),
+            event(0, 'E', "inner2", 60),
+            event(0, 'E', "outer", 100),
+        ];
+        let p = Profile::from_events(&events);
+        assert_eq!(p.folded()["outer"], 60, "100 - 30 - 10 self");
+        assert_eq!(p.folded()["outer;inner"], 30);
+        assert_eq!(p.folded()["outer;inner2"], 10);
+        assert_eq!(p.total_self_us(), 100, "self times sum to root wall");
+    }
+
+    #[test]
+    fn separate_threads_fold_independently() {
+        let events = vec![
+            event(0, 'B', "a", 0),
+            event(1, 'B', "b", 5),
+            event(1, 'E', "b", 25),
+            event(0, 'E', "a", 10),
+        ];
+        let p = Profile::from_events(&events);
+        assert_eq!(p.folded()["a"], 10);
+        assert_eq!(p.folded()["b"], 20);
+    }
+
+    #[test]
+    fn unbalanced_boundaries_are_dropped_not_guessed() {
+        let events = vec![
+            event(0, 'E', "phantom", 5), // E before any B
+            event(0, 'B', "closed", 10),
+            event(0, 'E', "closed", 30),
+            event(0, 'B', "open", 40), // never closed
+        ];
+        let p = Profile::from_events(&events);
+        assert_eq!(p.folded().len(), 1);
+        assert_eq!(p.folded()["closed"], 20);
+    }
+
+    #[test]
+    fn render_is_sorted_and_byte_stable() {
+        let events = vec![
+            event(0, 'B', "z", 0),
+            event(0, 'E', "z", 5),
+            event(0, 'B', "a", 10),
+            event(0, 'B', "m", 11),
+            event(0, 'E', "m", 14),
+            event(0, 'E', "a", 20),
+        ];
+        let p = Profile::from_events(&events);
+        assert_eq!(p.render(), "a 7\na;m 3\nz 5\n");
+        assert_eq!(p.render(), Profile::from_events(&events).render());
+    }
+
+    #[test]
+    fn chrome_json_roundtrip_matches_direct_fold() {
+        let t = Tracer::enabled();
+        {
+            let _outer = t.span("test", "outer");
+            let _inner = t.span("test", "inner");
+        }
+        t.instant("test", "mark");
+        t.counter("test", "track", 3.0);
+        let direct = Profile::from_events(&t.events());
+        let parsed = Profile::from_chrome_json(&t.export_json()).expect("valid trace");
+        assert_eq!(direct, parsed);
+        assert!(parsed.folded().contains_key("outer;inner"));
+        assert!(Profile::from_chrome_json("{}").is_err());
+    }
+}

@@ -111,6 +111,27 @@ struct Family {
     samples: Vec<(Vec<(String, String)>, SnapshotValue)>,
 }
 
+/// An OpenMetrics exemplar: one recent observation, with identifying
+/// labels (canonically a `trace_id`), attached to the histogram bucket
+/// the observation fell into. Rendered as the
+/// `name_bucket{le="..."} N # {trace_id="..."} value` suffix the
+/// OpenMetrics text format defines; plain Prometheus scrapers ignore
+/// everything after `#`.
+#[derive(Debug, Clone)]
+pub struct Exemplar {
+    /// Identifying labels, e.g. `[("trace_id", "00c0ffee00c0ffee")]`.
+    pub labels: Vec<(String, String)>,
+    /// The observed value, in the histogram's unit.
+    pub value: f64,
+}
+
+impl Exemplar {
+    /// Render the ` # {labels} value` suffix.
+    fn suffix(&self) -> String {
+        format!(" # {} {}", label_block(&self.labels), self.value)
+    }
+}
+
 /// Collects snapshots (each under its own instance labels) and renders
 /// them as one exposition document with a single `# TYPE` line per
 /// family — the shape scrapers require even when several registries
@@ -118,6 +139,8 @@ struct Family {
 #[derive(Default)]
 pub struct Exposition {
     families: BTreeMap<String, Family>,
+    /// Exemplars keyed by *sanitized* family name.
+    exemplars: BTreeMap<String, Exemplar>,
 }
 
 impl Exposition {
@@ -181,6 +204,14 @@ impl Exposition {
             .push((labels, value));
     }
 
+    /// Attach `exemplar` to the histogram family named `family` (the
+    /// *sanitized* name, e.g. `serve_query_us`). At render time it
+    /// decorates the bucket the observation falls into; attaching to a
+    /// name that is not a rendered histogram is a silent no-op.
+    pub fn attach_exemplar(&mut self, family: &str, exemplar: Exemplar) {
+        self.exemplars.insert(family.to_string(), exemplar);
+    }
+
     /// Render the exposition document.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -200,6 +231,7 @@ impl Exposition {
                         count,
                         sum,
                     } => {
+                        let exemplar = self.exemplars.get(name);
                         let mut cumulative = 0u64;
                         for (i, c) in counts.iter().enumerate() {
                             cumulative += c;
@@ -207,9 +239,22 @@ impl Exposition {
                                 Some(b) => b.to_string(),
                                 None => "+Inf".to_string(),
                             };
+                            // The exemplar decorates the first bucket
+                            // whose upper bound admits its value — the
+                            // bucket the observation was counted in.
+                            let in_bucket = exemplar.is_some_and(|ex| {
+                                let below = i == 0
+                                    || bounds.get(i - 1).is_none_or(|b| ex.value > *b as f64);
+                                let within = bounds.get(i).is_none_or(|b| ex.value <= *b as f64);
+                                below && within
+                            });
+                            let suffix = match (in_bucket, exemplar) {
+                                (true, Some(ex)) => ex.suffix(),
+                                _ => String::new(),
+                            };
                             let _ = writeln!(
                                 out,
-                                "{name}_bucket{} {cumulative}",
+                                "{name}_bucket{} {cumulative}{suffix}",
                                 label_block_with(labels, "le", &le)
                             );
                         }
@@ -368,9 +413,19 @@ fn check_line(line: &str) -> Result<(), String> {
     let value = rest
         .strip_prefix(' ')
         .ok_or_else(|| format!("expected space before value in {line:?}"))?;
-    // Value, optionally followed by a timestamp (we never emit one, but
-    // the format allows it).
-    let value = value.split(' ').next().unwrap_or("");
+    // Value, optionally followed by an OpenMetrics exemplar
+    // (` # {labels} value`) or a timestamp (we emit the former on
+    // bucket lines, never the latter, but the formats allow both).
+    let mut parts = value.splitn(2, ' ');
+    let value = parts.next().unwrap_or("");
+    check_value(value)?;
+    match parts.next() {
+        None => Ok(()),
+        Some(rest) => check_exemplar_or_timestamp(rest),
+    }
+}
+
+fn check_value(value: &str) -> Result<(), String> {
     match value {
         "+Inf" | "-Inf" | "NaN" => Ok(()),
         v => v
@@ -378,6 +433,23 @@ fn check_line(line: &str) -> Result<(), String> {
             .map(|_| ())
             .map_err(|_| format!("unparseable sample value {v:?}")),
     }
+}
+
+/// Validate the tail of a sample line after its value: either an
+/// OpenMetrics exemplar (`# {k="v",...} value`) or a bare timestamp.
+fn check_exemplar_or_timestamp(rest: &str) -> Result<(), String> {
+    let Some(exemplar) = rest.strip_prefix("# ") else {
+        return check_value(rest)
+            .map_err(|_| format!("expected exemplar or timestamp, got {rest:?}"));
+    };
+    if !exemplar.starts_with('{') {
+        return Err(format!("exemplar must carry a label block in {rest:?}"));
+    }
+    let consumed = check_labels(exemplar)?;
+    let value = exemplar[consumed..]
+        .strip_prefix(' ')
+        .ok_or_else(|| format!("expected space before exemplar value in {rest:?}"))?;
+    check_value(value)
 }
 
 #[cfg(test)]
@@ -449,6 +521,45 @@ mod tests {
         assert!(text.contains("# TYPE a_x counter"));
         assert!(text.contains("# TYPE a_x_gauge gauge"), "{text}");
         check(&text).expect("valid");
+    }
+
+    #[test]
+    fn exemplars_decorate_exactly_one_bucket() {
+        let r = Registry::new();
+        let h = r.histogram("serve.query_us", &[10, 100, 1000]);
+        for v in [5, 50, 500] {
+            h.record(v);
+        }
+        let mut exposition = Exposition::new();
+        exposition.add_snapshot(&r.snapshot(), &[("registry", "serve")]);
+        exposition.attach_exemplar(
+            "serve_query_us",
+            Exemplar {
+                labels: vec![("trace_id".into(), "00c0ffee00c0ffee".into())],
+                value: 50.0,
+            },
+        );
+        let text = exposition.render();
+        // The 50us observation lands in the (10, 100] bucket — and only
+        // there.
+        assert!(
+            text.contains(
+                "serve_query_us_bucket{registry=\"serve\",le=\"100\"} 2 # {trace_id=\"00c0ffee00c0ffee\"} 50"
+            ),
+            "{text}"
+        );
+        assert_eq!(text.matches("# {trace_id=").count(), 1, "{text}");
+        check(&text).expect("exemplar output passes the checker");
+    }
+
+    #[test]
+    fn checker_accepts_exemplars_and_rejects_junk_tails() {
+        assert!(check("b{le=\"10\"} 2 # {trace_id=\"abc\"} 7\n").is_ok());
+        assert!(check("b{le=\"+Inf\"} 2 # {t=\"x\"} 7.5\n").is_ok());
+        assert!(check("ok 1 1700000000\n").is_ok(), "bare timestamp");
+        assert!(check("b 2 # notlabels 7\n").is_err());
+        assert!(check("b 2 # {t=\"x\"} notanumber\n").is_err());
+        assert!(check("b 2 trailing junk\n").is_err());
     }
 
     #[test]

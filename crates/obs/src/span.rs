@@ -14,7 +14,7 @@
 //! tracer with [`install_global`].
 
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -25,10 +25,23 @@ use std::time::Instant;
 
 use crate::json::quote;
 use crate::registry::lock_unpoisoned;
+use crate::{Counter, Registry};
 
 /// Environment variable naming the Chrome-trace output file. Setting it
 /// enables the [`global`] tracer.
 pub const TRACE_FILE_ENV: &str = "ICOST_TRACE_FILE";
+
+/// Environment variable bounding the event buffer of the [`global`]
+/// tracer (default [`DEFAULT_TRACE_MAX_EVENTS`]). When the ring is
+/// full the *oldest* event is dropped and counted on the tracer's
+/// `trace.events.dropped` metric — a long-lived server with
+/// `ICOST_TRACE_FILE` set keeps the most recent window instead of
+/// growing without bound.
+pub const TRACE_MAX_EVENTS_ENV: &str = "ICOST_TRACE_MAX_EVENTS";
+
+/// Default event-ring capacity (~1M events ≈ a few hundred MB worst
+/// case, minutes of heavy tracing).
+pub const DEFAULT_TRACE_MAX_EVENTS: usize = 1 << 20;
 
 /// The phase of a trace event (Chrome trace-event `ph` field).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +50,10 @@ enum Phase {
     End,
     Instant,
     Counter,
+    /// Flow start (`ph:"s"`): the causal arrow's tail, bound by id.
+    FlowStart,
+    /// Flow finish (`ph:"f"`): the arrow's head on another thread.
+    FlowFinish,
 }
 
 impl Phase {
@@ -46,6 +63,8 @@ impl Phase {
             Phase::End => 'E',
             Phase::Instant => 'i',
             Phase::Counter => 'C',
+            Phase::FlowStart => 's',
+            Phase::FlowFinish => 'f',
         }
     }
 }
@@ -69,16 +88,26 @@ pub struct TraceEvent {
     /// numeric `args.value` series Perfetto plots as a track. Must be
     /// finite.
     pub value: Option<f64>,
+    /// Flow binding id (`'s'`/`'f'` events only): Perfetto draws an
+    /// arrow from each flow start to the finishes sharing its id,
+    /// rendering cross-thread causality.
+    pub flow_id: Option<u64>,
 }
 
 #[derive(Debug)]
 struct TracerInner {
     enabled: AtomicBool,
     epoch: Instant,
-    events: Mutex<Vec<TraceEvent>>,
+    /// Ring of recorded events, capped at `max_events` (drop-oldest).
+    events: Mutex<VecDeque<TraceEvent>>,
+    max_events: usize,
     /// OS thread id -> small dense track id (stable for the process).
     tids: Mutex<HashMap<ThreadId, u64>>,
     next_tid: AtomicU64,
+    /// `trace.events.dropped` lives here, mirroring the ledger's
+    /// drop accounting, so serve can expose it on `/metrics`+`/readyz`.
+    metrics: Registry,
+    events_dropped: Counter,
 }
 
 /// A shared span recorder. Cloning hands out another handle to the same
@@ -90,13 +119,24 @@ pub struct Tracer {
 
 impl Tracer {
     fn with_enabled(enabled: bool) -> Tracer {
+        Tracer::with_max_events(enabled, DEFAULT_TRACE_MAX_EVENTS)
+    }
+
+    /// A tracer with an explicit event-ring capacity (clamped to at
+    /// least 1): once full, the oldest event is dropped and counted on
+    /// the `trace.events.dropped` metric.
+    pub fn with_max_events(enabled: bool, max_events: usize) -> Tracer {
+        let metrics = Registry::new();
         Tracer {
             inner: Arc::new(TracerInner {
                 enabled: AtomicBool::new(enabled),
                 epoch: Instant::now(),
-                events: Mutex::new(Vec::new()),
+                events: Mutex::new(VecDeque::new()),
+                max_events: max_events.max(1),
                 tids: Mutex::new(HashMap::new()),
                 next_tid: AtomicU64::new(0),
+                events_dropped: metrics.counter("trace.events.dropped"),
+                metrics,
             }),
         }
     }
@@ -138,7 +178,7 @@ impl Tracer {
         name: Cow<'static, str>,
         args: Vec<(&'static str, String)>,
     ) {
-        self.record_valued(phase, cat, name, args, None);
+        self.record_full(phase, cat, name, args, None, None);
     }
 
     fn record_valued(
@@ -149,6 +189,18 @@ impl Tracer {
         args: Vec<(&'static str, String)>,
         value: Option<f64>,
     ) {
+        self.record_full(phase, cat, name, args, value, None);
+    }
+
+    fn record_full(
+        &self,
+        phase: Phase,
+        cat: &'static str,
+        name: Cow<'static, str>,
+        args: Vec<(&'static str, String)>,
+        value: Option<f64>,
+        flow_id: Option<u64>,
+    ) {
         let ev = TraceEvent {
             name,
             cat,
@@ -157,8 +209,14 @@ impl Tracer {
             tid: self.thread_track(),
             args,
             value,
+            flow_id,
         };
-        lock_unpoisoned(&self.inner.events).push(ev);
+        let mut events = lock_unpoisoned(&self.inner.events);
+        if events.len() >= self.inner.max_events {
+            events.pop_front();
+            self.inner.events_dropped.inc();
+        }
+        events.push_back(ev);
     }
 
     /// Open a span; it ends (emits the `E` event) when the returned
@@ -207,6 +265,58 @@ impl Tracer {
         self.record_valued(Phase::Counter, cat, name.into(), Vec::new(), Some(value));
     }
 
+    /// Record a flow start (`ph:"s"`): the tail of a causal arrow bound
+    /// by `flow_id`. Emit it on the requesting thread; matching
+    /// [`Tracer::flow_finish`] calls on worker threads draw the arrows
+    /// in Perfetto.
+    pub fn flow_start(&self, cat: &'static str, name: impl Into<Cow<'static, str>>, flow_id: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record_full(
+            Phase::FlowStart,
+            cat,
+            name.into(),
+            Vec::new(),
+            None,
+            Some(flow_id),
+        );
+    }
+
+    /// Record a flow finish (`ph:"f"`): the head of the causal arrow
+    /// started by the [`Tracer::flow_start`] sharing `flow_id`.
+    pub fn flow_finish(&self, cat: &'static str, name: impl Into<Cow<'static, str>>, flow_id: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record_full(
+            Phase::FlowFinish,
+            cat,
+            name.into(),
+            Vec::new(),
+            None,
+            Some(flow_id),
+        );
+    }
+
+    /// Microseconds since this tracer's epoch — the same clock event
+    /// timestamps carry, for bracketing windowed captures.
+    pub fn now_us(&self) -> u64 {
+        self.inner.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Events the drop-oldest ring discarded because the buffer hit
+    /// its [`TRACE_MAX_EVENTS_ENV`] cap.
+    pub fn dropped(&self) -> u64 {
+        self.inner.events_dropped.get()
+    }
+
+    /// The tracer's own metrics registry (`trace.events.dropped`) —
+    /// registered on `uarch-serve`'s `/metrics` next to the ledger's.
+    pub fn metrics(&self) -> &Registry {
+        &self.inner.metrics
+    }
+
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
         lock_unpoisoned(&self.inner.events).len()
@@ -219,7 +329,20 @@ impl Tracer {
 
     /// A copy of the recorded events, in record order.
     pub fn events(&self) -> Vec<TraceEvent> {
-        lock_unpoisoned(&self.inner.events).clone()
+        lock_unpoisoned(&self.inner.events)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// A copy of the recorded events with `ts_us >= since_us`, in
+    /// record order — the raw material for a windowed live profile.
+    pub fn events_since(&self, since_us: u64) -> Vec<TraceEvent> {
+        lock_unpoisoned(&self.inner.events)
+            .iter()
+            .filter(|ev| ev.ts_us >= since_us)
+            .cloned()
+            .collect()
     }
 
     /// Render the recorded events as a Chrome trace-event JSON document.
@@ -242,6 +365,14 @@ impl Tracer {
             // Instant events need a scope field to render in Chrome.
             if ev.phase == 'i' {
                 out.push_str(", \"s\": \"t\"");
+            }
+            // Flow events bind by id; finishes bind to the enclosing
+            // slice's end ("bp":"e") so arrows land on the span.
+            if let Some(id) = ev.flow_id {
+                out.push_str(&format!(", \"id\": {id}"));
+                if ev.phase == 'f' {
+                    out.push_str(", \"bp\": \"e\"");
+                }
             }
             if let Some(v) = ev.value {
                 out.push_str(&format!(", \"args\": {{\"value\": {v}}}"));
@@ -308,11 +439,12 @@ static GLOBAL: OnceLock<Tracer> = OnceLock::new();
 /// [`install_global`] before any instrumented code runs.
 pub fn global() -> &'static Tracer {
     GLOBAL.get_or_init(|| {
-        if std::env::var_os(TRACE_FILE_ENV).is_some() {
-            Tracer::enabled()
-        } else {
-            Tracer::disabled()
-        }
+        let enabled = std::env::var_os(TRACE_FILE_ENV).is_some();
+        let max_events = std::env::var(TRACE_MAX_EVENTS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_TRACE_MAX_EVENTS);
+        Tracer::with_max_events(enabled, max_events)
     })
 }
 
@@ -415,6 +547,46 @@ mod tests {
                 .and_then(|v| v.as_num()),
             Some(62.5)
         );
+    }
+
+    #[test]
+    fn ring_cap_drops_oldest_and_counts() {
+        let t = Tracer::with_max_events(true, 3);
+        for i in 0..5u64 {
+            t.instant("test", format!("mark{i}"));
+        }
+        assert_eq!(t.len(), 3, "ring stays bounded");
+        assert_eq!(t.dropped(), 2, "oldest two dropped");
+        let names: Vec<String> = t.events().iter().map(|e| e.name.to_string()).collect();
+        assert_eq!(names, vec!["mark2", "mark3", "mark4"]);
+        let snap = t.metrics().snapshot();
+        assert_eq!(snap.counter("trace.events.dropped"), 2);
+    }
+
+    #[test]
+    fn flow_events_export_bound_ids() {
+        let t = Tracer::enabled();
+        t.flow_start("pool", "dispatch", 42);
+        t.flow_finish("pool", "dispatch", 42);
+        let doc = crate::json::parse(&t.export_json()).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("s"));
+        assert_eq!(events[0].get("id").and_then(|v| v.as_num()), Some(42.0));
+        assert_eq!(events[1].get("ph").unwrap().as_str(), Some("f"));
+        assert_eq!(events[1].get("bp").unwrap().as_str(), Some("e"));
+    }
+
+    #[test]
+    fn events_since_windows_by_timestamp() {
+        let t = Tracer::enabled();
+        t.instant("test", "early");
+        let cut = t.now_us() + 1;
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.instant("test", "late");
+        let late = t.events_since(cut);
+        assert_eq!(late.len(), 1);
+        assert_eq!(late[0].name, "late");
     }
 
     #[test]

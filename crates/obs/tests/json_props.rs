@@ -143,6 +143,7 @@ fn ledger_records_have_golden_renderings() {
         threads: 8,
         insts: 900,
         ts_ms: 1_700_000_000_000,
+        trace: String::new(),
     });
     assert_eq!(
         header.to_json_line(),
@@ -162,6 +163,7 @@ fn ledger_records_have_golden_renderings() {
         ]
         .into_iter()
         .collect(),
+        trace: String::new(),
     });
     assert_eq!(
         job.to_json_line(),
@@ -177,6 +179,7 @@ fn ledger_records_have_golden_renderings() {
         wall_us: 4,
         hash: "a1b2c3d4e5f60718".into(),
         stalls: BTreeMap::new(),
+        trace: String::new(),
     });
     assert_eq!(
         hit.to_json_line(),
@@ -202,6 +205,7 @@ fn ledger_parse_errors_carry_line_numbers() {
         threads: 1,
         insts: 1,
         ts_ms: 0,
+        trace: String::new(),
     });
     let text = format!("{}\nnot json at all\n", good.to_json_line());
     let err = parse_ledger(&text).expect_err("bad line rejected");

@@ -61,6 +61,7 @@ fn arb_record() -> impl Strategy<Value = LedgerRecord> {
                 threads: n[2] as u64,
                 insts: n[3] as u64,
                 ts_ms: n[4] as u64,
+                trace: s[3].clone(),
             }),
             1 => LedgerRecord::Job(JobRecord {
                 run: n[0] as u64,
@@ -74,6 +75,7 @@ fn arb_record() -> impl Strategy<Value = LedgerRecord> {
                 wall_us: n[3] as u64,
                 hash: s[1].clone(),
                 stalls,
+                trace: s[3].clone(),
             }),
             2 => LedgerRecord::Calib(CalibRecord {
                 sim_ctx: s[0].clone(),
@@ -88,6 +90,7 @@ fn arb_record() -> impl Strategy<Value = LedgerRecord> {
                 backend: s[1].clone(),
                 confidence_pm: (n[1] % 1001) as u64,
                 reason: s[2].clone(),
+                trace: s[3].clone(),
             }),
             4 => LedgerRecord::Window(WindowRecord {
                 run: n[0] as u64,
@@ -99,6 +102,7 @@ fn arb_record() -> impl Strategy<Value = LedgerRecord> {
                 eval_us: n[6] as u64,
                 costs: map_a,
                 pairs: map_b,
+                trace: s[3].clone(),
             }),
             5 => LedgerRecord::Report(ReportRecord {
                 run: n[0] as u64,
@@ -114,6 +118,7 @@ fn arb_record() -> impl Strategy<Value = LedgerRecord> {
                 expand_us: n[10] as u64,
                 sim_us: n[11] as u64,
                 skipped: n[12] as u64,
+                trace: s[3].clone(),
             }),
             _ => LedgerRecord::Audit(AuditRecord {
                 run: n[0] as u64,
@@ -129,6 +134,7 @@ fn arb_record() -> impl Strategy<Value = LedgerRecord> {
                 counters: map_b,
                 divergence: BTreeMap::new(),
                 evidence: s[2].clone(),
+                trace: s[3].clone(),
             }),
         })
 }

@@ -1,0 +1,105 @@
+//! Property tests for the span-profile folder: for any well-nested
+//! span stream, the folded self-times conserve wall time exactly —
+//! their total equals the summed duration of the root spans — and the
+//! rendered folded-stack text round-trips the same totals.
+
+use proptest::prelude::*;
+use uarch_obs::{Profile, TraceEvent};
+
+/// One generated step: which thread acts, whether it opens or closes a
+/// span, and how much the clock advances first.
+#[derive(Debug, Clone)]
+struct Step {
+    tid: u64,
+    open: bool,
+    dt_us: u64,
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        (0u64..3, any::<bool>(), 0u64..50).prop_map(|(tid, open, dt_us)| Step { tid, open, dt_us }),
+        0..120,
+    )
+}
+
+/// Drive the steps into a balanced-by-construction event stream:
+/// a close on an empty stack becomes an open, and every span still
+/// open at the end is closed in stack order. Returns the events plus
+/// the summed wall time of all root spans (per thread).
+fn build(steps: &[Step]) -> (Vec<TraceEvent>, u64) {
+    let mut events = Vec::new();
+    let mut ts = 0u64;
+    // Per-tid stack of (depth name, begin ts, is_root).
+    let mut stacks: std::collections::BTreeMap<u64, Vec<(String, u64)>> = Default::default();
+    let mut root_wall = 0u64;
+    let push = |events: &mut Vec<TraceEvent>, tid: u64, phase: char, name: String, ts: u64| {
+        events.push(TraceEvent {
+            name: name.into(),
+            cat: "prop",
+            phase,
+            ts_us: ts,
+            tid,
+            args: Vec::new(),
+            value: None,
+            flow_id: None,
+        });
+    };
+    for step in steps {
+        ts += step.dt_us;
+        let stack = stacks.entry(step.tid).or_default();
+        if step.open || stack.is_empty() {
+            // Frame names repeat across depths on purpose: recursion
+            // must fold into distinct stacks, not collide.
+            let name = format!("f{}", stack.len() % 4);
+            push(&mut events, step.tid, 'B', name.clone(), ts);
+            stack.push((name, ts));
+        } else {
+            let (name, begin) = stack.pop().expect("non-empty checked");
+            push(&mut events, step.tid, 'E', name, ts);
+            if stack.is_empty() {
+                root_wall += ts - begin;
+            }
+        }
+    }
+    // Close every still-open span so the stream is fully balanced.
+    for (tid, stack) in &mut stacks {
+        while let Some((name, begin)) = stack.pop() {
+            ts += 1;
+            push(&mut events, *tid, 'E', name, ts);
+            if stack.is_empty() {
+                root_wall += ts - begin;
+            }
+        }
+    }
+    (events, root_wall)
+}
+
+proptest! {
+    #[test]
+    fn folded_self_times_conserve_root_wall_time(steps in steps()) {
+        let (events, root_wall) = build(&steps);
+        let profile = Profile::from_events(&events);
+        prop_assert_eq!(
+            profile.total_self_us(),
+            root_wall,
+            "every root microsecond is self time at exactly one depth"
+        );
+
+        // The rendered text carries the same totals: one
+        // `stack self_us` line per folded stack, parseable, summing
+        // back to the folded total.
+        let mut rendered_total = 0u64;
+        for line in profile.render().lines() {
+            let (stack, self_us) = line.rsplit_once(' ').expect("stack self_us");
+            prop_assert!(!stack.is_empty());
+            rendered_total += self_us.parse::<u64>().expect("numeric self time");
+        }
+        prop_assert_eq!(rendered_total, profile.total_self_us());
+
+        // Folding is insensitive to how threads interleave in record
+        // order: each thread's track folds independently.
+        let mut by_tid = events.clone();
+        by_tid.sort_by_key(|ev| ev.tid);
+        prop_assert_eq!(Profile::from_events(&by_tid), profile);
+    }
+}

@@ -568,6 +568,8 @@ impl<'a> Planner<'a> {
                 threads: self.runner.threads() as u64,
                 insts: self.trace.len() as u64,
                 ts_ms: unix_time_ms(),
+                // Stamped by Ledger::append from the causal context.
+                trace: String::new(),
             }));
         }
         let escalated_sets: Vec<EventSet> = sim_indices
@@ -646,6 +648,7 @@ impl<'a> Planner<'a> {
                         backend: answer.provenance.as_str().to_string(),
                         confidence_pm: (answer.confidence * 1000.0).round() as u64,
                         reason: answer.reason.as_str().to_string(),
+                        trace: String::new(),
                     }));
                 }
                 answer

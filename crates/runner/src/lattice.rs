@@ -159,6 +159,8 @@ impl<'g> LatticeGraphOracle<'g> {
             threads: self.threads as u64,
             insts: self.graph.len() as u64,
             ts_ms: unix_time_ms(),
+            // Stamped by Ledger::append from the causal context.
+            trace: String::new(),
         }));
     }
 
@@ -174,6 +176,7 @@ impl<'g> LatticeGraphOracle<'g> {
             wall_us: wall.as_micros() as u64,
             hash: result_hash(set, cycles),
             stalls: std::collections::BTreeMap::new(),
+            trace: String::new(),
         }));
     }
 

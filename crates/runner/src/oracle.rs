@@ -150,6 +150,8 @@ impl<'a> ParallelMultiSimOracle<'a> {
             wall_us: wall.as_micros() as u64,
             hash: result_hash(set, cycles),
             stalls,
+            // Stamped by Ledger::append from the causal context.
+            trace: String::new(),
         }));
     }
 

@@ -28,6 +28,11 @@ pub fn parallel_map<T: Sync, R: Send>(
     f: impl Fn(&T) -> R + Sync,
 ) -> Vec<R> {
     let tracer = uarch_obs::global();
+    // The caller's causal context crosses the thread boundary with the
+    // work: each worker re-installs it, so ledger records built on
+    // worker threads carry the requesting trace id, and flow events
+    // draw the dispatch arrows in Perfetto.
+    let ctx = uarch_obs::causal::current();
     let workers = threads.max(1).min(items.len());
     if workers <= 1 {
         return items
@@ -39,12 +44,24 @@ pub fn parallel_map<T: Sync, R: Send>(
             .collect();
     }
 
+    if let Some(ctx) = ctx {
+        tracer.flow_start("pool", "dispatch", ctx.trace_id);
+    }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                let _worker_sp = tracer.span("pool", "worker");
+                let _ctx_guard = ctx.map(uarch_obs::causal::set_current);
+                let _worker_sp = match ctx {
+                    Some(ctx) => {
+                        tracer.span_with("pool", "worker", vec![("trace", ctx.trace_hex())])
+                    }
+                    None => tracer.span("pool", "worker"),
+                };
+                if let Some(ctx) = ctx {
+                    tracer.flow_finish("pool", "dispatch", ctx.trace_id);
+                }
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(i) else { break };
@@ -94,5 +111,18 @@ mod tests {
     #[test]
     fn more_threads_than_items() {
         assert_eq!(parallel_map(&[5], 16, |&x| x * 2), vec![10]);
+    }
+
+    #[test]
+    fn workers_adopt_the_callers_causal_context() {
+        let ctx = uarch_obs::TraceCtx::mint();
+        let _guard = uarch_obs::causal::set_current(ctx);
+        let items: Vec<u64> = (0..32).collect();
+        let seen = parallel_map(&items, 4, |_| uarch_obs::causal::current());
+        assert!(seen.iter().all(|s| *s == Some(ctx)));
+        // Without an installed context, workers see none either.
+        drop(_guard);
+        let seen = parallel_map(&items, 4, |_| uarch_obs::causal::current());
+        assert!(seen.iter().all(|s| s.is_none()));
     }
 }

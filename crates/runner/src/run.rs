@@ -216,11 +216,11 @@ impl Runner {
     pub fn run_graph(&self, graph: &DepGraph, queries: &[Query]) -> (Vec<i64>, RunReport) {
         let tracer = uarch_obs::global();
         let _run_sp = if tracer.is_enabled() {
-            tracer.span_with(
-                "runner",
-                "runner.run_graph",
-                vec![("queries", queries.len().to_string())],
-            )
+            let mut args = vec![("queries", queries.len().to_string())];
+            if let Some(hex) = uarch_obs::causal::current_trace_hex() {
+                args.push(("trace", hex));
+            }
+            tracer.span_with("runner", "runner.run_graph", args)
         } else {
             tracer.span("runner", "runner.run_graph")
         };
@@ -263,11 +263,11 @@ impl Runner {
     ) -> (Vec<i64>, RunReport) {
         let tracer = uarch_obs::global();
         let _run_sp = if tracer.is_enabled() {
-            tracer.span_with(
-                "runner",
-                "runner.run",
-                vec![("queries", queries.len().to_string())],
-            )
+            let mut args = vec![("queries", queries.len().to_string())];
+            if let Some(hex) = uarch_obs::causal::current_trace_hex() {
+                args.push(("trace", hex));
+            }
+            tracer.span_with("runner", "runner.run", args)
         } else {
             tracer.span("runner", "runner.run")
         };
@@ -281,6 +281,8 @@ impl Runner {
                 threads: self.threads as u64,
                 insts: trace.len() as u64,
                 ts_ms: unix_time_ms(),
+                // Stamped by Ledger::append from the causal context.
+                trace: String::new(),
             }));
         }
         let sampler = tracer.is_enabled().then(|| {

@@ -1,0 +1,106 @@
+//! Property: a `Runner::run` executed under a causal trace binding
+//! stamps that binding's trace id on *every* ledger record the run
+//! appends — headers, computed jobs from any worker thread, cache
+//! hits, and batch reports alike — and an untraced run leaves the
+//! field empty. Lives in its own integration binary because the global
+//! ledger is process-wide (installed once).
+
+use proptest::prelude::*;
+use uarch_obs::ledger::{install_global, LedgerRecord};
+use uarch_obs::TraceCtx;
+use uarch_runner::{Query, Runner};
+use uarch_trace::{EventClass, EventSet, MachineConfig, Reg, TraceBuilder};
+
+fn kernel(loads: u64) -> uarch_trace::Trace {
+    let mut b = TraceBuilder::new();
+    for k in 0..loads {
+        b.load(Reg::int(1), 0x10_0000 + k * 4096);
+        b.alu(Reg::int(2), &[Reg::int(1)]);
+    }
+    b.finish()
+}
+
+/// Run `queries` under `ctx` (when given) against a fresh subscriber
+/// on the process-global ledger; return the records the run appended.
+fn traced_run(
+    runner: &Runner,
+    trace: &uarch_trace::Trace,
+    queries: &[Query],
+    ctx: Option<TraceCtx>,
+) -> Vec<LedgerRecord> {
+    let subscriber = uarch_obs::ledger::global().subscribe(1 << 14);
+    let guard = ctx.map(uarch_obs::causal::set_current);
+    let cfg = MachineConfig::table6();
+    let (answers, _) = runner.run(&cfg, trace, queries);
+    assert_eq!(answers.len(), queries.len());
+    drop(guard);
+    subscriber
+        .drain()
+        .iter()
+        .map(|line| {
+            let (mut records, skipped) =
+                uarch_obs::ledger::parse_ledger_lenient(line).expect("appended line parses");
+            assert_eq!((records.len(), skipped), (1, 0), "one record per line");
+            records.remove(0)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn traced_runs_stamp_every_record_on_every_thread(
+        seed_a in 1u64..u64::MAX,
+        seed_b in 1u64..u64::MAX,
+        threads in 1usize..5,
+        loads in 5u64..20,
+        focus in 0..EventClass::ALL.len(),
+        other_off in 1..EventClass::ALL.len(),
+    ) {
+        let _ = install_global(uarch_obs::ledger::Ledger::in_memory());
+        let runner = Runner::new().with_threads(threads);
+        let trace = kernel(loads);
+        let a = EventClass::ALL[focus];
+        let b = EventClass::ALL[(focus + other_off) % EventClass::ALL.len()];
+        let queries = [
+            Query::Icost(EventSet::from([a, b])),
+            Query::Cost(EventSet::from([a])),
+        ];
+
+        // First batch under one binding: the lattice expansion runs on
+        // `threads` pool workers, and every record — run header, each
+        // computed job, the answer-phase memory hits, the report —
+        // must carry that binding's trace id.
+        let ctx_a = TraceCtx { trace_id: seed_a, span_id: seed_a };
+        let hex_a = ctx_a.trace_hex();
+        let records = traced_run(&runner, &trace, &queries, Some(ctx_a));
+        prop_assert!(records.iter().any(
+            |r| matches!(r, LedgerRecord::Job(j) if j.provenance == uarch_obs::ledger::Provenance::Computed)
+        ));
+        for r in &records {
+            prop_assert_eq!(
+                r.trace(),
+                Some(hex_a.as_str()),
+                "{:?} missed the trace stamp", r
+            );
+        }
+
+        // Second batch, same runner (warm cache), different binding:
+        // cache-hit records belong to the *new* request, not the one
+        // that originally computed them.
+        let ctx_b = TraceCtx { trace_id: seed_b, span_id: seed_b };
+        let hex_b = ctx_b.trace_hex();
+        let records = traced_run(&runner, &trace, &queries, Some(ctx_b));
+        prop_assert!(!records.is_empty());
+        for r in &records {
+            prop_assert_eq!(r.trace(), Some(hex_b.as_str()));
+        }
+
+        // Untraced control: no binding, empty trace fields on the wire.
+        let records = traced_run(&runner, &trace, &queries, None);
+        prop_assert!(!records.is_empty());
+        for r in &records {
+            prop_assert_eq!(r.trace(), Some(""));
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //! repeated simulations.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use icost::{icost, icost_of_sets, CostOracle};
@@ -24,6 +25,7 @@ use uarch_runner::{context_id, Query, RunReport, Runner};
 use uarch_sim::{Idealization, PipelineStalls, Simulator};
 use uarch_trace::{EventSet, MachineConfig, Trace};
 
+use crate::causal::{span_tree_json, Receipt, ReceiptStore};
 use crate::http::Request;
 use crate::ingest::{IngestOutcome, IngestSessions};
 
@@ -124,6 +126,13 @@ pub struct ServeHost {
     sse_clients: Gauge,
     scrape_us: Histogram,
     query_us: Histogram,
+    /// Cost receipts for traced requests (`GET /trace/<id>` answers
+    /// from here).
+    receipts: ReceiptStore,
+    /// The most recent traced `/query` observation, attached to the
+    /// `serve_query_us` histogram as an OpenMetrics exemplar:
+    /// `(wall_us, trace_id)`.
+    query_exemplar: Mutex<Option<(u64, String)>>,
     ready: AtomicBool,
 }
 
@@ -180,6 +189,8 @@ impl ServeHost {
             sse_clients: serve_registry.gauge("serve.sse_clients"),
             scrape_us: serve_registry.histogram("serve.scrape_us", &SCRAPE_US_BOUNDS),
             query_us: serve_registry.histogram("serve.query_us", &QUERY_US_BOUNDS),
+            receipts: ReceiptStore::from_env(),
+            query_exemplar: Mutex::new(None),
             serve_registry,
             runner_registry: Registry::new(),
             graph_registry: Registry::new(),
@@ -289,7 +300,9 @@ impl ServeHost {
     pub fn render_metrics(&self) -> String {
         let start = Instant::now();
         let ledger = uarch_obs::ledger::global();
-        let text = prom::render_registries(&[
+        let tracer = uarch_obs::global();
+        let mut exposition = prom::Exposition::new();
+        for (instance, registry) in [
             ("runner", &self.runner_registry),
             ("graph", &self.graph_registry),
             ("plan", &self.plan_registry),
@@ -297,8 +310,26 @@ impl ServeHost {
             ("ledger", ledger.metrics()),
             ("ingest", self.ingest.metrics()),
             ("audit", &self.audit_registry),
+            ("trace", tracer.metrics()),
             ("serve", &self.serve_registry),
-        ]);
+        ] {
+            exposition.add_snapshot(&registry.snapshot(), &[("registry", instance)]);
+        }
+        let exemplar = self
+            .query_exemplar
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if let Some((wall_us, trace_id)) = exemplar {
+            exposition.attach_exemplar(
+                "serve_query_us",
+                prom::Exemplar {
+                    labels: vec![("trace_id".to_string(), trace_id)],
+                    value: wall_us as f64,
+                },
+            );
+        }
+        let text = exposition.render();
         self.scrapes.inc();
         self.scrape_us.record(start.elapsed().as_micros() as u64);
         text
@@ -334,12 +365,14 @@ impl ServeHost {
             refuted as f64 / verdicts as f64
         };
         format!(
-            "{{\"status\":\"ready\",\"version\":{},\"uptime_s\":{},\"ingest_sessions\":{},\"ledger_sink\":{},\"ledger_records\":{},\"audit\":{{\"enabled\":{},\"checks\":{},\"refuted_rate\":{:.3}}}}}\n",
+            "{{\"status\":\"ready\",\"version\":{},\"uptime_s\":{},\"ingest_sessions\":{},\"ledger_sink\":{},\"ledger_records\":{},\"dropped\":{{\"ledger\":{},\"trace\":{}}},\"audit\":{{\"enabled\":{},\"checks\":{},\"refuted_rate\":{:.3}}}}}\n",
             json::quote(env!("CARGO_PKG_VERSION")),
             self.started.elapsed().as_secs(),
             self.ingest.active(),
             ledger.is_enabled(),
             ledger.appended(),
+            ledger.metrics().snapshot().counter("ledger.events.dropped"),
+            uarch_obs::global().dropped(),
             self.audit_cfg.is_some(),
             snap.counter("audit.checks"),
             refuted_rate,
@@ -431,18 +464,54 @@ impl ServeHost {
         report.publish(&self.runner_registry);
         publish_report_record(&report);
         self.queries_answered.add(queries.len() as u64);
-        self.query_us.record(start.elapsed().as_micros() as u64);
+        let wall_us = start.elapsed().as_micros() as u64;
+        self.query_us.record(wall_us);
+        // Distinct rungs in first-use order, and the weakest per-answer
+        // confidence — the two receipt fields that say how the batch
+        // was actually served.
+        let mut rungs: Vec<&str> = Vec::new();
+        for p in &provenance {
+            if !rungs.contains(p) {
+                rungs.push(p);
+            }
+        }
+        let min_confidence = confidence.iter().copied().fold(1.0_f64, f64::min);
         let answers: Vec<String> = answers.iter().map(i64::to_string).collect();
         let provenance: Vec<String> = provenance.iter().map(|p| json::quote(p)).collect();
         let confidence: Vec<String> = confidence.iter().map(|c| format!("{c:.3}")).collect();
-        Ok(format!(
+        let mut body = format!(
             "{{\"backend\":\"{}\",\"answers\":[{}],\"provenance\":[{}],\"confidence\":[{}],\"report\":{}}}\n",
             backend.as_str(),
             answers.join(","),
             provenance.join(","),
             confidence.join(","),
             report.to_json(),
-        ))
+        );
+        if let Some(ctx) = uarch_obs::causal::current() {
+            let trace_id = ctx.trace_hex();
+            let receipt = Receipt {
+                trace_id: trace_id.clone(),
+                endpoint: "query",
+                wall_us,
+                queries: queries.len() as u64,
+                backend: backend.as_str(),
+                rungs: rungs.join(","),
+                confidence: min_confidence,
+                sims_run: report.sims_run,
+                cache_hits: report.cache_hits,
+                disk_hits: report.disk_hits,
+                deduped: report.jobs_deduped,
+                skipped_cycles: report.engine.skipped_cycles,
+                response_bytes: body.len() as u64,
+            };
+            self.receipts.record(receipt.clone());
+            *self
+                .query_exemplar
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = Some((wall_us, trace_id.clone()));
+            splice_trace(&mut body, &trace_id, &receipt);
+        }
+        Ok(body)
     }
 
     /// Answer one `POST /explain` body: cross-validate the graph-side
@@ -511,6 +580,82 @@ impl ServeHost {
             json::quote(&self.ctx.name)
         );
         Ok(line.replacen("{\"kind\":\"audit\",", &provenance, 1) + "\n")
+    }
+
+    /// The receipt store (`GET /trace/<id>` and tests read it).
+    pub fn receipts(&self) -> &ReceiptStore {
+        &self.receipts
+    }
+
+    /// Record a minimal receipt for a traced non-query endpoint
+    /// (`ingest`, `explain`) and splice `trace_id` + `receipt` into its
+    /// JSON response. No-op without an installed causal context.
+    pub fn finish_traced(&self, endpoint: &'static str, wall_us: u64, body: &mut String) {
+        let Some(ctx) = uarch_obs::causal::current() else {
+            return;
+        };
+        let trace_id = ctx.trace_hex();
+        let receipt = Receipt {
+            trace_id: trace_id.clone(),
+            endpoint,
+            wall_us,
+            queries: 0,
+            backend: "",
+            rungs: String::new(),
+            confidence: 1.0,
+            sims_run: 0,
+            cache_hits: 0,
+            disk_hits: 0,
+            deduped: 0,
+            skipped_cycles: 0,
+            response_bytes: body.len() as u64,
+        };
+        self.receipts.record(receipt.clone());
+        splice_trace(body, &trace_id, &receipt);
+    }
+
+    /// The `GET /trace/<id>` body: the request's cost receipt (or
+    /// `null` if it aged out) plus the span tree reconstructed from the
+    /// tracer's event buffer. `None` — a 404 — when neither side knows
+    /// the id.
+    pub fn trace_json(&self, trace_id: &str) -> Option<String> {
+        let receipt = self.receipts.get(trace_id);
+        let spans = span_tree_json(&uarch_obs::global().events(), trace_id);
+        if receipt.is_none() && spans == "[]" {
+            return None;
+        }
+        Some(format!(
+            "{{\"trace_id\":{},\"receipt\":{},\"spans\":{}}}\n",
+            json::quote(trace_id),
+            receipt.map_or_else(|| "null".to_string(), |r| r.to_json()),
+            spans,
+        ))
+    }
+
+    /// The `GET /trace/slow` body: the slowest receipts on record,
+    /// descending by wall time.
+    pub fn slow_json(&self) -> String {
+        let slow: Vec<String> = self
+            .receipts
+            .slowest()
+            .iter()
+            .map(Receipt::to_json)
+            .collect();
+        format!("{{\"slowest\":[{}]}}\n", slow.join(","))
+    }
+
+    /// The `GET /profile?secs=N` body: spans begun in the last `secs`
+    /// seconds folded into flamegraph-compatible stacks. `None` when
+    /// the global tracer is disabled (the endpoint answers 503).
+    pub fn profile_text(&self, secs: u64) -> Option<String> {
+        let tracer = uarch_obs::global();
+        if !tracer.is_enabled() {
+            return None;
+        }
+        let since = tracer
+            .now_us()
+            .saturating_sub(secs.saturating_mul(1_000_000));
+        Some(uarch_obs::Profile::from_events(&tracer.events_since(since)).render())
     }
 
     /// Evaluate a batch on the dependence-graph kernel, folding the
@@ -616,8 +761,25 @@ fn publish_report_record(report: &RunReport) {
         expand_us: report.expand_wall.as_micros() as u64,
         sim_us: report.sim_wall.as_micros() as u64,
         skipped: report.engine.skipped_cycles,
+        // Stamped by Ledger::append from the causal context.
+        trace: String::new(),
     }));
     let _ = ledger.flush();
+}
+
+/// Splice `,"trace_id":"...","receipt":{...}` into a response body
+/// that ends with `}\n` (every handler's JSON object does); bodies in
+/// any other shape are left alone.
+fn splice_trace(body: &mut String, trace_id: &str, receipt: &Receipt) {
+    if !body.ends_with("}\n") {
+        return;
+    }
+    body.truncate(body.len() - 2);
+    body.push_str(&format!(
+        ",\"trace_id\":{},\"receipt\":{}}}\n",
+        json::quote(trace_id),
+        receipt.to_json(),
+    ));
 }
 
 /// Byte-equality without an early exit: the comparison touches every

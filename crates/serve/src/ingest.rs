@@ -255,6 +255,8 @@ impl IngestSessions {
             eval_us: window.eval_us,
             costs: window.costs_by_name(),
             pairs: window.pairs_by_name(),
+            // Stamped by Ledger::append from the causal context.
+            trace: String::new(),
         }));
         self.window_evals.inc();
         self.window_eval_us.record(window.eval_us);

@@ -14,6 +14,15 @@
 //! | `GET /events`  | Ledger records streamed live as Server-Sent Events; `?kinds=window,job` filters by record kind |
 //! | `POST /query`  | JSON batch of `cost(S)`/`icost(U)` queries through the shared runner |
 //! | `POST /ingest` | Chunked JSON instruction batches into a streaming session; retired windows become live `window` ledger records |
+//! | `GET /trace/<id>` | Cost receipt + reconstructed span tree for one traced request |
+//! | `GET /profile?secs=N` | Folded-stack self-time profile of the last N seconds of spans |
+//!
+//! Causal tracing: every `POST /query`/`/ingest`/`/explain` request
+//! gets a [`uarch_obs::TraceCtx`] — minted, or adopted from an
+//! `x-icost-trace` header — installed for the duration of the handler,
+//! so every ledger record the request causes (on any worker thread)
+//! carries its trace id, the response reports the id plus a cost
+//! [`Receipt`], and `GET /trace/<id>` replays the whole causal story.
 //!
 //! The transport is intentionally primitive — `TcpListener` plus a
 //! bounded accept pool of plain OS threads, one request per
@@ -41,11 +50,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod causal;
 pub mod host;
 pub mod http;
 pub mod ingest;
 pub mod server;
 
+pub use causal::{Receipt, ReceiptStore, DEFAULT_RECEIPTS_MAX, RECEIPTS_MAX_ENV};
 pub use host::{parse_query_body, Backend, ServeContext, ServeHost};
 pub use ingest::{inst_to_json, IngestOutcome, IngestSessions};
 pub use server::{Server, DEFAULT_ADDR, DEFAULT_WORKERS, MAX_SSE_CLIENTS, SERVE_ADDR_ENV};

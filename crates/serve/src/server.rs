@@ -242,7 +242,44 @@ fn handle_connection(
         spawn_sse(host, stream, stop, sse, kinds);
         return;
     }
+    // Analysis endpoints run under a causal trace context: adopted from
+    // the client's `x-icost-trace` header, or minted here. The guard
+    // scopes it to this handler; everything the request causes — the
+    // runner's spans, pool workers, every ledger record — carries its
+    // trace id (see `uarch_obs::causal`).
+    let traced = matches!(
+        (request.method.as_str(), request.path.as_str()),
+        ("POST", "/query" | "/ingest" | "/explain")
+    );
+    let ctx = traced.then(|| {
+        request
+            .header(uarch_obs::causal::TRACE_HEADER)
+            .and_then(uarch_obs::TraceCtx::parse)
+            .unwrap_or_else(uarch_obs::TraceCtx::mint)
+    });
+    let _guard = ctx.map(uarch_obs::causal::set_current);
+    let _request_sp = ctx.map(|ctx| {
+        uarch_obs::global().span_with(
+            "serve",
+            format!("serve.{}", request.path.trim_start_matches('/')),
+            vec![("trace", ctx.trace_hex())],
+        )
+    });
     route(host, &mut stream, &request);
+}
+
+/// Parse the `secs=` query parameter of `GET /profile`: how far back
+/// the span-fold window reaches. Defaults to 60, clamped to
+/// `1..=3600`; unparseable values fall back to the default.
+fn parse_profile_secs(query: Option<&str>) -> u64 {
+    query
+        .and_then(|q| {
+            q.split('&')
+                .find_map(|param| param.strip_prefix("secs="))
+                .and_then(|v| v.parse::<u64>().ok())
+        })
+        .unwrap_or(60)
+        .clamp(1, 3600)
 }
 
 /// Parse the `kinds=` query parameter of `GET /events` into a record-
@@ -318,6 +355,38 @@ fn spawn_sse(
 }
 
 fn route(host: &ServeHost, stream: &mut TcpStream, request: &Request) {
+    // Traced endpoints echo the request's trace binding so clients can
+    // correlate without parsing the body.
+    let trace_header = uarch_obs::causal::current().map(|ctx| ctx.header_value());
+    let trace_extra: Vec<(&str, &str)> = trace_header
+        .as_deref()
+        .map(|v| (uarch_obs::causal::TRACE_HEADER, v))
+        .into_iter()
+        .collect();
+    // `GET /trace/<id>` carries the id in the path, so it routes by
+    // prefix instead of the exact-path match below.
+    if let Some(id) = request.path.strip_prefix("/trace/") {
+        if request.method != "GET" {
+            host.count_error();
+            let _ = http::write_response(stream, 405, "text/plain", b"method not allowed\n");
+            return;
+        }
+        if id == "slow" {
+            let body = host.slow_json();
+            let _ = http::write_response(stream, 200, "application/json", body.as_bytes());
+            return;
+        }
+        match host.trace_json(id) {
+            Some(body) => {
+                let _ = http::write_response(stream, 200, "application/json", body.as_bytes());
+            }
+            None => {
+                host.count_error();
+                let _ = http::write_response(stream, 404, "text/plain", b"unknown trace id\n");
+            }
+        }
+        return;
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/metrics") => {
             let body = host.render_metrics();
@@ -351,31 +420,12 @@ fn route(host: &ServeHost, stream: &mut TcpStream, request: &Request) {
         }
         ("POST", "/query") => match host.handle_query(&request.body) {
             Ok(body) => {
-                let _ = http::write_response(stream, 200, "application/json", body.as_bytes());
-            }
-            Err(msg) => {
-                host.count_error();
-                let _ =
-                    http::write_response(stream, 400, "text/plain", format!("{msg}\n").as_bytes());
-            }
-        },
-        ("POST", "/explain") => match host.handle_explain(&request.body) {
-            Ok(body) => {
-                let _ = http::write_response(stream, 200, "application/json", body.as_bytes());
-            }
-            Err(msg) => {
-                host.count_error();
-                let _ =
-                    http::write_response(stream, 400, "text/plain", format!("{msg}\n").as_bytes());
-            }
-        },
-        ("POST", "/ingest") => match host.handle_ingest(&request.body) {
-            Ok(outcome) => {
-                let _ = http::write_response(
+                let _ = http::write_response_with(
                     stream,
                     200,
                     "application/json",
-                    outcome.to_json().as_bytes(),
+                    &trace_extra,
+                    body.as_bytes(),
                 );
             }
             Err(msg) => {
@@ -384,9 +434,81 @@ fn route(host: &ServeHost, stream: &mut TcpStream, request: &Request) {
                     http::write_response(stream, 400, "text/plain", format!("{msg}\n").as_bytes());
             }
         },
+        ("POST", "/explain") => {
+            let start = Instant::now();
+            match host.handle_explain(&request.body) {
+                Ok(mut body) => {
+                    host.finish_traced("explain", start.elapsed().as_micros() as u64, &mut body);
+                    let _ = http::write_response_with(
+                        stream,
+                        200,
+                        "application/json",
+                        &trace_extra,
+                        body.as_bytes(),
+                    );
+                }
+                Err(msg) => {
+                    host.count_error();
+                    let _ = http::write_response(
+                        stream,
+                        400,
+                        "text/plain",
+                        format!("{msg}\n").as_bytes(),
+                    );
+                }
+            }
+        }
+        ("POST", "/ingest") => {
+            let start = Instant::now();
+            match host.handle_ingest(&request.body) {
+                Ok(outcome) => {
+                    let mut body = outcome.to_json();
+                    host.finish_traced("ingest", start.elapsed().as_micros() as u64, &mut body);
+                    let _ = http::write_response_with(
+                        stream,
+                        200,
+                        "application/json",
+                        &trace_extra,
+                        body.as_bytes(),
+                    );
+                }
+                Err(msg) => {
+                    host.count_error();
+                    let _ = http::write_response(
+                        stream,
+                        400,
+                        "text/plain",
+                        format!("{msg}\n").as_bytes(),
+                    );
+                }
+            }
+        }
+        ("GET", "/profile") => {
+            let secs = parse_profile_secs(request.query.as_deref());
+            match host.profile_text(secs) {
+                Some(body) => {
+                    let _ = http::write_response(
+                        stream,
+                        200,
+                        "text/plain; charset=utf-8",
+                        body.as_bytes(),
+                    );
+                }
+                None => {
+                    host.count_error();
+                    let _ = http::write_response(
+                        stream,
+                        503,
+                        "text/plain",
+                        b"tracing disabled (set ICOST_TRACE_FILE)\n",
+                    );
+                }
+            }
+        }
         (
             _,
-            "/metrics" | "/healthz" | "/readyz" | "/events" | "/query" | "/explain" | "/ingest",
+            "/metrics" | "/healthz" | "/readyz" | "/events" | "/query" | "/explain" | "/ingest"
+            | "/profile",
         ) => {
             host.count_error();
             let _ = http::write_response(stream, 405, "text/plain", b"method not allowed\n");

@@ -1,0 +1,216 @@
+//! End-to-end causal tracing: trace ids minted or adopted at the serve
+//! edge, cost receipts in responses, `GET /trace/<id>` span trees,
+//! the slow-query log, and `GET /profile` folded stacks.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use uarch_runner::Runner;
+use uarch_serve::{ServeContext, ServeHost, Server};
+use uarch_trace::MachineConfig;
+
+fn test_host() -> Arc<ServeHost> {
+    let w = uarch_workloads::generate(
+        uarch_workloads::BenchProfile::by_name("mcf").expect("profile"),
+        2_000,
+        2003,
+    );
+    let mut ctx = ServeContext::new(w.name.clone(), MachineConfig::table6(), w.trace);
+    ctx.warm_data = w.warm_data;
+    ctx.warm_code = w.warm_code;
+    Arc::new(ServeHost::new(Runner::new().with_threads(2), ctx))
+}
+
+/// Send one request (optional extra header lines ending in `\r\n`);
+/// return the raw response text.
+fn raw_request(addr: SocketAddr, method: &str, path: &str, extra: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\n{extra}Content-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    response
+}
+
+fn split(response: &str) -> (u16, String) {
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn traced_requests_yield_receipts_span_trees_and_profiles() {
+    // Span trees and profiles need a live tracer; tests get one by
+    // installing it before anything touches the global.
+    uarch_obs::install_global(uarch_obs::Tracer::enabled());
+    let host = test_host();
+    let server = Server::start(host.clone(), "127.0.0.1:0", 2).expect("start");
+    let addr = server.addr();
+
+    // An adopted trace binding: the response echoes the trace id in
+    // the header and the body, and the receipt itemizes the work.
+    let batch = r#"{"queries":[{"cost":"dmiss"},{"icost":"dmiss+win"}]}"#;
+    let adopted = "x-icost-trace: 00000000000000ab-00000000000000cd\r\n";
+    let response = raw_request(addr, "POST", "/query", adopted, batch);
+    let (status, body) = split(&response);
+    assert_eq!(status, 200, "{response}");
+    assert!(
+        response.contains("x-icost-trace: 00000000000000ab-"),
+        "response echoes the trace header: {response}"
+    );
+    let doc = uarch_obs::json::parse(&body).expect("response is JSON");
+    assert_eq!(
+        doc.get("trace_id").and_then(|v| v.as_str()),
+        Some("00000000000000ab"),
+        "{body}"
+    );
+    let receipt = doc.get("receipt").expect("receipt in response");
+    assert_eq!(
+        receipt.get("endpoint").and_then(|v| v.as_str()),
+        Some("query")
+    );
+    assert_eq!(receipt.get("backend").and_then(|v| v.as_str()), Some("sim"));
+    assert_eq!(receipt.get("rungs").and_then(|v| v.as_str()), Some("sim"));
+    assert_eq!(receipt.get("queries").and_then(|v| v.as_num()), Some(2.0));
+    assert!(
+        receipt
+            .get("sims_run")
+            .and_then(|v| v.as_num())
+            .is_some_and(|n| n >= 4.0),
+        "a cold icost(2) lattice simulates at least its 4 subsets: {body}"
+    );
+    for key in [
+        "wall_us",
+        "cache_hits",
+        "disk_hits",
+        "deduped",
+        "skipped_cycles",
+        "response_bytes",
+        "confidence",
+    ] {
+        assert!(receipt.get(key).is_some(), "receipt missing {key}: {body}");
+    }
+    // The receipt bills the answer, not itself: the spliced body grew.
+    let bytes = receipt
+        .get("response_bytes")
+        .and_then(|v| v.as_num())
+        .expect("response_bytes");
+    assert!((bytes as usize) < body.len(), "{body}");
+
+    // A minted trace binding: no header, a fresh 16-hex id per request.
+    let (status, minted) = split(&raw_request(addr, "POST", "/query", "", batch));
+    assert_eq!(status, 200);
+    let minted_doc = uarch_obs::json::parse(&minted).expect("JSON");
+    let minted_id = minted_doc
+        .get("trace_id")
+        .and_then(|v| v.as_str())
+        .expect("minted trace id")
+        .to_string();
+    assert_eq!(minted_id.len(), 16, "{minted}");
+    assert!(minted_id.chars().all(|c| c.is_ascii_hexdigit()));
+    assert_ne!(minted_id, "00000000000000ab");
+
+    // /ingest and /explain are traced too (minimal receipts).
+    let ingest = r#"{"session":"t","window":2,"insts":[
+        {"pc":0,"op":"alu","dst":"r1","next_pc":4},
+        {"pc":4,"op":"alu","srcs":["r1"],"next_pc":8}],"done":true}"#;
+    let (status, ibody) = split(&raw_request(addr, "POST", "/ingest", "", ingest));
+    assert_eq!(status, 200, "{ibody}");
+    let idoc = uarch_obs::json::parse(&ibody).expect("JSON");
+    assert!(idoc.get("trace_id").is_some(), "{ibody}");
+    assert_eq!(
+        idoc.get("receipt")
+            .and_then(|r| r.get("endpoint"))
+            .and_then(|v| v.as_str()),
+        Some("ingest"),
+        "{ibody}"
+    );
+
+    // GET /trace/<id> replays the adopted request: its receipt plus a
+    // span tree rooted at the serve edge, with the runner nested below.
+    let (status, tbody) = split(&raw_request(addr, "GET", "/trace/00000000000000ab", "", ""));
+    assert_eq!(status, 200, "{tbody}");
+    let tdoc = uarch_obs::json::parse(&tbody).expect("trace JSON");
+    assert_eq!(
+        tdoc.get("trace_id").and_then(|v| v.as_str()),
+        Some("00000000000000ab")
+    );
+    assert_eq!(
+        tdoc.get("receipt")
+            .and_then(|r| r.get("endpoint"))
+            .and_then(|v| v.as_str()),
+        Some("query"),
+        "{tbody}"
+    );
+    let spans = tdoc.get("spans").and_then(|v| v.as_arr()).expect("spans");
+    assert!(!spans.is_empty(), "{tbody}");
+    assert!(tbody.contains("serve.query"), "{tbody}");
+    assert!(tbody.contains("runner.run"), "{tbody}");
+    // The other request's spans don't leak into this tree.
+    assert!(!tbody.contains(&minted_id), "{tbody}");
+
+    // Unknown ids are client errors.
+    let (status, _) = split(&raw_request(addr, "GET", "/trace/ffffffffffffffff", "", ""));
+    assert_eq!(status, 404);
+
+    // The slow log holds every request so far, slowest first.
+    let (status, sbody) = split(&raw_request(addr, "GET", "/trace/slow", "", ""));
+    assert_eq!(status, 200);
+    let sdoc = uarch_obs::json::parse(&sbody).expect("slow JSON");
+    let slow = sdoc
+        .get("slowest")
+        .and_then(|v| v.as_arr())
+        .expect("slowest");
+    assert!(slow.len() >= 3, "{sbody}");
+    assert!(sbody.contains("00000000000000ab"), "{sbody}");
+
+    // GET /profile folds the recent spans into flamegraph stacks:
+    // semicolon-joined frames with positive self-times.
+    let (status, profile) = split(&raw_request(addr, "GET", "/profile?secs=3600", "", ""));
+    assert_eq!(status, 200, "{profile}");
+    assert!(profile.contains("serve.query"), "{profile}");
+    assert!(
+        profile.lines().any(|l| l.starts_with("serve.query;")),
+        "nested frames join with semicolons: {profile}"
+    );
+    for line in profile.lines() {
+        let (_, self_us) = line.rsplit_once(' ').expect("stack self_us");
+        self_us.parse::<u64>().expect("numeric self time");
+    }
+
+    // The query histogram carries the most recent traced observation as
+    // an OpenMetrics exemplar, and the exposition still validates.
+    let (_, metrics) = split(&raw_request(addr, "GET", "/metrics", "", ""));
+    uarch_obs::prom::check(&metrics).expect("exposition passes the checker");
+    assert!(metrics.contains("# {trace_id=\""), "{metrics}");
+    assert!(
+        metrics.contains("trace_events_dropped{registry=\"trace\"}"),
+        "{metrics}"
+    );
+
+    // /readyz surfaces both drop counters.
+    let (_, ready) = split(&raw_request(addr, "GET", "/readyz", "", ""));
+    let rdoc = uarch_obs::json::parse(ready.trim()).expect("readyz JSON");
+    let dropped = rdoc.get("dropped").expect("dropped block");
+    assert!(dropped.get("ledger").is_some(), "{ready}");
+    assert!(dropped.get("trace").is_some(), "{ready}");
+
+    server.shutdown();
+}
